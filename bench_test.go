@@ -1,0 +1,244 @@
+package pimnw_test
+
+// One benchmark per table and figure of the paper's evaluation (§5), each
+// regenerating the corresponding experiment at Quick scale, plus
+// micro-benchmarks of the load-bearing kernels. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks report the end-to-end cost of rebuilding a
+// table; the kernel benchmarks report cell throughput.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/baseline"
+	"pimnw/internal/core"
+	"pimnw/internal/host"
+	"pimnw/internal/kernel"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+	"pimnw/internal/xp"
+)
+
+func benchTable(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := xp.NewRunner(xp.Options{Quick: true})
+		if _, err := r.Table(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1: accuracy of static vs adaptive bands.
+func BenchmarkTable1Accuracy(b *testing.B) { benchTable(b, "1") }
+
+// Tables 2-4: synthetic dataset runtimes (calibrate + project).
+func BenchmarkTable2S1000(b *testing.B)  { benchTable(b, "2") }
+func BenchmarkTable3S10000(b *testing.B) { benchTable(b, "3") }
+func BenchmarkTable4S30000(b *testing.B) { benchTable(b, "4") }
+
+// Table 5: 16S all-against-all broadcast mode.
+func BenchmarkTable5RRNA16S(b *testing.B) { benchTable(b, "5") }
+
+// Table 6: PacBio consensus sets.
+func BenchmarkTable6PacBio(b *testing.B) { benchTable(b, "6") }
+
+// Table 7: asm vs pure-C kernel cost tables.
+func BenchmarkTable7AsmVsC(b *testing.B) { benchTable(b, "7") }
+
+// Table 8: energy model.
+func BenchmarkTable8Energy(b *testing.B) { benchTable(b, "8") }
+
+// §5 text: pipeline utilisation / host overhead.
+func BenchmarkUtilizationTable(b *testing.B) { benchTable(b, "utilization") }
+
+// §4.2.3 ablation: pool geometry sweep.
+func BenchmarkAblationGeometry(b *testing.B) { benchTable(b, "ablation") }
+
+// Figure 1: a short exact alignment with traceback.
+func BenchmarkFig1ExactAlign(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := seq.Random(rng, 500)
+	q := seq.UniformErrors(0.08).Apply(rng, a)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.GotohAlign(a, q, p)
+	}
+}
+
+// Figure 3: the adaptive window trajectory.
+func BenchmarkFig3AdaptivePath(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := seq.Random(rng, 5000)
+	q := seq.UniformErrors(0.08).Apply(rng, a)
+	p := core.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		core.AdaptiveBandPath(a, q, p, 128)
+	}
+}
+
+// --- kernel micro-benchmarks ---
+
+func benchPair(n int) (seq.Seq, seq.Seq) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	a := seq.Random(rng, n)
+	return a, seq.UniformErrors(0.05).Apply(rng, a)
+}
+
+func BenchmarkAdaptiveBandScore10k(b *testing.B) {
+	a, q := benchPair(10_000)
+	p := core.DefaultParams()
+	b.SetBytes(int64(len(a) + len(q)))
+	for i := 0; i < b.N; i++ {
+		core.AdaptiveBandScore(a, q, p, 128)
+	}
+}
+
+func BenchmarkAdaptiveBandAlign10k(b *testing.B) {
+	a, q := benchPair(10_000)
+	p := core.DefaultParams()
+	b.SetBytes(int64(len(a) + len(q)))
+	for i := 0; i < b.N; i++ {
+		core.AdaptiveBandAlign(a, q, p, 128)
+	}
+}
+
+func BenchmarkStaticBandScore10k(b *testing.B) {
+	a, q := benchPair(10_000)
+	p := core.DefaultParams()
+	b.SetBytes(int64(len(a) + len(q)))
+	for i := 0; i < b.N; i++ {
+		core.StaticBandScore(a, q, p, 256)
+	}
+}
+
+func BenchmarkGotohFullScore2k(b *testing.B) {
+	a, q := benchPair(2000)
+	p := core.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		core.GotohScore(a, q, p)
+	}
+}
+
+func BenchmarkCPUBaselineBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := make([]baseline.Pair, 32)
+	for i := range pairs {
+		a := seq.Random(rng, 2000)
+		pairs[i] = baseline.Pair{ID: i, A: a, B: seq.UniformErrors(0.05).Apply(rng, a)}
+	}
+	opts := baseline.Options{Params: core.DefaultParams(), Band: 256}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Run(opts, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPUKernelBatch(b *testing.B) {
+	kcfg := kernel.Config{
+		Geometry:  kernel.DefaultGeometry(),
+		Band:      128,
+		Params:    core.DefaultParams(),
+		Costs:     pim.Asm,
+		Traceback: true,
+		PIM:       pim.DefaultConfig(),
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := kcfg.PIM.NewDPU(0)
+		pairs := make([]kernel.Pair, 12)
+		for j := range pairs {
+			a := seq.Random(rng, 1000)
+			q := seq.UniformErrors(0.05).Apply(rng, a)
+			sp, err := kernel.StagePair(d, j, a, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs[j] = sp
+		}
+		b.StartTimer()
+		if _, err := kernel.Run(d, kcfg, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostAlignPairs(b *testing.B) {
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = 2
+	cfg := host.Config{
+		PIM: pimCfg,
+		Kernel: kernel.Config{
+			Geometry:  kernel.DefaultGeometry(),
+			Band:      64,
+			Params:    core.DefaultParams(),
+			Costs:     pim.Asm,
+			Traceback: true,
+			PIM:       pimCfg,
+		},
+	}
+	rng := rand.New(rand.NewSource(5))
+	pairs := make([]host.Pair, 64)
+	for i := range pairs {
+		a := seq.Random(rng, 500)
+		pairs[i] = host.Pair{ID: i, A: a, B: seq.UniformErrors(0.05).Apply(rng, a)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := host.AlignPairs(cfg, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFluidSimulator(b *testing.B) {
+	run, _ := pim.NewDPURun(24)
+	for _, tr := range run.Traces {
+		for s := 0; s < 100; s++ {
+			tr.Exec(5000)
+			tr.DMARead(1024)
+			tr.Barrier(1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pim.FluidSimulate(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSimulator(b *testing.B) {
+	run, _ := pim.NewDPURun(16)
+	for _, tr := range run.Traces {
+		tr.Exec(2000)
+		tr.DMARead(512)
+		tr.Exec(2000)
+		tr.Barrier(1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pim.ExactSimulate(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark2BitPacking(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	s := seq.Random(rng, 100_000)
+	dst := make([]byte, seq.PackedSize(len(s)))
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.PackInto(dst, s)
+	}
+}

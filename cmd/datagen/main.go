@@ -1,0 +1,102 @@
+// Command datagen materialises the paper's evaluation datasets (synthetic
+// stand-ins; see DESIGN.md) as FASTA files.
+//
+// Usage:
+//
+//	datagen -dataset s1000|s10000|s30000|16s|pacbio [-scale 0.001]
+//	        [-seed 0] [-out DIR]
+//
+// Pair datasets produce <name>_a.fa / <name>_b.fa (record i of _a aligns
+// against record i of _b); 16s produces one FASTA; pacbio produces one
+// FASTA per set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pimnw/internal/datasets"
+	"pimnw/internal/seq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name  = flag.String("dataset", "s1000", "dataset: s1000, s10000, s30000, 16s, pacbio")
+		scale = flag.Float64("scale", 0.0001, "fraction of the paper-scale dataset to generate")
+		seed  = flag.Int64("seed", 0, "seed offset")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	switch *name {
+	case "s1000", "s10000", "s30000":
+		spec := map[string]datasets.SyntheticSpec{
+			"s1000": datasets.S1000, "s10000": datasets.S10000, "s30000": datasets.S30000,
+		}[*name].Scaled(*scale)
+		spec.Seed += *seed
+		pairs := spec.Generate()
+		return writePairs(*out, *name, pairs)
+	case "16s":
+		spec := datasets.RRNA16S.Scaled(*scale)
+		spec.Seed += *seed
+		seqs := spec.Generate()
+		recs := make([]seq.Record, len(seqs))
+		for i, s := range seqs {
+			recs[i] = seq.Record{Name: fmt.Sprintf("16s_%05d", i), Seq: s}
+		}
+		return writeFasta(filepath.Join(*out, "16s.fa"), recs)
+	case "pacbio":
+		spec := datasets.PacBio.Scaled(*scale)
+		spec.Seed += *seed
+		for si, set := range spec.Generate() {
+			recs := make([]seq.Record, len(set.Reads))
+			for ri, r := range set.Reads {
+				recs[ri] = seq.Record{Name: fmt.Sprintf("set%05d_read%02d", si, ri), Seq: r}
+			}
+			if err := writeFasta(filepath.Join(*out, fmt.Sprintf("pacbio_set%05d.fa", si)), recs); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown dataset %q", *name)
+	}
+}
+
+func writePairs(dir, name string, pairs []datasets.Pair) error {
+	as := make([]seq.Record, len(pairs))
+	bs := make([]seq.Record, len(pairs))
+	for i, p := range pairs {
+		as[i] = seq.Record{Name: fmt.Sprintf("%s_%07d/a", name, p.ID), Seq: p.A}
+		bs[i] = seq.Record{Name: fmt.Sprintf("%s_%07d/b", name, p.ID), Seq: p.B}
+	}
+	if err := writeFasta(filepath.Join(dir, name+"_a.fa"), as); err != nil {
+		return err
+	}
+	return writeFasta(filepath.Join(dir, name+"_b.fa"), bs)
+}
+
+func writeFasta(path string, recs []seq.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := seq.WriteFASTA(f, recs, 0); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %s (%d records)\n", path, len(recs))
+	return f.Close()
+}

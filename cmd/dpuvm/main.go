@@ -1,0 +1,94 @@
+// Command dpuvm assembles and executes a DPU assembly file on the
+// interpreter of internal/dpuasm — the tool for experimenting with the
+// fused-jump/cmpb4 idioms of the paper's §4.2.4 outside the kernel.
+//
+// Usage:
+//
+//	dpuvm [-wram 4096] [-regs "r0=5,r11=10"] [-dump off:len] prog.s
+//
+// After the run it prints the executed-instruction count, every non-zero
+// register, and optionally a WRAM hex dump.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pimnw/internal/dpuasm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpuvm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	wram := flag.Int("wram", 4096, "WRAM bytes")
+	regs := flag.String("regs", "", "initial registers, e.g. r0=5,r11=10")
+	dump := flag.String("dump", "", "WRAM range to hex-dump after the run, off:len")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("exactly one assembly file expected")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := dpuasm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	vm := dpuasm.NewVM(*wram)
+	if *regs != "" {
+		for _, kv := range strings.Split(*regs, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 || !strings.HasPrefix(parts[0], "r") {
+				return fmt.Errorf("bad register assignment %q", kv)
+			}
+			idx, err := strconv.Atoi(parts[0][1:])
+			if err != nil || idx < 0 || idx >= dpuasm.NumRegs {
+				return fmt.Errorf("bad register %q", parts[0])
+			}
+			v, err := strconv.ParseInt(parts[1], 0, 32)
+			if err != nil {
+				return fmt.Errorf("bad value %q", parts[1])
+			}
+			vm.Regs[idx] = int32(v)
+		}
+	}
+
+	if err := vm.Run(prog); err != nil {
+		return err
+	}
+	fmt.Printf("executed %d instructions (%d assembled)\n", vm.Executed, len(prog.Instrs))
+	for i, v := range vm.Regs {
+		if v != 0 {
+			fmt.Printf("  r%-2d = %d (%#x)\n", i, v, uint32(v))
+		}
+	}
+	if *dump != "" {
+		parts := strings.SplitN(*dump, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -dump %q, want off:len", *dump)
+		}
+		off, err1 := strconv.Atoi(parts[0])
+		n, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || off < 0 || n < 0 || off+n > len(vm.WRAM) {
+			return fmt.Errorf("bad -dump range %q", *dump)
+		}
+		for i := off; i < off+n; i += 16 {
+			end := i + 16
+			if end > off+n {
+				end = off + n
+			}
+			fmt.Printf("  %04x: % x\n", i, vm.WRAM[i:end])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's evaluation tables
+// side-by-side with the reproduction's numbers.
+//
+// Usage:
+//
+//	experiments [-table 1|2|...|8|utilization|ablation|all] [-quick] [-samples N] [-seed S]
+//
+// Accuracy numbers come from running the real aligners on sampled pairs;
+// runtime numbers come from scaled simulated runs calibrated and projected
+// to the paper's dataset sizes (see EXPERIMENTS.md for the methodology).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pimnw/internal/xp"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate (1-8, utilization, ablation, hybrid, wfa, all)")
+	quick := flag.Bool("quick", false, "shrink samples and read lengths for a fast smoke run")
+	samples := flag.Int("samples", 0, "override the per-dataset accuracy sample count")
+	seed := flag.Int64("seed", 0, "offset every generator seed")
+	format := flag.String("format", "text", "output format: text or markdown")
+	flag.Parse()
+
+	runner := xp.NewRunner(xp.Options{Quick: *quick, Samples: *samples, Seed: *seed})
+	ids := []string{*table}
+	if *table == "all" {
+		ids = xp.TableIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := runner.Table(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: table %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "markdown" {
+			fmt.Println(t.RenderMarkdown())
+		} else {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("(generated in %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,14 @@
+// Package pimnw is a from-scratch Go reproduction of "Parallelization of
+// the Banded Needleman & Wunsch Algorithm on UPMEM PiM Architecture for
+// Long DNA Sequence Alignment" (Mognol, Lavenier, Legriel — ICPP 2024).
+//
+// The library implements the paper's adaptive banded affine-gap aligner
+// (internal/core), a model of the UPMEM PiM system it runs on
+// (internal/pim), the DPU kernel (internal/kernel), the host orchestration
+// runtime (internal/host), the minimap2-like CPU baseline
+// (internal/baseline), the five evaluation datasets (internal/datasets),
+// the §5.6 power/cost model (internal/power), and an experiment harness
+// regenerating every table of the paper's evaluation (internal/xp).
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package pimnw

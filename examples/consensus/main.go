@@ -1,0 +1,194 @@
+// Consensus reproduces the §5.4 workflow end to end: the reads of a
+// PacBio-like set are pairwise aligned on the simulated PiM server (CIGARs
+// required), one read is chosen as the backbone, and the other reads'
+// alignments vote on every backbone column — substitutions, deletions and
+// insertions — to polish it. A second polishing round realigns the reads
+// against the first-round consensus. The example reports how far the raw
+// backbone sits from the true region and how much closer each round gets.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/core"
+	"pimnw/internal/datasets"
+	"pimnw/internal/host"
+	"pimnw/internal/kernel"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec := datasets.PacBio.Scaled(0) // one set
+	spec.ReadsMin, spec.ReadsMax = 12, 12
+	spec.RegionMin, spec.RegionMax = 3000, 3000
+	set := spec.Generate()[0]
+	fmt.Printf("read set: %d reads of a %d-base region, ~%.0f%% error rate\n",
+		len(set.Reads), len(set.Region), 100*spec.ErrorRate)
+
+	// Round 1: align every read against the backbone (read 0) on the
+	// simulated PiM server — the paper's §5.4 kernel with traceback.
+	backbone := set.Reads[0]
+	others := set.Reads[1:]
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = 1
+	cfg := host.Config{
+		PIM: pimCfg,
+		Kernel: kernel.Config{
+			Geometry:  kernel.DefaultGeometry(),
+			Band:      128,
+			Params:    core.DefaultParams(),
+			Costs:     pim.Asm,
+			Traceback: true,
+			PIM:       pimCfg,
+		},
+	}
+	var pairs []host.Pair
+	for i, r := range others {
+		pairs = append(pairs, host.Pair{ID: i, A: r, B: backbone})
+	}
+	rep, results, err := host.AlignPairs(cfg, pairs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aligned %d read pairs in %.3f ms modelled PiM time\n",
+		rep.Alignments, rep.MakespanSec*1e3)
+
+	cigars := make([]cigar.Cigar, len(others))
+	for _, r := range results {
+		if !r.InBand {
+			continue
+		}
+		c, err := cigar.Parse(string(r.Cigar))
+		if err != nil {
+			return err
+		}
+		cigars[r.ID] = c
+	}
+	round1 := vote(backbone, others, cigars)
+
+	// Round 2: realign against the polished consensus and vote again.
+	p := core.DefaultParams()
+	cigars2 := make([]cigar.Cigar, len(others))
+	for i, r := range others {
+		res := core.AdaptiveBandAlign(r, round1, p, 128)
+		if res.InBand {
+			cigars2[i] = res.Cigar
+		}
+	}
+	round2 := vote(round1, others, cigars2)
+
+	report := func(label string, s seq.Seq) {
+		d := core.EditDistance(s, set.Region)
+		fmt.Printf("%-28s: %5d edits vs truth (%.2f%%)\n",
+			label, d, 100*float64(d)/float64(len(set.Region)))
+	}
+	report("backbone read (raw)", backbone)
+	report("consensus after round 1", round1)
+	report("consensus after round 2", round2)
+	raw := core.EditDistance(backbone, set.Region)
+	final := core.EditDistance(round2, set.Region)
+	if final < raw {
+		fmt.Printf("consensus voting removed %.0f%% of the errors\n",
+			100*(1-float64(final)/float64(raw)))
+	}
+	return nil
+}
+
+// vote polishes the backbone: every aligned read votes per backbone column
+// for a base or a deletion, and for insertions between columns; majorities
+// rewrite the sequence.
+func vote(backbone seq.Seq, reads []seq.Seq, cigars []cigar.Cigar) seq.Seq {
+	const del = seq.NumBases
+	colVotes := make([][seq.NumBases + 1]int, len(backbone))
+	insVotes := make([]map[string]int, len(backbone)+1)
+	covering := make([]int, len(backbone))
+	for i, b := range backbone {
+		colVotes[i][b]++
+		covering[i]++
+	}
+	aligned := 0
+	for ri, c := range cigars {
+		if c == nil {
+			continue
+		}
+		aligned++
+		read := reads[ri]
+		qi, ti := 0, 0
+		for _, op := range c {
+			switch op.Kind {
+			case cigar.Match, cigar.Mismatch:
+				for k := 0; k < op.Len; k++ {
+					colVotes[ti+k][read[qi+k]]++
+					covering[ti+k]++
+				}
+				qi += op.Len
+				ti += op.Len
+			case cigar.Ins:
+				if insVotes[ti] == nil {
+					insVotes[ti] = map[string]int{}
+				}
+				insVotes[ti][read[qi:qi+op.Len].String()]++
+				qi += op.Len
+			case cigar.Del:
+				for k := 0; k < op.Len; k++ {
+					colVotes[ti+k][del]++
+					covering[ti+k]++
+				}
+				ti += op.Len
+			}
+		}
+	}
+
+	var out seq.Seq
+	emitIns := func(pos int) {
+		votes := insVotes[pos]
+		if votes == nil {
+			return
+		}
+		total := 0
+		for _, n := range votes {
+			total += n
+		}
+		// A majority of aligned reads must support an insertion here.
+		if total*2 <= aligned {
+			return
+		}
+		runs := make([]string, 0, len(votes))
+		for r := range votes {
+			runs = append(runs, r)
+		}
+		sort.Slice(runs, func(a, b int) bool {
+			if votes[runs[a]] != votes[runs[b]] {
+				return votes[runs[a]] > votes[runs[b]]
+			}
+			return runs[a] < runs[b]
+		})
+		out = append(out, seq.MustFromString(runs[0])...)
+	}
+	for i := range backbone {
+		emitIns(i)
+		v := colVotes[i]
+		best, bestN := 0, v[0]
+		for cand := 1; cand <= del; cand++ {
+			if v[cand] > bestN {
+				best, bestN = cand, v[cand]
+			}
+		}
+		if best != del {
+			out = append(out, seq.Base(best))
+		}
+	}
+	emitIns(len(backbone))
+	return out
+}

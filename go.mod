@@ -1,0 +1,3 @@
+module pimnw
+
+go 1.22

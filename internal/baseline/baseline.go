@@ -1,0 +1,133 @@
+// Package baseline is the CPU comparator of the paper's §5: a
+// multi-threaded static-banded affine-gap aligner standing in for the
+// KSW2/minimap2 OpenMP implementation the paper benchmarks against. The
+// worker pool plays OpenMP's role; the query-profile kernel in fast.go
+// plays the role of KSW2's branchless SSE inner loop. Calibrated
+// throughput models of the paper's two Xeon servers (servers.go) let the
+// experiment harness reproduce the tables' CPU columns at full scale.
+package baseline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+// Pair is one alignment request.
+type Pair struct {
+	ID   int
+	A, B seq.Seq
+}
+
+// Options configures a baseline run.
+type Options struct {
+	Params core.Params
+	// Band is the static band size; the paper's minimap2 runs use 128,
+	// 256 or 512 depending on the dataset (Table 1).
+	Band int
+	// Threads is the worker-pool width; 0 means GOMAXPROCS.
+	Threads int
+	// Traceback selects CIGAR production.
+	Traceback bool
+}
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Validate rejects nonsensical options.
+func (o Options) Validate() error {
+	if err := o.Params.Validate(); err != nil {
+		return err
+	}
+	if o.Band < 2 {
+		return fmt.Errorf("baseline: band %d too small", o.Band)
+	}
+	if o.Threads < 0 {
+		return fmt.Errorf("baseline: negative thread count")
+	}
+	return nil
+}
+
+// Result is one alignment outcome.
+type Result struct {
+	ID     int
+	Score  int32
+	InBand bool
+	Cigar  cigar.Cigar
+	Cells  int64
+}
+
+// Outcome is a measured baseline run.
+type Outcome struct {
+	Results []Result
+	// WallSeconds is the measured host wall-clock time of the compute
+	// phase (this machine, not the paper's Xeons — use ServerModel to map
+	// to the paper's hardware).
+	WallSeconds float64
+	Cells       int64
+}
+
+// Run aligns all pairs on a worker pool and measures the wall time.
+func Run(opts Options, pairs []Pair) (Outcome, error) {
+	if err := opts.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	results := make([]Result, len(pairs))
+	start := time.Now()
+	workChan := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.threads(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range workChan {
+				results[i] = alignOne(opts, pairs[i])
+			}
+		}()
+	}
+	for i := range pairs {
+		workChan <- i
+	}
+	close(workChan)
+	wg.Wait()
+
+	out := Outcome{Results: results, WallSeconds: time.Since(start).Seconds()}
+	for i := range results {
+		out.Cells += results[i].Cells
+	}
+	return out, nil
+}
+
+func alignOne(opts Options, p Pair) Result {
+	if opts.Traceback {
+		res := core.StaticBandAlign(p.A, p.B, opts.Params, opts.Band)
+		return Result{ID: p.ID, Score: res.Score, InBand: res.InBand, Cigar: res.Cigar, Cells: res.Cells}
+	}
+	score, cells, inBand := fastStaticBandScore(p.A, p.B, opts.Params, opts.Band)
+	return Result{ID: p.ID, Score: score, InBand: inBand, Cells: cells}
+}
+
+// RunAllPairs is the all-against-all score-only mode (§5.3's CPU column).
+func RunAllPairs(opts Options, seqs []seq.Seq) (Outcome, error) {
+	if opts.Traceback {
+		return Outcome{}, fmt.Errorf("baseline: all-against-all mode is score-only")
+	}
+	var pairs []Pair
+	id := 0
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			pairs = append(pairs, Pair{ID: id, A: seqs[i], B: seqs[j]})
+			id++
+		}
+	}
+	return Run(opts, pairs)
+}

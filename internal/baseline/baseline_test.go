@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+func makePairs(seed int64, n, length int, errRate float64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		a := seq.Random(rng, length+rng.Intn(length/4+1))
+		b := seq.UniformErrors(errRate).Apply(rng, a)
+		pairs[i] = Pair{ID: i, A: a, B: b}
+	}
+	return pairs
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := Options{Params: core.DefaultParams(), Band: 128}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{Params: core.DefaultParams(), Band: 1},
+		{Params: core.Params{}, Band: 128},
+		{Params: core.DefaultParams(), Band: 128, Threads: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFastKernelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := core.DefaultParams()
+	for trial := 0; trial < 60; trial++ {
+		var a, b seq.Seq
+		switch trial % 3 {
+		case 0:
+			a, b = seq.Random(rng, rng.Intn(200)), seq.Random(rng, rng.Intn(200))
+		case 1:
+			a = seq.Random(rng, 50+rng.Intn(300))
+			b = seq.UniformErrors(0.15).Apply(rng, a)
+		default:
+			a = seq.Random(rng, rng.Intn(40))
+			b = seq.UniformErrors(0.05).Apply(rng, a)
+		}
+		for _, w := range []int{4, 16, 64, 256} {
+			want := core.StaticBandScore(a, b, p, w)
+			score, cells, inBand := fastStaticBandScore(a, b, p, w)
+			if inBand != want.InBand {
+				t.Fatalf("w=%d len=%d/%d: inBand %v, want %v", w, len(a), len(b), inBand, want.InBand)
+			}
+			if inBand && score != want.Score {
+				t.Fatalf("w=%d len=%d/%d: score %d, want %d", w, len(a), len(b), score, want.Score)
+			}
+			if inBand && cells != want.Cells {
+				t.Fatalf("w=%d: cells %d, want %d", w, cells, want.Cells)
+			}
+		}
+	}
+}
+
+func TestFastKernelEdges(t *testing.T) {
+	p := core.DefaultParams()
+	if s, _, ok := fastStaticBandScore(nil, nil, p, 8); !ok || s != 0 {
+		t.Errorf("empty/empty: %d %v", s, ok)
+	}
+	a := seq.MustFromString("ACG")
+	if s, _, ok := fastStaticBandScore(a, nil, p, 8); !ok || s != -p.GapCost(3) {
+		t.Errorf("vs empty: %d %v", s, ok)
+	}
+	long := seq.MustFromString("ACGTACGTACGTACGT")
+	if _, _, ok := fastStaticBandScore(long, a, p, 8); ok {
+		t.Error("skew 13 > half-band 4 accepted")
+	}
+}
+
+func TestRunScores(t *testing.T) {
+	opts := Options{Params: core.DefaultParams(), Band: 64, Threads: 4}
+	pairs := makePairs(12, 25, 150, 0.1)
+	out, err := Run(opts, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(pairs) {
+		t.Fatalf("%d results", len(out.Results))
+	}
+	if out.WallSeconds <= 0 || out.Cells <= 0 {
+		t.Errorf("outcome: %+v", out)
+	}
+	for i, r := range out.Results {
+		if r.ID != pairs[i].ID {
+			t.Fatalf("result %d has ID %d", i, r.ID)
+		}
+		want := core.StaticBandScore(pairs[i].A, pairs[i].B, opts.Params, opts.Band)
+		if r.InBand != want.InBand || (r.InBand && r.Score != want.Score) {
+			t.Errorf("pair %d: %d/%v, want %d/%v", r.ID, r.Score, r.InBand, want.Score, want.InBand)
+		}
+		if r.Cigar != nil {
+			t.Errorf("pair %d: score-only run produced a cigar", r.ID)
+		}
+	}
+}
+
+func TestRunTraceback(t *testing.T) {
+	opts := Options{Params: core.DefaultParams(), Band: 64, Threads: 2, Traceback: true}
+	pairs := makePairs(13, 10, 120, 0.08)
+	out, err := Run(opts, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.Results {
+		if !r.InBand {
+			continue
+		}
+		if err := r.Cigar.Validate(pairs[i].A, pairs[i].B); err != nil {
+			t.Errorf("pair %d: %v", r.ID, err)
+		}
+		if got := core.ScoreFromCigar(r.Cigar, opts.Params); got != r.Score {
+			t.Errorf("pair %d: cigar score %d, reported %d", r.ID, got, r.Score)
+		}
+	}
+}
+
+func TestRunAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	root := seq.Random(rng, 200)
+	seqs := make([]seq.Seq, 8)
+	for i := range seqs {
+		seqs[i] = seq.UniformErrors(0.05).Apply(rng, root)
+	}
+	opts := Options{Params: core.DefaultParams(), Band: 64, Threads: 4}
+	out, err := RunAllPairs(opts, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 8*7/2 {
+		t.Fatalf("%d results, want 28", len(out.Results))
+	}
+	if _, err := RunAllPairs(Options{Params: core.DefaultParams(), Band: 64, Traceback: true}, seqs); err == nil {
+		t.Error("traceback all-against-all accepted")
+	}
+}
+
+func TestServerModels(t *testing.T) {
+	if Xeon4216.TBCellsPerSec <= Xeon4215.TBCellsPerSec {
+		t.Error("the 64-core server must model faster than the 32-core one")
+	}
+	// Sanity against the paper's S1000 row: 10M pairs x 1000 rows x band
+	// 128 = 1.28e12 cells in ~294 s.
+	sec := Xeon4215.Seconds(1_280_000_000_000, true)
+	if sec < 250 || sec > 340 {
+		t.Errorf("modelled S1000 on 4215 = %.0f s, paper says 294", sec)
+	}
+	// 16S score-only: 45.66M pairs x 1542 rows x band 512 = 3.6e13 cells
+	// in ~5882 s.
+	sec = Xeon4215.Seconds(36_000_000_000_000, false)
+	if sec < 5200 || sec > 6500 {
+		t.Errorf("modelled 16S on 4215 = %.0f s, paper says 5882", sec)
+	}
+}
+
+func TestStaticBandCells(t *testing.T) {
+	if got := StaticBandCells(1000, 1000, 128); got != 128000 {
+		t.Errorf("cells = %d", got)
+	}
+	// Band wider than the target: clipped to the row width.
+	if got := StaticBandCells(100, 50, 128); got != 5000 {
+		t.Errorf("clipped cells = %d", got)
+	}
+}
+
+func BenchmarkFastKernelVsReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := seq.Random(rng, 2000)
+	bb := seq.UniformErrors(0.1).Apply(rng, a)
+	p := core.DefaultParams()
+	b.Run("query-profile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fastStaticBandScore(a, bb, p, 128)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.StaticBandScore(a, bb, p, 128)
+		}
+	})
+}

@@ -1,0 +1,324 @@
+// Package cigar implements the Compact Idiosyncratic Gapped Alignment
+// Report format that the paper's traceback procedure emits (§4.2.2), plus
+// validation and statistics used by the accuracy experiments.
+//
+// Convention: alignments are between a query A (length m) and a target B
+// (length n). An 'I' consumes a query base (insertion relative to the
+// target), a 'D' consumes a target base (deletion from the query), '=' is a
+// match and 'X' a mismatch; 'M' is accepted on input as "either".
+package cigar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pimnw/internal/seq"
+)
+
+// OpKind is one alignment operation kind.
+type OpKind uint8
+
+// Operation kinds in SAM extended-CIGAR notation.
+const (
+	Match    OpKind = iota // '=' : query base equals target base
+	Mismatch               // 'X' : substitution
+	Ins                    // 'I' : base present in query only
+	Del                    // 'D' : base present in target only
+	numKinds
+)
+
+var kindChar = [numKinds]byte{'=', 'X', 'I', 'D'}
+
+// Char returns the SAM character for k.
+func (k OpKind) Char() byte { return kindChar[k] }
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string { return string(kindChar[k]) }
+
+// ConsumesQuery reports whether k advances the query cursor.
+func (k OpKind) ConsumesQuery() bool { return k != Del }
+
+// ConsumesTarget reports whether k advances the target cursor.
+func (k OpKind) ConsumesTarget() bool { return k != Ins }
+
+// Op is a run-length encoded alignment operation.
+type Op struct {
+	Kind OpKind
+	Len  int
+}
+
+// Cigar is a sequence of run-length encoded operations.
+type Cigar []Op
+
+// Append adds n operations of kind k, merging with the trailing op when the
+// kinds are equal. It returns the extended cigar (append semantics).
+func (c Cigar) Append(k OpKind, n int) Cigar {
+	if n <= 0 {
+		return c
+	}
+	if len(c) > 0 && c[len(c)-1].Kind == k {
+		c[len(c)-1].Len += n
+		return c
+	}
+	return append(c, Op{Kind: k, Len: n})
+}
+
+// Reverse reverses the operation order in place and returns c. The paper's
+// traceback walks from (m,n) back to the origin, so the raw op stream is
+// emitted tail-first.
+func (c Cigar) Reverse() Cigar {
+	for i, j := 0, len(c)-1; i < j; i, j = i+1, j-1 {
+		c[i], c[j] = c[j], c[i]
+	}
+	return c
+}
+
+// String renders the cigar in SAM notation, e.g. "120=1X3I500=".
+func (c Cigar) String() string {
+	var sb strings.Builder
+	for _, op := range c {
+		sb.WriteString(strconv.Itoa(op.Len))
+		sb.WriteByte(op.Kind.Char())
+	}
+	return sb.String()
+}
+
+// Parse parses SAM extended-CIGAR notation. 'M' is rejected because this
+// package always distinguishes '=' from 'X'; use ParseLoose to accept it.
+func Parse(s string) (Cigar, error) {
+	return parse(s, false)
+}
+
+// ParseLoose parses like Parse but maps 'M' to Match (the caller loses the
+// match/mismatch distinction and Validate will only check lengths).
+func ParseLoose(s string) (Cigar, error) {
+	return parse(s, true)
+}
+
+func parse(s string, loose bool) (Cigar, error) {
+	var c Cigar
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == i || j == len(s) {
+			return nil, fmt.Errorf("cigar: malformed near offset %d in %q", i, s)
+		}
+		n, err := strconv.Atoi(s[i:j])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("cigar: bad length %q", s[i:j])
+		}
+		var k OpKind
+		switch s[j] {
+		case '=':
+			k = Match
+		case 'X':
+			k = Mismatch
+		case 'I':
+			k = Ins
+		case 'D':
+			k = Del
+		case 'M':
+			if !loose {
+				return nil, fmt.Errorf("cigar: ambiguous op 'M' (use ParseLoose)")
+			}
+			k = Match
+		default:
+			return nil, fmt.Errorf("cigar: unknown op %q", s[j])
+		}
+		c = c.Append(k, n)
+		i = j + 1
+	}
+	return c, nil
+}
+
+// QueryLen returns the number of query bases the cigar consumes.
+func (c Cigar) QueryLen() int {
+	n := 0
+	for _, op := range c {
+		if op.Kind.ConsumesQuery() {
+			n += op.Len
+		}
+	}
+	return n
+}
+
+// TargetLen returns the number of target bases the cigar consumes.
+func (c Cigar) TargetLen() int {
+	n := 0
+	for _, op := range c {
+		if op.Kind.ConsumesTarget() {
+			n += op.Len
+		}
+	}
+	return n
+}
+
+// Stats summarises an alignment.
+type Stats struct {
+	Matches    int
+	Mismatches int
+	Insertions int // query bases inserted
+	Deletions  int // target bases deleted
+	GapOpens   int // number of I/D runs
+	Columns    int // total alignment columns
+}
+
+// Identity is the BLAST-style identity: matches / alignment columns.
+func (s Stats) Identity() float64 {
+	if s.Columns == 0 {
+		return 0
+	}
+	return float64(s.Matches) / float64(s.Columns)
+}
+
+// Stats computes alignment statistics.
+func (c Cigar) Stats() Stats {
+	var st Stats
+	for _, op := range c {
+		st.Columns += op.Len
+		switch op.Kind {
+		case Match:
+			st.Matches += op.Len
+		case Mismatch:
+			st.Mismatches += op.Len
+		case Ins:
+			st.Insertions += op.Len
+			st.GapOpens++
+		case Del:
+			st.Deletions += op.Len
+			st.GapOpens++
+		}
+	}
+	return st
+}
+
+// Validate checks c against the concrete sequences: lengths must be fully
+// consumed and every '='/'X' column must match/mismatch accordingly.
+func (c Cigar) Validate(query, target seq.Seq) error {
+	qi, ti := 0, 0
+	for opIdx, op := range c {
+		if op.Len <= 0 {
+			return fmt.Errorf("cigar: op %d has non-positive length %d", opIdx, op.Len)
+		}
+		switch op.Kind {
+		case Match, Mismatch:
+			if qi+op.Len > len(query) || ti+op.Len > len(target) {
+				return fmt.Errorf("cigar: op %d overruns sequences", opIdx)
+			}
+			for k := 0; k < op.Len; k++ {
+				same := query[qi+k] == target[ti+k]
+				if same != (op.Kind == Match) {
+					return fmt.Errorf("cigar: op %d (%v) column %d: query %v vs target %v",
+						opIdx, op.Kind, k, query[qi+k], target[ti+k])
+				}
+			}
+			qi += op.Len
+			ti += op.Len
+		case Ins:
+			if qi+op.Len > len(query) {
+				return fmt.Errorf("cigar: op %d insertion overruns query", opIdx)
+			}
+			qi += op.Len
+		case Del:
+			if ti+op.Len > len(target) {
+				return fmt.Errorf("cigar: op %d deletion overruns target", opIdx)
+			}
+			ti += op.Len
+		default:
+			return fmt.Errorf("cigar: op %d has unknown kind %d", opIdx, op.Kind)
+		}
+	}
+	if qi != len(query) {
+		return fmt.Errorf("cigar: consumed %d of %d query bases", qi, len(query))
+	}
+	if ti != len(target) {
+		return fmt.Errorf("cigar: consumed %d of %d target bases", ti, len(target))
+	}
+	return nil
+}
+
+// Replay applies the cigar to the query and returns the target it encodes:
+// matched columns copy the query base, mismatched and deleted columns copy
+// the target base. It errors under the same conditions as Validate.
+func (c Cigar) Replay(query, target seq.Seq) (seq.Seq, error) {
+	if err := c.Validate(query, target); err != nil {
+		return nil, err
+	}
+	out := make(seq.Seq, 0, len(target))
+	qi, ti := 0, 0
+	for _, op := range c {
+		switch op.Kind {
+		case Match:
+			out = append(out, query[qi:qi+op.Len]...)
+			qi += op.Len
+			ti += op.Len
+		case Mismatch:
+			out = append(out, target[ti:ti+op.Len]...)
+			qi += op.Len
+			ti += op.Len
+		case Ins:
+			qi += op.Len
+		case Del:
+			out = append(out, target[ti:ti+op.Len]...)
+			ti += op.Len
+		}
+	}
+	return out, nil
+}
+
+// Pretty renders a three-line human-readable alignment (query, markup,
+// target) wrapped at width columns, in the style of the paper's Figure 1.
+func (c Cigar) Pretty(query, target seq.Seq, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var top, mid, bot []byte
+	qi, ti := 0, 0
+	for _, op := range c {
+		for k := 0; k < op.Len; k++ {
+			switch op.Kind {
+			case Match:
+				top = append(top, query[qi].Char())
+				mid = append(mid, '|')
+				bot = append(bot, target[ti].Char())
+				qi, ti = qi+1, ti+1
+			case Mismatch:
+				top = append(top, query[qi].Char())
+				mid = append(mid, '*')
+				bot = append(bot, target[ti].Char())
+				qi, ti = qi+1, ti+1
+			case Ins:
+				top = append(top, query[qi].Char())
+				mid = append(mid, ' ')
+				bot = append(bot, '-')
+				qi++
+			case Del:
+				top = append(top, '-')
+				mid = append(mid, ' ')
+				bot = append(bot, target[ti].Char())
+				ti++
+			}
+		}
+	}
+	var sb strings.Builder
+	for off := 0; off < len(top); off += width {
+		end := off + width
+		if end > len(top) {
+			end = len(top)
+		}
+		sb.Write(top[off:end])
+		sb.WriteByte('\n')
+		sb.Write(mid[off:end])
+		sb.WriteByte('\n')
+		sb.Write(bot[off:end])
+		sb.WriteByte('\n')
+		if end < len(top) {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,231 @@
+package cigar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimnw/internal/seq"
+)
+
+func TestOpKindChars(t *testing.T) {
+	cases := map[OpKind]byte{Match: '=', Mismatch: 'X', Ins: 'I', Del: 'D'}
+	for k, c := range cases {
+		if k.Char() != c {
+			t.Errorf("%d.Char() = %c, want %c", k, k.Char(), c)
+		}
+	}
+}
+
+func TestConsumes(t *testing.T) {
+	if !Match.ConsumesQuery() || !Match.ConsumesTarget() {
+		t.Error("Match must consume both")
+	}
+	if !Mismatch.ConsumesQuery() || !Mismatch.ConsumesTarget() {
+		t.Error("Mismatch must consume both")
+	}
+	if !Ins.ConsumesQuery() || Ins.ConsumesTarget() {
+		t.Error("Ins must consume query only")
+	}
+	if Del.ConsumesQuery() || !Del.ConsumesTarget() {
+		t.Error("Del must consume target only")
+	}
+}
+
+func TestAppendMerges(t *testing.T) {
+	var c Cigar
+	c = c.Append(Match, 3)
+	c = c.Append(Match, 2)
+	c = c.Append(Ins, 1)
+	c = c.Append(Del, 0) // no-op
+	if len(c) != 2 {
+		t.Fatalf("len = %d, want 2: %v", len(c), c)
+	}
+	if c[0] != (Op{Match, 5}) || c[1] != (Op{Ins, 1}) {
+		t.Errorf("got %v", c)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	c := Cigar{{Match, 1}, {Ins, 2}, {Del, 3}}
+	c.Reverse()
+	want := Cigar{{Del, 3}, {Ins, 2}, {Match, 1}}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("got %v, want %v", c, want)
+		}
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	in := "12=1X3I500=2D"
+	c, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.String(); got != in {
+		t.Errorf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"3", "=", "0=", "-1X", "3Z", "3M", "3=4"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseLooseM(t *testing.T) {
+	c, err := ParseLoose("3M2I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].Kind != Match || c[0].Len != 3 {
+		t.Errorf("got %v", c)
+	}
+}
+
+func TestLens(t *testing.T) {
+	c, _ := Parse("10=2X3I4D")
+	if got := c.QueryLen(); got != 15 {
+		t.Errorf("QueryLen = %d, want 15", got)
+	}
+	if got := c.TargetLen(); got != 16 {
+		t.Errorf("TargetLen = %d, want 16", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := Parse("10=2X3I4D1I")
+	st := c.Stats()
+	if st.Matches != 10 || st.Mismatches != 2 || st.Insertions != 4 || st.Deletions != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.GapOpens != 3 {
+		t.Errorf("GapOpens = %d, want 3", st.GapOpens)
+	}
+	if st.Columns != 20 {
+		t.Errorf("Columns = %d, want 20", st.Columns)
+	}
+	if id := st.Identity(); id != 0.5 {
+		t.Errorf("Identity = %v, want 0.5", id)
+	}
+	if (Stats{}).Identity() != 0 {
+		t.Error("empty identity should be 0")
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	q := seq.MustFromString("ACGTA")
+	tg := seq.MustFromString("ACCTAA")
+	// A C G->C T A, then one deleted A:  2= 1X 2= 1D
+	c, _ := Parse("2=1X2=1D")
+	if err := c.Validate(q, tg); err != nil {
+		t.Errorf("valid cigar rejected: %v", err)
+	}
+}
+
+func TestValidateBad(t *testing.T) {
+	q := seq.MustFromString("ACGT")
+	tg := seq.MustFromString("ACGT")
+	cases := []string{
+		"3=",       // under-consumes
+		"5=",       // overruns
+		"4X",       // claims mismatch on equal bases
+		"2=1I1=",   // target under-consumed
+		"2=1D1=1I", // lengths balance but the '=' column is a mismatch
+	}
+	for _, s := range cases {
+		c, err := Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if err := c.Validate(q, tg); err == nil {
+			t.Errorf("Validate(%q) accepted", s)
+		}
+	}
+}
+
+func TestReplayReconstructsTarget(t *testing.T) {
+	q := seq.MustFromString("ACGTA")
+	tg := seq.MustFromString("ACCTAA")
+	c, _ := Parse("2=1X2=1D")
+	got, err := c.Replay(q, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tg) {
+		t.Errorf("replay = %v, want %v", got, tg)
+	}
+}
+
+// randomAlignment builds a random query/target pair together with the exact
+// cigar that transforms one into the other.
+func randomAlignment(rng *rand.Rand, cols int) (q, tg seq.Seq, c Cigar) {
+	for i := 0; i < cols; i++ {
+		switch rng.Intn(4) {
+		case 0: // match
+			b := seq.Base(rng.Intn(4))
+			q = append(q, b)
+			tg = append(tg, b)
+			c = c.Append(Match, 1)
+		case 1: // mismatch
+			b := seq.Base(rng.Intn(4))
+			q = append(q, b)
+			tg = append(tg, b^1) // guaranteed different
+			c = c.Append(Mismatch, 1)
+		case 2: // insertion
+			q = append(q, seq.Base(rng.Intn(4)))
+			c = c.Append(Ins, 1)
+		case 3: // deletion
+			tg = append(tg, seq.Base(rng.Intn(4)))
+			c = c.Append(Del, 1)
+		}
+	}
+	return q, tg, c
+}
+
+func TestValidateReplayProperty(t *testing.T) {
+	f := func(seed int64, colsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, tg, c := randomAlignment(rng, int(colsRaw))
+		if err := c.Validate(q, tg); err != nil {
+			return false
+		}
+		got, err := c.Replay(q, tg)
+		if err != nil {
+			return false
+		}
+		if !got.Equal(tg) {
+			return false
+		}
+		st := c.Stats()
+		return st.Columns == int(colsRaw) &&
+			c.QueryLen() == len(q) && c.TargetLen() == len(tg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPretty(t *testing.T) {
+	q := seq.MustFromString("ACGTA")
+	tg := seq.MustFromString("ACCTAA")
+	c, _ := Parse("2=1X2=1D")
+	got := c.Pretty(q, tg, 80)
+	want := "ACGTA-\n||*|| \nACCTAA\n"
+	if got != want {
+		t.Errorf("Pretty:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestPrettyWrap(t *testing.T) {
+	q := seq.MustFromString("ACGTACGT")
+	c, _ := Parse("8=")
+	got := c.Pretty(q, q, 4)
+	want := "ACGT\n||||\nACGT\n\nACGT\n||||\nACGT\n"
+	if got != want {
+		t.Errorf("wrapped Pretty:\n%q\nwant\n%q", got, want)
+	}
+}

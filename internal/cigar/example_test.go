@@ -1,0 +1,32 @@
+package cigar_test
+
+import (
+	"fmt"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/seq"
+)
+
+func ExampleParse() {
+	c, _ := cigar.Parse("3=1X2I4=")
+	st := c.Stats()
+	fmt.Println(c.QueryLen(), c.TargetLen(), st.Matches, st.GapOpens)
+	// Output: 10 8 7 1
+}
+
+func ExampleCigar_Pretty() {
+	q := seq.MustFromString("CGTA")
+	t := seq.MustFromString("ACGTA")
+	c, _ := cigar.Parse("1D4=")
+	fmt.Print(c.Pretty(q, t, 60))
+	// Output:
+	// -CGTA
+	//  ||||
+	// ACGTA
+}
+
+func ExampleStats_Identity() {
+	c, _ := cigar.Parse("90=5X5I")
+	fmt.Printf("%.2f\n", c.Stats().Identity())
+	// Output: 0.90
+}

@@ -1,0 +1,29 @@
+package cigar
+
+import "testing"
+
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("12=1X3I500=2D")
+	f.Add("1=")
+	f.Add("")
+	f.Add("999999999999999999=")
+	f.Add("3M2I")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		// Anything accepted must survive a render/parse round trip.
+		out := c.String()
+		c2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", out, err)
+		}
+		if c2.String() != out {
+			t.Fatalf("unstable round trip: %q -> %q", out, c2.String())
+		}
+		if c.QueryLen() != c2.QueryLen() || c.TargetLen() != c2.TargetLen() {
+			t.Fatal("lengths changed across round trip")
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"pimnw/internal/cigar"
+	"pimnw/internal/seq"
+)
+
+// Static banded Gotoh (§3.3): only cells with |i−j| ≤ w/2 are evaluated,
+// the formulation minimap2's KSW2 kernel implements and the heuristic the
+// paper's Table 1 compares the adaptive band against. Complexity is
+// O(w·(m+n)) time; the optimal alignment is found only when the optimal
+// path stays within the band.
+
+// staticHalf returns the half-width and validates the band size.
+func staticHalf(w int) int {
+	if w < 2 {
+		w = 2
+	}
+	return w / 2
+}
+
+// StaticBandScore computes the static-banded affine score. If the terminal
+// cell lies outside the band (||m|−|n|| > w/2) the alignment fails:
+// InBand=false and Score=NegInf.
+func StaticBandScore(a, b seq.Seq, p Params, w int) Result {
+	return staticBand(a, b, p, w, false)
+}
+
+// StaticBandAlign additionally performs the traceback; memory is
+// O(m·w) traceback bytes.
+func StaticBandAlign(a, b seq.Seq, p Params, w int) Result {
+	return staticBand(a, b, p, w, true)
+}
+
+func staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
+	m, n := len(a), len(b)
+	h := staticHalf(w)
+	res := Result{Steps: m}
+	if m-n > h || n-m > h {
+		res.Score = NegInf
+		return res
+	}
+	res.InBand = true
+	if m == 0 && n == 0 {
+		return res
+	}
+	if m == 0 || n == 0 {
+		res.Score = -p.GapCost(m + n)
+		if traceback {
+			var c cigar.Cigar
+			c = c.Append(cigar.Ins, m)
+			c = c.Append(cigar.Del, n)
+			res.Cigar = c
+		}
+		return res
+	}
+
+	width := 2*h + 1 // traceback row width: band index k = j - i + h
+	var bt []uint8
+	if traceback {
+		bt = make([]uint8, (m+1)*width)
+		for j := 1; j <= h && j <= n; j++ {
+			bt[j+h] = MakeBTNibble(btFromD, false, j > 1)
+		}
+		for i := 1; i <= h && i <= m; i++ {
+			bt[i*width+h-i] = MakeBTNibble(btFromI, i > 1, false)
+		}
+	}
+
+	hrow := make([]int32, n+1)
+	icol := make([]int32, n+1)
+	for j := range hrow {
+		hrow[j] = NegInf
+		icol[j] = NegInf
+	}
+	hrow[0] = 0
+	for j := 1; j <= h && j <= n; j++ {
+		hrow[j] = -p.GapCost(j)
+	}
+	openCost := p.GapOpen + p.GapExt
+
+	for i := 1; i <= m; i++ {
+		jlo := i - h
+		if jlo < 1 {
+			jlo = 1
+		}
+		jhi := i + h
+		if jhi > n {
+			jhi = n
+		}
+		diag := hrow[jlo-1]
+		hleft := NegInf
+		if i <= h {
+			hrow[0] = -p.GapCost(i)
+			icol[0] = hrow[0]
+			hleft = hrow[0]
+		}
+		d := NegInf
+		ai := a[i-1]
+		var btRow []uint8
+		if traceback {
+			btRow = bt[i*width:]
+		}
+		for j := jlo; j <= jhi; j++ {
+			iUp := hrow[j] - openCost // hrow[j] still holds H(i-1,j)
+			iExt := icol[j]-p.GapExt >= iUp
+			iv := max2(icol[j]-p.GapExt, iUp)
+
+			dLeft := hleft - openCost
+			dExt := d-p.GapExt >= dLeft
+			d = max2(d-p.GapExt, dLeft)
+
+			sub := p.Sub(ai, b[j-1])
+			origin := btDiagMismatch
+			if sub == p.Match {
+				origin = btDiagMatch
+			}
+			best := diag + sub
+			if iv > best {
+				best = iv
+				origin = btFromI
+			}
+			if d > best {
+				best = d
+				origin = btFromD
+			}
+			if traceback {
+				btRow[j-i+h] = MakeBTNibble(origin, iExt, dExt)
+			}
+			diag = hrow[j]
+			hrow[j] = best
+			icol[j] = iv
+			hleft = best
+		}
+		res.Cells += int64(jhi - jlo + 1)
+	}
+	res.Score = hrow[n]
+	if res.Score <= NegInf/2 {
+		// The corner is inside the band geometrically but no path reached it.
+		res.InBand = false
+		res.Score = NegInf
+		return res
+	}
+	if traceback {
+		res.Cigar = walkBT(m, n, func(i, j int) uint8 { return bt[i*width+j-i+h] })
+	}
+	return res
+}

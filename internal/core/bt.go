@@ -1,0 +1,70 @@
+package core
+
+// Traceback cell encoding, shared by every affine aligner in this package
+// and by the DPU kernel (paper §4.2.2): 4 bits per cell.
+//
+//	bits 0..1  origin of H(i,j): diagonal match, diagonal mismatch, the I
+//	           matrix (vertical move, consumes a query base), or the D
+//	           matrix (horizontal move, consumes a target base)
+//	bit  2     I(i,j) extends I(i-1,j) rather than opening from H(i-1,j)
+//	bit  3     D(i,j) extends D(i,j-1) rather than opening from H(i,j-1)
+const (
+	btDiagMatch    uint8 = 0
+	btDiagMismatch uint8 = 1
+	btFromI        uint8 = 2
+	btFromD        uint8 = 3
+	btOriginMask   uint8 = 3
+	btIExtend      uint8 = 1 << 2
+	btDExtend      uint8 = 1 << 3
+)
+
+// BTOrigin extracts the 2-bit H-origin code from a traceback nibble.
+func BTOrigin(nibble uint8) uint8 { return nibble & btOriginMask }
+
+// BTIExtend reports whether the I state extends at this cell.
+func BTIExtend(nibble uint8) bool { return nibble&btIExtend != 0 }
+
+// BTDExtend reports whether the D state extends at this cell.
+func BTDExtend(nibble uint8) bool { return nibble&btDExtend != 0 }
+
+// Exported origin codes, used by the DPU kernel which shares the encoding.
+const (
+	BTDiagMatch    = btDiagMatch
+	BTDiagMismatch = btDiagMismatch
+	BTFromI        = btFromI
+	BTFromD        = btFromD
+)
+
+// MakeBTNibble assembles a traceback nibble from its components.
+func MakeBTNibble(origin uint8, iExt, dExt bool) uint8 {
+	n := origin & btOriginMask
+	if iExt {
+		n |= btIExtend
+	}
+	if dExt {
+		n |= btDExtend
+	}
+	return n
+}
+
+// NibbleRow is a packed row of 4-bit traceback cells (two per byte), the
+// exact layout the DPU kernel streams to MRAM: cell p occupies bits
+// [4·(p%2), 4·(p%2)+4) of byte p/2.
+type NibbleRow []byte
+
+// NibbleRowSize returns the bytes needed to store w nibbles.
+func NibbleRowSize(w int) int { return (w + 1) / 2 }
+
+// Set stores nibble v at cell p.
+func (r NibbleRow) Set(p int, v uint8) {
+	shift := uint(p&1) * 4
+	b := r[p>>1]
+	b &^= 0x0F << shift
+	b |= (v & 0x0F) << shift
+	r[p>>1] = b
+}
+
+// Get loads the nibble at cell p.
+func (r NibbleRow) Get(p int) uint8 {
+	return (r[p>>1] >> (uint(p&1) * 4)) & 0x0F
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+func ExampleAdaptiveBandAlign() {
+	a := seq.MustFromString("ACGTTAGCTAGCCTA")
+	b := seq.MustFromString("ACCTTAGCTAGCTAG")
+	res := core.AdaptiveBandAlign(a, b, core.DefaultParams(), 8)
+	fmt.Println(res.Score, res.Cigar)
+	// Output: 10 2=1X8=1I3=1D
+}
+
+func ExampleGotohScore() {
+	a := seq.MustFromString("ACGTACGT")
+	b := seq.MustFromString("ACGACGT") // one base deleted
+	res := core.GotohScore(a, b, core.DefaultParams())
+	fmt.Println(res.Score) // 7 matches x2 - (open 4 + 1x ext 2)
+	// Output: 8
+}
+
+func ExampleStaticBandScore_outOfBand() {
+	a := seq.MustFromString("ACGTACGTACGTACGT")
+	b := seq.MustFromString("ACGT")
+	res := core.StaticBandScore(a, b, core.DefaultParams(), 8)
+	fmt.Println(res.InBand) // |16-4| exceeds half the band
+	// Output: false
+}
+
+func ExampleGotohAlignLinear() {
+	a := seq.MustFromString("AAAACCCCGGGG")
+	b := seq.MustFromString("AAAAGGGG") // CCCC deleted, one affine gap
+	res := core.GotohAlignLinear(a, b, core.DefaultParams())
+	fmt.Println(res.Score, res.Cigar)
+	// Output: 4 4=4I4=
+}
+
+func ExampleParams_GapCost() {
+	p := core.DefaultParams()
+	fmt.Println(p.GapCost(1), p.GapCost(10))
+	// Output: 6 24
+}

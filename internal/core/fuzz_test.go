@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"pimnw/internal/seq"
+)
+
+// Native fuzz targets. The seed corpus runs on every `go test`; under
+// `go test -fuzz` they explore adversarial byte patterns. Each target
+// cross-checks two independent implementations, so any discrepancy the
+// fuzzer finds is a real bug, not a flaky oracle.
+
+func bytesToSeq(raw []byte, maxLen int) seq.Seq {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	s := make(seq.Seq, len(raw))
+	for i, b := range raw {
+		s[i] = seq.Base(b & 3)
+	}
+	return s
+}
+
+func FuzzLinearVsQuadratic(f *testing.F) {
+	f.Add([]byte("ACGT"), []byte("AGT"))
+	f.Add([]byte(""), []byte("TTTT"))
+	f.Add([]byte("AAAAAAAA"), []byte("AAAA"))
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3}, []byte{3, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := bytesToSeq(rawA, 64)
+		b := bytesToSeq(rawB, 64)
+		p := DefaultParams()
+		want := GotohScore(a, b, p).Score
+		res := GotohAlignLinear(a, b, p)
+		if res.Score != want {
+			t.Fatalf("linear %d != quadratic %d (a=%v b=%v)", res.Score, want, a, b)
+		}
+		if err := res.Cigar.Validate(a, b); err != nil {
+			t.Fatalf("invalid cigar: %v", err)
+		}
+	})
+}
+
+func FuzzBandedNeverBeatsOptimal(f *testing.F) {
+	f.Add([]byte("ACGTACGT"), []byte("ACGAACGT"), uint8(8))
+	f.Add([]byte("AAAA"), []byte("TTTTTTTT"), uint8(4))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, wRaw uint8) {
+		a := bytesToSeq(rawA, 48)
+		b := bytesToSeq(rawB, 48)
+		w := 2 + int(wRaw)%64
+		p := DefaultParams()
+		opt := GotohScore(a, b, p).Score
+		if st := StaticBandScore(a, b, p, w); st.InBand && st.Score > opt {
+			t.Fatalf("static band w=%d beats optimal: %d > %d", w, st.Score, opt)
+		}
+		ad := AdaptiveBandScore(a, b, p, w)
+		if ad.InBand && ad.Score > opt {
+			t.Fatalf("adaptive band w=%d beats optimal: %d > %d", w, ad.Score, opt)
+		}
+		if ad.InBand {
+			res := AdaptiveBandAlign(a, b, p, w)
+			if res.Cigar != nil {
+				if err := res.Cigar.Validate(a, b); err != nil {
+					t.Fatalf("adaptive cigar invalid: %v", err)
+				}
+				if got := ScoreFromCigar(res.Cigar, p); got != res.Score {
+					t.Fatalf("cigar implies %d, scored %d", got, res.Score)
+				}
+			}
+		}
+	})
+}

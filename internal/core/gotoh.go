@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/seq"
+)
+
+// GotohScore computes the exact affine-gap global alignment score
+// (equations 3–5) in O(m·n) time and O(n) space. It is the ground truth the
+// accuracy experiments (Table 1) measure the banded heuristics against.
+func GotohScore(a, b seq.Seq, p Params) Result {
+	m, n := len(a), len(b)
+	res := Result{InBand: true, Steps: m}
+	switch {
+	case m == 0 && n == 0:
+		res.Score = 0
+		return res
+	case m == 0:
+		res.Score = -p.GapCost(n)
+		return res
+	case n == 0:
+		res.Score = -p.GapCost(m)
+		return res
+	}
+
+	h := make([]int32, n+1)  // H of the previous row, overwritten in place
+	ic := make([]int32, n+1) // I of the previous row, per column
+	h[0] = 0
+	ic[0] = NegInf
+	for j := 1; j <= n; j++ {
+		h[j] = -p.GapCost(j) // H(0,j) = D(0,j)
+		ic[j] = NegInf       // I(0,j) = -inf
+	}
+	openCost := p.GapOpen + p.GapExt
+	for i := 1; i <= m; i++ {
+		diag := h[0]
+		h[0] = -p.GapCost(i) // H(i,0) = I(i,0)
+		ic[0] = h[0]
+		d := NegInf // D(i,0) = -inf
+		ai := a[i-1]
+		for j := 1; j <= n; j++ {
+			iv := max2(ic[j]-p.GapExt, h[j]-openCost) // h[j] still holds H(i-1,j)
+			d = max2(d-p.GapExt, h[j-1]-openCost)     // h[j-1] already H(i,j-1)
+			best := diag + p.Sub(ai, b[j-1])
+			best = max3(best, iv, d)
+			diag = h[j]
+			h[j] = best
+			ic[j] = iv
+		}
+	}
+	res.Score = h[n]
+	res.Cells = int64(m) * int64(n)
+	return res
+}
+
+// GotohAlign computes the exact affine-gap alignment with full traceback.
+// It stores one traceback byte per DP cell, so memory is O(m·n); it is meant
+// for ground-truth CIGARs on short-to-medium sequences and for validating
+// the banded implementations.
+func GotohAlign(a, b seq.Seq, p Params) Result {
+	m, n := len(a), len(b)
+	res := GotohScore(a, b, p) // cheap second pass keeps this function simple
+	if m == 0 || n == 0 {
+		var c cigar.Cigar
+		c = c.Append(cigar.Ins, m)
+		c = c.Append(cigar.Del, n)
+		res.Cigar = c
+		return res
+	}
+
+	bt := make([]uint8, (m+1)*(n+1))
+	stride := n + 1
+	for j := 1; j <= n; j++ {
+		bt[j] = MakeBTNibble(btFromD, false, j > 1)
+	}
+	for i := 1; i <= m; i++ {
+		bt[i*stride] = MakeBTNibble(btFromI, i > 1, false)
+	}
+
+	h := make([]int32, n+1)
+	ic := make([]int32, n+1)
+	h[0] = 0
+	ic[0] = NegInf
+	for j := 1; j <= n; j++ {
+		h[j] = -p.GapCost(j)
+		ic[j] = NegInf
+	}
+	openCost := p.GapOpen + p.GapExt
+	for i := 1; i <= m; i++ {
+		diag := h[0]
+		h[0] = -p.GapCost(i)
+		ic[0] = h[0]
+		d := NegInf
+		ai := a[i-1]
+		row := bt[i*stride:]
+		for j := 1; j <= n; j++ {
+			iExt := ic[j]-p.GapExt >= h[j]-openCost // ties extend
+			iv := max2(ic[j]-p.GapExt, h[j]-openCost)
+			dExt := d-p.GapExt >= h[j-1]-openCost
+			d = max2(d-p.GapExt, h[j-1]-openCost)
+
+			sub := p.Sub(ai, b[j-1])
+			origin := btDiagMismatch
+			if sub == p.Match {
+				origin = btDiagMatch
+			}
+			best := diag + sub
+			if iv > best { // diagonal wins ties: fewest gaps
+				best = iv
+				origin = btFromI
+			}
+			if d > best {
+				best = d
+				origin = btFromD
+			}
+			row[j] = MakeBTNibble(origin, iExt, dExt)
+			diag = h[j]
+			h[j] = best
+			ic[j] = iv
+		}
+	}
+	res.Score = h[n]
+	res.Cigar = walkBT(m, n, func(i, j int) uint8 { return bt[i*stride+j] })
+	return res
+}
+
+// walkBT performs the three-state affine traceback over any cell-indexed
+// nibble accessor, shared by the full, static-banded and adaptive-banded
+// aligners. It panics on a structurally corrupt traceback (an internal
+// invariant violation, never a data error).
+func walkBT(m, n int, nibbleAt func(i, j int) uint8) cigar.Cigar {
+	var c cigar.Cigar
+	const (
+		stH = iota
+		stI
+		stD
+	)
+	state := stH
+	guard := 2*(m+n) + 4
+	for i, j := m, n; i > 0 || j > 0; {
+		if guard--; guard < 0 {
+			panic(fmt.Sprintf("core: traceback did not terminate (i=%d j=%d)", i, j))
+		}
+		nb := nibbleAt(i, j)
+		switch state {
+		case stH:
+			switch BTOrigin(nb) {
+			case btDiagMatch:
+				c = c.Append(cigar.Match, 1)
+				i, j = i-1, j-1
+			case btDiagMismatch:
+				c = c.Append(cigar.Mismatch, 1)
+				i, j = i-1, j-1
+			case btFromI:
+				state = stI
+			default:
+				state = stD
+			}
+		case stI:
+			c = c.Append(cigar.Ins, 1)
+			if !BTIExtend(nb) {
+				state = stH
+			}
+			i--
+		default: // stD
+			c = c.Append(cigar.Del, 1)
+			if !BTDExtend(nb) {
+				state = stH
+			}
+			j--
+		}
+	}
+	return c.Reverse()
+}
+
+// ScoreFromCigar recomputes the affine-gap score a CIGAR implies; it must
+// equal the aligner's reported score (a property the tests enforce).
+func ScoreFromCigar(c cigar.Cigar, p Params) int32 {
+	var s int32
+	for _, op := range c {
+		switch op.Kind {
+		case cigar.Match:
+			s += int32(op.Len) * p.Match
+		case cigar.Mismatch:
+			s += int32(op.Len) * p.Mismatch
+		case cigar.Ins, cigar.Del:
+			s -= p.GapCost(op.Len)
+		}
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/seq"
+)
+
+func TestGotohScoreKnown(t *testing.T) {
+	p := Params{Match: 2, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	cases := []struct {
+		a, b string
+		want int32
+	}{
+		{"", "", 0},
+		{"ACGT", "", -(4 + 4*2)}, // one gap of length 4
+		{"", "ACGTA", -(4 + 5*2)},
+		{"ACGT", "ACGT", 8},
+		{"ACGTACGT", "ACGT", 8 - (4 + 4*2)}, // 4 matches + one 4-gap
+		{"ACGT", "ACTT", 2},                 // 3 matches + mismatch: 6-4
+	}
+	for _, tc := range cases {
+		a, b := seq.MustFromString(tc.a), seq.MustFromString(tc.b)
+		got := GotohScore(a, b, p)
+		if got.Score != tc.want {
+			t.Errorf("GotohScore(%q,%q) = %d, want %d", tc.a, tc.b, got.Score, tc.want)
+		}
+		if !got.InBand {
+			t.Errorf("GotohScore(%q,%q): InBand=false", tc.a, tc.b)
+		}
+	}
+}
+
+func TestGotohAffinePreference(t *testing.T) {
+	// One long gap must beat several short ones under affine costs: the
+	// test sequence pair differs by a single 6-base deletion.
+	p := Params{Match: 1, Mismatch: -4, GapOpen: 6, GapExt: 1}
+	a := seq.MustFromString("ACGTACGTACGTACGTACGT")
+	b := append(a[:8:8], a[14:]...) // remove 6 bases
+	res := GotohAlign(a, b, p)
+	want := int32(len(b))*p.Match - p.GapCost(6)
+	if res.Score != want {
+		t.Errorf("score = %d, want %d", res.Score, want)
+	}
+	st := res.Cigar.Stats()
+	if st.GapOpens != 1 || st.Insertions != 6 {
+		t.Errorf("expected a single 6-base insertion run, got %v", res.Cigar)
+	}
+}
+
+func TestGotohScoreMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := DefaultParams()
+	for trial := 0; trial < 30; trial++ {
+		a := seq.Random(rng, rng.Intn(25))
+		b := seq.Random(rng, rng.Intn(25))
+		got := GotohScore(a, b, p).Score
+		want := refAffineScore(a, b, p)
+		if got != want {
+			t.Fatalf("trial %d: GotohScore=%d ref=%d (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+func TestGotohScoreSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p := DefaultParams()
+	for trial := 0; trial < 30; trial++ {
+		a, b := mutatedPair(rng, 60, 0.1)
+		if GotohScore(a, b, p).Score != GotohScore(b, a, p).Score {
+			t.Fatalf("asymmetric affine score")
+		}
+	}
+}
+
+func TestGotohReducesToLinearWhenOpenZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := Params{Match: 2, Mismatch: -4, GapOpen: 0, GapExt: 3}
+	for trial := 0; trial < 30; trial++ {
+		a := seq.Random(rng, rng.Intn(30))
+		b := seq.Random(rng, rng.Intn(30))
+		affine := GotohScore(a, b, p).Score
+		linear := NWScore(a, b, p.Match, p.Mismatch, p.GapExt)
+		if affine != linear {
+			t.Fatalf("open=0 affine %d != linear %d (a=%v b=%v)", affine, linear, a, b)
+		}
+	}
+}
+
+func TestGotohAlignConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	p := DefaultParams()
+	for trial := 0; trial < 50; trial++ {
+		var a, b seq.Seq
+		if trial%3 == 0 {
+			a = seq.Random(rng, rng.Intn(40))
+			b = seq.Random(rng, rng.Intn(40))
+		} else {
+			a, b = mutatedPair(rng, 10+rng.Intn(60), 0.15)
+		}
+		res := GotohAlign(a, b, p)
+		score := GotohScore(a, b, p)
+		if res.Score != score.Score {
+			t.Fatalf("align score %d != score-only %d", res.Score, score.Score)
+		}
+		if err := res.Cigar.Validate(a, b); err != nil {
+			t.Fatalf("cigar invalid: %v", err)
+		}
+		if got := ScoreFromCigar(res.Cigar, p); got != res.Score {
+			t.Fatalf("cigar implies %d, reported %d (cigar=%v)", got, res.Score, res.Cigar)
+		}
+	}
+}
+
+func TestGotohAlignEmptyEdges(t *testing.T) {
+	p := DefaultParams()
+	a := seq.MustFromString("ACG")
+	res := GotohAlign(a, nil, p)
+	if res.Cigar.String() != "3I" {
+		t.Errorf("cigar vs empty target = %v, want 3I", res.Cigar)
+	}
+	res = GotohAlign(nil, a, p)
+	if res.Cigar.String() != "3D" {
+		t.Errorf("cigar vs empty query = %v, want 3D", res.Cigar)
+	}
+	res = GotohAlign(nil, nil, p)
+	if len(res.Cigar) != 0 || res.Score != 0 {
+		t.Errorf("empty alignment: %+v", res)
+	}
+}
+
+func TestGotohIdentical(t *testing.T) {
+	p := DefaultParams()
+	a := seq.MustFromString("ACGTACGTACGTACGTACGT")
+	res := GotohAlign(a, a, p)
+	if res.Score != int32(len(a))*p.Match {
+		t.Errorf("score = %d", res.Score)
+	}
+	if res.Cigar.String() != "20=" {
+		t.Errorf("cigar = %v", res.Cigar)
+	}
+}
+
+func TestScoreFromCigarKnown(t *testing.T) {
+	p := Params{Match: 2, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	res := GotohAlign(seq.MustFromString("AACCGGTT"), seq.MustFromString("AACCGGTT"), p)
+	if got := ScoreFromCigar(res.Cigar, p); got != 16 {
+		t.Errorf("ScoreFromCigar = %d, want 16", got)
+	}
+}
+
+func TestGotohCellsReported(t *testing.T) {
+	a := seq.MustFromString("ACGTACGT")
+	b := seq.MustFromString("ACGTAC")
+	res := GotohScore(a, b, DefaultParams())
+	if res.Cells != int64(len(a))*int64(len(b)) {
+		t.Errorf("Cells = %d, want %d", res.Cells, len(a)*len(b))
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"pimnw/internal/cigar"
+	"pimnw/internal/seq"
+)
+
+// GotohAlignLinear computes the exact affine-gap alignment with traceback
+// in O(m+n) memory (Myers & Miller, CABIOS 1988 — the divide-and-conquer
+// refinement of Hirschberg's trick to the Gotoh recurrences). GotohAlign's
+// full traceback matrix needs m·n bytes, which at long-read scale (30 kb
+// pairs ⇒ ~1 GB) is exactly the wall §3.3 describes; this variant provides
+// the exact CIGAR ground truth at any length, at the cost of ~2x the DP
+// work.
+func GotohAlignLinear(a, b seq.Seq, p Params) Result {
+	var c cigar.Cigar
+	c = mmAlign(a, b, p, p.GapOpen, p.GapOpen, c)
+	res := Result{
+		Score:  ScoreFromCigar(c, p),
+		Cigar:  c,
+		Cells:  2 * int64(len(a)) * int64(len(b)),
+		Steps:  len(a),
+		InBand: true,
+	}
+	return res
+}
+
+// mmAlign appends the optimal alignment of a against b to c. tb (te) is
+// the open penalty of a vertical gap leaving through the top-left
+// (bottom-right) corner: the recursion sets it to zero when the parent's
+// crossing gap continues through that corner, so the single gap-open of a
+// split vertical run is charged exactly once.
+func mmAlign(a, b seq.Seq, p Params, tb, te int32, c cigar.Cigar) cigar.Cigar {
+	m, n := len(a), len(b)
+	switch {
+	case m == 0:
+		return c.Append(cigar.Del, n)
+	case n == 0:
+		return c.Append(cigar.Ins, m)
+	case m == 1:
+		return mmBase(a[0], b, p, tb, te, c)
+	}
+
+	mid := m / 2
+	g := p.GapOpen
+
+	ccF, ddF := mmForward(a[:mid], b, p, tb)
+	ccR, ddR := mmForward(reverse(a[mid:]), reverse(b), p, te)
+
+	// Join: best column j, either through the H state (type 1) or through
+	// a vertical gap crossing the split row (type 2, one open refunded).
+	bestJ, bestType, bestScore := 0, 1, NegInf
+	for j := 0; j <= n; j++ {
+		if s := ccF[j] + ccR[n-j]; s > bestScore {
+			bestJ, bestType, bestScore = j, 1, s
+		}
+		// Type 2 deletes a[mid-1] and a[mid]; both exist since m >= 2.
+		if s := ddF[j] + ddR[n-j] + g; s > bestScore {
+			bestJ, bestType, bestScore = j, 2, s
+		}
+	}
+
+	if bestType == 1 {
+		c = mmAlign(a[:mid], b[:bestJ], p, tb, g, c)
+		return mmAlign(a[mid:], b[bestJ:], p, g, te, c)
+	}
+	// Type 2: the crossing gap deletes a[mid-1] and a[mid] around the
+	// split; the halves inherit a waived open on their facing corners.
+	c = mmAlign(a[:mid-1], b[:bestJ], p, tb, 0, c)
+	c = c.Append(cigar.Ins, 2)
+	return mmAlign(a[mid+1:], b[bestJ:], p, 0, te, c)
+}
+
+// mmForward runs the linear-memory Gotoh forward pass over all rows of a,
+// returning cc (best score ending at (len(a), j) in any state) and dd
+// (best score ending with a vertical-gap move into row len(a)). tb is the
+// top-left corner's vertical open penalty.
+func mmForward(a, b seq.Seq, p Params, tb int32) (cc, dd []int32) {
+	m, n := len(a), len(b)
+	g, h := p.GapOpen, p.GapExt
+	cc = make([]int32, n+1)
+	dd = make([]int32, n+1)
+	cc[0] = 0
+	t := -g
+	for j := 1; j <= n; j++ {
+		t -= h
+		cc[j] = t
+		dd[j] = t - g
+	}
+	dd[0] = NegInf // cannot end with a vertical move before any row
+	t = -tb
+	for i := 1; i <= m; i++ {
+		s := cc[0]
+		t -= h
+		cVal := t
+		cc[0] = cVal
+		dd[0] = cVal // the column-0 chain is itself a vertical gap
+		e := NegInf
+		for j := 1; j <= n; j++ {
+			e = max2(e, cVal-g) - h
+			dd[j] = max2(dd[j], cc[j]-g) - h
+			cVal = max3(dd[j], e, s+p.Sub(a[i-1], b[j-1]))
+			s = cc[j]
+			cc[j] = cVal
+		}
+	}
+	return cc, dd
+}
+
+// mmBase solves the single-query-row case directly: either a[0] pairs with
+// some b[j] (horizontal gaps around it), or a[0] sits in a vertical gap
+// whose open is waived on the cheaper border.
+func mmBase(a0 seq.Base, b seq.Seq, p Params, tb, te int32, c cigar.Cigar) cigar.Cigar {
+	n := len(b)
+	g, h := p.GapOpen, p.GapExt
+	gapP := func(x int) int32 {
+		if x <= 0 {
+			return 0
+		}
+		return g + int32(x)*h
+	}
+	bestJ, bestScore := 0, NegInf
+	for j := 1; j <= n; j++ {
+		s := p.Sub(a0, b[j-1]) - gapP(j-1) - gapP(n-j)
+		if s > bestScore {
+			bestJ, bestScore = j, s
+		}
+	}
+	openV := tb
+	if te < openV {
+		openV = te
+	}
+	vertical := -(openV + h) - gapP(n)
+	if vertical > bestScore {
+		if tb <= te {
+			c = c.Append(cigar.Ins, 1)
+			return c.Append(cigar.Del, n)
+		}
+		c = c.Append(cigar.Del, n)
+		return c.Append(cigar.Ins, 1)
+	}
+	c = c.Append(cigar.Del, bestJ-1)
+	if b[bestJ-1] == a0 {
+		c = c.Append(cigar.Match, 1)
+	} else {
+		c = c.Append(cigar.Mismatch, 1)
+	}
+	return c.Append(cigar.Del, n-bestJ)
+}
+
+func reverse(s seq.Seq) seq.Seq {
+	out := make(seq.Seq, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/seq"
+)
+
+func TestLinearMatchesQuadraticScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	p := DefaultParams()
+	for trial := 0; trial < 150; trial++ {
+		var a, b seq.Seq
+		switch trial % 4 {
+		case 0:
+			a = seq.Random(rng, rng.Intn(40))
+			b = seq.Random(rng, rng.Intn(40))
+		case 1:
+			a, b = mutatedPair(rng, 5+rng.Intn(120), 0.1)
+		case 2:
+			a, b = mutatedPair(rng, 5+rng.Intn(120), 0.35)
+		default: // skew and big gaps
+			a = seq.Random(rng, 20+rng.Intn(150))
+			cut := rng.Intn(len(a) / 2)
+			b = append(a[:cut:cut], a[cut+rng.Intn(len(a)-cut):]...)
+		}
+		want := GotohScore(a, b, p).Score
+		res := GotohAlignLinear(a, b, p)
+		if res.Score != want {
+			t.Fatalf("trial %d (%d/%d): linear %d != quadratic %d", trial, len(a), len(b), res.Score, want)
+		}
+		if err := res.Cigar.Validate(a, b); err != nil {
+			t.Fatalf("trial %d: invalid cigar: %v", trial, err)
+		}
+	}
+}
+
+func TestLinearMatchesQuadraticOnVariedParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	paramSets := []Params{
+		{Match: 2, Mismatch: -4, GapOpen: 4, GapExt: 2},
+		{Match: 1, Mismatch: -1, GapOpen: 0, GapExt: 1}, // linear gaps
+		{Match: 4, Mismatch: -2, GapOpen: 10, GapExt: 1},
+		{Match: 2, Mismatch: -6, GapOpen: 1, GapExt: 3},
+	}
+	for _, p := range paramSets {
+		for trial := 0; trial < 30; trial++ {
+			a := seq.Random(rng, rng.Intn(80))
+			b := seq.Random(rng, rng.Intn(80))
+			want := GotohScore(a, b, p).Score
+			res := GotohAlignLinear(a, b, p)
+			if res.Score != want {
+				t.Fatalf("params %+v: linear %d != quadratic %d (a=%v b=%v)", p, res.Score, want, a, b)
+			}
+			if err := res.Cigar.Validate(a, b); err != nil {
+				t.Fatalf("params %+v: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestLinearEdges(t *testing.T) {
+	p := DefaultParams()
+	a := seq.MustFromString("ACGT")
+	res := GotohAlignLinear(nil, nil, p)
+	if res.Score != 0 || len(res.Cigar) != 0 {
+		t.Errorf("empty/empty: %+v", res)
+	}
+	res = GotohAlignLinear(a, nil, p)
+	if res.Cigar.String() != "4I" || res.Score != -p.GapCost(4) {
+		t.Errorf("vs empty: %+v cigar=%v", res, res.Cigar)
+	}
+	res = GotohAlignLinear(nil, a, p)
+	if res.Cigar.String() != "4D" {
+		t.Errorf("empty query: %v", res.Cigar)
+	}
+	res = GotohAlignLinear(a, a, p)
+	if res.Cigar.String() != "4=" || res.Score != 8 {
+		t.Errorf("identical: %+v cigar=%v", res, res.Cigar)
+	}
+}
+
+func TestLinearSingleRow(t *testing.T) {
+	p := DefaultParams()
+	a := seq.MustFromString("G")
+	b := seq.MustFromString("AAGAA")
+	res := GotohAlignLinear(a, b, p)
+	want := GotohScore(a, b, p).Score
+	if res.Score != want {
+		t.Errorf("single row: %d, want %d", res.Score, want)
+	}
+	if err := res.Cigar.Validate(a, b); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearLongGapSingleRun(t *testing.T) {
+	// A 60-base deletion crossing many split levels must still come out
+	// as exactly one gap run (the tb/te open-waiver machinery).
+	rng := rand.New(rand.NewSource(73))
+	p := DefaultParams()
+	a := seq.Random(rng, 300)
+	b := append(a[:120:120], a[180:]...)
+	res := GotohAlignLinear(a, b, p)
+	want := GotohScore(a, b, p).Score
+	if res.Score != want {
+		t.Fatalf("score %d, want %d", res.Score, want)
+	}
+	st := res.Cigar.Stats()
+	if st.GapOpens != 1 || st.Insertions != 60 {
+		t.Errorf("expected one 60-base run, got %v", res.Cigar)
+	}
+}
+
+func TestLinearLongPair(t *testing.T) {
+	// The use case: exact CIGAR at a length where the quadratic traceback
+	// matrix would be 100 MB.
+	if testing.Short() {
+		t.Skip("long pair in -short mode")
+	}
+	rng := rand.New(rand.NewSource(74))
+	p := DefaultParams()
+	a, b := mutatedPair(rng, 10_000, 0.08)
+	res := GotohAlignLinear(a, b, p)
+	want := GotohScore(a, b, p).Score
+	if res.Score != want {
+		t.Fatalf("10k pair: linear %d != quadratic %d", res.Score, want)
+	}
+	if err := res.Cigar.Validate(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := ScoreFromCigar(res.Cigar, p); got != res.Score {
+		t.Fatalf("cigar implies %d", got)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"pimnw/internal/cigar"
+	"pimnw/internal/seq"
+)
+
+// NWScore computes the classic linear-gap Needleman & Wunsch score
+// (equations 1–2 of the paper): every inserted or deleted base costs gap,
+// with no open/extend distinction. It runs in O(m·n) time and O(n) space.
+func NWScore(a, b seq.Seq, match, mismatch, gap int32) int32 {
+	m, n := len(a), len(b)
+	row := make([]int32, n+1)
+	for j := 0; j <= n; j++ {
+		row[j] = -int32(j) * gap
+	}
+	for i := 1; i <= m; i++ {
+		diag := row[0]
+		row[0] = -int32(i) * gap
+		for j := 1; j <= n; j++ {
+			sub := mismatch
+			if a[i-1] == b[j-1] {
+				sub = match
+			}
+			best := max3(diag+sub, row[j]-gap, row[j-1]-gap)
+			diag = row[j]
+			row[j] = best
+		}
+	}
+	return row[n]
+}
+
+// NWAlign computes the linear-gap alignment with a full traceback matrix.
+// Intended for short sequences (tests, examples); memory is O(m·n).
+func NWAlign(a, b seq.Seq, match, mismatch, gap int32) (int32, cigar.Cigar) {
+	m, n := len(a), len(b)
+	// dir: 0 = diag match, 1 = diag mismatch, 2 = up (consume a), 3 = left.
+	dir := make([]uint8, (m+1)*(n+1))
+	prev := make([]int32, n+1)
+	cur := make([]int32, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = -int32(j) * gap
+		if j > 0 {
+			dir[j] = 3
+		}
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = -int32(i) * gap
+		dir[i*(n+1)] = 2
+		for j := 1; j <= n; j++ {
+			sub := mismatch
+			d := uint8(1)
+			if a[i-1] == b[j-1] {
+				sub = match
+				d = 0
+			}
+			best := prev[j-1] + sub
+			// Tie-break preferring the diagonal keeps gaps minimal.
+			if up := prev[j] - gap; up > best {
+				best = up
+				d = 2
+			}
+			if left := cur[j-1] - gap; left > best {
+				best = left
+				d = 3
+			}
+			cur[j] = best
+			dir[i*(n+1)+j] = d
+		}
+		prev, cur = cur, prev
+	}
+	score := prev[n]
+
+	var c cigar.Cigar
+	for i, j := m, n; i > 0 || j > 0; {
+		switch dir[i*(n+1)+j] {
+		case 0:
+			c = c.Append(cigar.Match, 1)
+			i, j = i-1, j-1
+		case 1:
+			c = c.Append(cigar.Mismatch, 1)
+			i, j = i-1, j-1
+		case 2:
+			c = c.Append(cigar.Ins, 1)
+			i--
+		default:
+			c = c.Append(cigar.Del, 1)
+			j--
+		}
+	}
+	return score, c.Reverse()
+}
+
+// EditDistance is the unit-cost Levenshtein distance, a convenience built on
+// the same recurrence (match=0, mismatch/gap = -1, negated).
+func EditDistance(a, b seq.Seq) int {
+	return int(-NWScore(a, b, 0, -1, 1))
+}

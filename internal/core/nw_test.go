@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/seq"
+)
+
+func TestNWScoreKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int32
+	}{
+		{"", "", 0},
+		{"ACGT", "", -4}, // 4 deletions at gap=1
+		{"", "ACGT", -4},
+		{"ACGT", "ACGT", 8}, // 4 matches at +2
+		{"ACGT", "ACGA", 4}, // 3 matches + del/ins pair (-2) beats the -4 mismatch
+		{"ACGT", "AGT", 5},  // 3 matches, 1 unit gap
+		{"A", "T", -2},      // two unit gaps (-2) beat the -4 mismatch
+	}
+	for _, tc := range cases {
+		a, b := seq.MustFromString(tc.a), seq.MustFromString(tc.b)
+		got := NWScore(a, b, 2, -4, 1)
+		if got != tc.want {
+			t.Errorf("NWScore(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestNWScoreMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		a := seq.Random(rng, rng.Intn(20))
+		b := seq.Random(rng, rng.Intn(20))
+		got := NWScore(a, b, 2, -3, 2)
+		want := refLinearScore(a, b, 2, -3, 2)
+		if got != want {
+			t.Fatalf("trial %d: NWScore=%d ref=%d (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+func TestNWScoreSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		a := seq.Random(rng, rng.Intn(50))
+		b := seq.Random(rng, rng.Intn(50))
+		if NWScore(a, b, 2, -4, 2) != NWScore(b, a, 2, -4, 2) {
+			t.Fatalf("asymmetric score for a=%v b=%v", a, b)
+		}
+	}
+}
+
+// linearScoreFromCigar recomputes the linear-gap score a CIGAR implies.
+func linearScoreFromCigar(c cigar.Cigar, match, mismatch, gap int32) int32 {
+	var s int32
+	for _, op := range c {
+		switch op.Kind {
+		case cigar.Match:
+			s += int32(op.Len) * match
+		case cigar.Mismatch:
+			s += int32(op.Len) * mismatch
+		default:
+			s -= int32(op.Len) * gap
+		}
+	}
+	return s
+}
+
+func TestNWAlignConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		a := seq.Random(rng, rng.Intn(40))
+		b := seq.Random(rng, rng.Intn(40))
+		score, c := NWAlign(a, b, 2, -4, 2)
+		if want := NWScore(a, b, 2, -4, 2); score != want {
+			t.Fatalf("NWAlign score %d != NWScore %d", score, want)
+		}
+		if err := c.Validate(a, b); err != nil {
+			t.Fatalf("cigar invalid: %v (a=%v b=%v cigar=%v)", err, a, b, c)
+		}
+		if got := linearScoreFromCigar(c, 2, -4, 2); got != score {
+			t.Fatalf("cigar implies score %d, reported %d", got, score)
+		}
+	}
+}
+
+func TestNWAlignIdentical(t *testing.T) {
+	a := seq.MustFromString("ACGTACGTAC")
+	score, c := NWAlign(a, a, 2, -4, 1)
+	if score != 20 {
+		t.Errorf("score = %d, want 20", score)
+	}
+	if c.String() != "10=" {
+		t.Errorf("cigar = %v, want 10=", c)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "ACGA", 1},
+		{"ACGT", "AGT", 1},
+		{"ACGT", "TGCA", 4}, // full reversal: every column is an edit
+		{"AAAA", "", 4},
+	}
+	for _, tc := range cases {
+		a, b := seq.MustFromString(tc.a), seq.MustFromString(tc.b)
+		if got := EditDistance(a, b); got != tc.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEditDistanceTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		a := seq.Random(rng, 10+rng.Intn(20))
+		b := seq.Random(rng, 10+rng.Intn(20))
+		c := seq.Random(rng, 10+rng.Intn(20))
+		ab, bc, ac := EditDistance(a, b), EditDistance(b, c), EditDistance(a, c)
+		if ac > ab+bc {
+			t.Fatalf("triangle inequality violated: d(a,c)=%d > %d+%d", ac, ab, bc)
+		}
+	}
+}

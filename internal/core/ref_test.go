@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+
+	"pimnw/internal/seq"
+)
+
+// refAffineScore is an independent reference implementation of the affine
+// gap model (equations 3–5) used by the tests: direct memoised recursion on
+// the three matrices, structurally unlike the production code's iterative
+// row-major and anti-diagonal formulations.
+func refAffineScore(a, b seq.Seq, p Params) int32 {
+	type key struct{ i, j int }
+	hm := map[key]int32{}
+	im := map[key]int32{}
+	dm := map[key]int32{}
+	var H, I, D func(i, j int) int32
+	I = func(i, j int) int32 {
+		if i == 0 {
+			return NegInf
+		}
+		if j == 0 {
+			return -p.GapCost(i)
+		}
+		k := key{i, j}
+		if v, ok := im[k]; ok {
+			return v
+		}
+		v := max2(I(i-1, j)-p.GapExt, H(i-1, j)-p.GapOpen-p.GapExt)
+		im[k] = v
+		return v
+	}
+	D = func(i, j int) int32 {
+		if j == 0 {
+			return NegInf
+		}
+		if i == 0 {
+			return -p.GapCost(j)
+		}
+		k := key{i, j}
+		if v, ok := dm[k]; ok {
+			return v
+		}
+		v := max2(D(i, j-1)-p.GapExt, H(i, j-1)-p.GapOpen-p.GapExt)
+		dm[k] = v
+		return v
+	}
+	H = func(i, j int) int32 {
+		if i == 0 && j == 0 {
+			return 0
+		}
+		if i == 0 {
+			return D(i, j)
+		}
+		if j == 0 {
+			return I(i, j)
+		}
+		k := key{i, j}
+		if v, ok := hm[k]; ok {
+			return v
+		}
+		v := max3(H(i-1, j-1)+p.Sub(a[i-1], b[j-1]), I(i, j), D(i, j))
+		hm[k] = v
+		return v
+	}
+	return H(len(a), len(b))
+}
+
+// refLinearScore is an independent reference for the linear-gap model
+// (equations 1–2).
+func refLinearScore(a, b seq.Seq, match, mismatch, gap int32) int32 {
+	type key struct{ i, j int }
+	memo := map[key]int32{}
+	var rec func(i, j int) int32
+	rec = func(i, j int) int32 {
+		if i == 0 {
+			return -int32(j) * gap
+		}
+		if j == 0 {
+			return -int32(i) * gap
+		}
+		k := key{i, j}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		sub := mismatch
+		if a[i-1] == b[j-1] {
+			sub = match
+		}
+		v := max3(rec(i-1, j-1)+sub, rec(i-1, j)-gap, rec(i, j-1)-gap)
+		memo[k] = v
+		return v
+	}
+	return rec(len(a), len(b))
+}
+
+// mutatedPair builds a (reference, mutated) pair with the given divergence.
+func mutatedPair(rng *rand.Rand, n int, errRate float64) (seq.Seq, seq.Seq) {
+	a := seq.Random(rng, n)
+	b := seq.UniformErrors(errRate).Apply(rng, a)
+	return a, b
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimnw/internal/seq"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	base := DefaultParams()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero match", func(p *Params) { p.Match = 0 }},
+		{"negative match", func(p *Params) { p.Match = -1 }},
+		{"positive mismatch", func(p *Params) { p.Mismatch = 1 }},
+		{"zero mismatch", func(p *Params) { p.Mismatch = 0 }},
+		{"negative open", func(p *Params) { p.GapOpen = -1 }},
+		{"zero ext", func(p *Params) { p.GapExt = 0 }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	// Zero GapOpen is legal: it degenerates to the linear model.
+	p := base
+	p.GapOpen = 0
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero GapOpen should be valid: %v", err)
+	}
+}
+
+func TestSub(t *testing.T) {
+	p := DefaultParams()
+	if got := p.Sub(seq.A, seq.A); got != p.Match {
+		t.Errorf("Sub(A,A) = %d, want %d", got, p.Match)
+	}
+	if got := p.Sub(seq.A, seq.T); got != p.Mismatch {
+		t.Errorf("Sub(A,T) = %d, want %d", got, p.Mismatch)
+	}
+}
+
+func TestGapCost(t *testing.T) {
+	p := Params{Match: 2, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	cases := []struct {
+		k    int
+		want int32
+	}{{1, 6}, {2, 8}, {10, 24}}
+	for _, tc := range cases {
+		if got := p.GapCost(tc.k); got != tc.want {
+			t.Errorf("GapCost(%d) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestNegInfHeadroom(t *testing.T) {
+	// NegInf must survive a long chain of penalty subtractions without
+	// wrapping, the property the banded kernels rely on.
+	v := NegInf
+	for i := 0; i < 100000; i++ {
+		v -= 6
+		if v > 0 {
+			t.Fatal("NegInf arithmetic wrapped around")
+		}
+	}
+}
+
+func TestBTNibbleRoundTrip(t *testing.T) {
+	for origin := uint8(0); origin < 4; origin++ {
+		for _, iExt := range []bool{false, true} {
+			for _, dExt := range []bool{false, true} {
+				nb := MakeBTNibble(origin, iExt, dExt)
+				if BTOrigin(nb) != origin || BTIExtend(nb) != iExt || BTDExtend(nb) != dExt {
+					t.Errorf("round trip failed for origin=%d i=%v d=%v", origin, iExt, dExt)
+				}
+			}
+		}
+	}
+}
+
+func TestNibbleRowSetGet(t *testing.T) {
+	const w = 17
+	row := make(NibbleRow, NibbleRowSize(w))
+	vals := make([]uint8, w)
+	for p := 0; p < w; p++ {
+		vals[p] = uint8((p * 7) % 16)
+		row.Set(p, vals[p])
+	}
+	for p := 0; p < w; p++ {
+		if got := row.Get(p); got != vals[p] {
+			t.Errorf("cell %d = %d, want %d", p, got, vals[p])
+		}
+	}
+	// Overwrite a cell and check the neighbours survive.
+	row.Set(3, 0xF)
+	if row.Get(2) != vals[2] || row.Get(4) != vals[4] {
+		t.Error("Set clobbered a neighbouring nibble")
+	}
+	if row.Get(3) != 0xF {
+		t.Error("overwrite lost")
+	}
+}
+
+func TestNibbleRowProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := len(raw)
+		row := make(NibbleRow, NibbleRowSize(w))
+		for p, v := range raw {
+			row.Set(p, v&0x0F)
+		}
+		for p, v := range raw {
+			if row.Get(p) != v&0x0F {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNibbleRowSize(t *testing.T) {
+	cases := []struct{ w, want int }{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {128, 64}}
+	for _, tc := range cases {
+		if got := NibbleRowSize(tc.w); got != tc.want {
+			t.Errorf("NibbleRowSize(%d) = %d, want %d", tc.w, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/seq"
+)
+
+func TestDefaultVariantMatchesDefaultEntryPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	p := DefaultParams()
+	for trial := 0; trial < 20; trial++ {
+		a, b := mutatedPair(rng, 100+rng.Intn(200), 0.1)
+		want := AdaptiveBandScore(a, b, p, 32)
+		got := AdaptiveBandScoreVariant(a, b, p, 32, DefaultVariant())
+		if got.Score != want.Score || got.InBand != want.InBand {
+			t.Fatalf("variant default diverges from entry point")
+		}
+	}
+}
+
+// TestTieSteeringAblation reproduces the DESIGN.md ablation: without the
+// tie-break steering, length-skewed pairs depend on the window clamps
+// alone and lose the optimal path more often.
+func TestTieSteeringAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	p := DefaultParams()
+	steered, unsteered := 0, 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		// Identical-content pairs whose lengths differ by ~3x the band:
+		// the optimal path needs a long tail gap.
+		n := 300 + rng.Intn(300)
+		skew := 80 + rng.Intn(60)
+		a := seq.Random(rng, n)
+		b := a[:n-skew].Clone()
+		full := GotohScore(a, b, p).Score
+		if r := AdaptiveBandScoreVariant(a, b, p, 32, DefaultVariant()); r.InBand && r.Score == full {
+			steered++
+		}
+		if r := AdaptiveBandScoreVariant(a, b, p, 32, AdaptiveVariant{}); r.InBand && r.Score == full {
+			unsteered++
+		}
+	}
+	if steered < unsteered {
+		t.Errorf("steering hurt: %d/%d vs %d/%d without", steered, trials, unsteered, trials)
+	}
+	if steered == unsteered {
+		t.Logf("no separation on this sample (steered %d, unsteered %d)", steered, unsteered)
+	}
+	if steered < trials*3/4 {
+		t.Errorf("steered variant only optimal on %d/%d skewed pairs", steered, trials)
+	}
+}
+
+func TestUnsteeredStillTerminates(t *testing.T) {
+	// Even without steering, the clamps must keep the window legal and
+	// the result well-formed (InBand may legitimately be false).
+	rng := rand.New(rand.NewSource(63))
+	p := DefaultParams()
+	for trial := 0; trial < 20; trial++ {
+		a := seq.Random(rng, 50+rng.Intn(400))
+		b := seq.Random(rng, 50+rng.Intn(400))
+		r := AdaptiveBandScoreVariant(a, b, p, 16, AdaptiveVariant{})
+		if r.InBand && r.Score < NegInf/2 {
+			t.Fatalf("in-band result with sentinel score: %+v", r)
+		}
+	}
+}

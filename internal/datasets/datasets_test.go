@@ -1,0 +1,166 @@
+package datasets
+
+import (
+	"testing"
+
+	"pimnw/internal/core"
+)
+
+func TestSyntheticScaled(t *testing.T) {
+	s := S1000.Scaled(0.0001)
+	if s.Pairs != 1000 {
+		t.Errorf("scaled pairs = %d, want 1000", s.Pairs)
+	}
+	if s.ReadLen != 1000 || s.ErrorRate != S1000.ErrorRate {
+		t.Error("scaling altered non-count fields")
+	}
+	if tiny := S1000.Scaled(1e-12); tiny.Pairs != 1 {
+		t.Errorf("tiny scale pairs = %d, want 1", tiny.Pairs)
+	}
+}
+
+func TestSyntheticGenerate(t *testing.T) {
+	spec := S10000.Scaled(0.00002) // 20 pairs of ~10k
+	pairs := spec.Generate()
+	if len(pairs) != spec.Pairs {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		lo := int(float64(spec.ReadLen) * (1 - spec.LenJitter - 0.01))
+		hi := int(float64(spec.ReadLen) * (1 + spec.LenJitter + 0.01))
+		if len(p.A) < lo || len(p.A) > hi {
+			t.Errorf("pair %d: read length %d outside [%d,%d]", p.ID, len(p.A), lo, hi)
+		}
+		// The mutated read should be near its template in length.
+		ratio := float64(len(p.B)) / float64(len(p.A))
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("pair %d: length ratio %v", p.ID, ratio)
+		}
+	}
+	// Divergence should be near the configured error rate: check identity
+	// on one pair via full alignment.
+	p := pairs[0]
+	res := core.GotohAlign(p.A[:2000], p.B[:2000], core.DefaultParams())
+	id := res.Cigar.Stats().Identity()
+	if id < 0.90 || id > 0.99 {
+		t.Errorf("pair identity = %v, want ~0.95 at 5%% error", id)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	spec := S1000.Scaled(0.000002) // 20 pairs
+	a := spec.Generate()
+	b := spec.Generate()
+	for i := range a {
+		if !a[i].A.Equal(b[i].A) || !a[i].B.Equal(b[i].B) {
+			t.Fatalf("pair %d differs between runs", i)
+		}
+	}
+}
+
+func TestRRNAGenerate(t *testing.T) {
+	spec := RRNA16S.Scaled(0.005) // ~47 sequences
+	seqs := spec.Generate()
+	if len(seqs) != spec.Sequences {
+		t.Fatalf("%d sequences", len(seqs))
+	}
+	for i, s := range seqs {
+		ratio := float64(len(s)) / float64(spec.Length)
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("sequence %d length %d drifted too far from %d", i, len(s), spec.Length)
+		}
+	}
+	// GC bias of the root should persist approximately.
+	if gc := seqs[0].GC(); gc < 0.5 || gc > 0.6 {
+		t.Errorf("root GC = %v, want ~0.55", gc)
+	}
+	// Tree structure: average pairwise distance must be well below that of
+	// unrelated random sequences (~0.75 per-base difference).
+	d01 := core.EditDistance(seqs[1], seqs[2])
+	if f := float64(d01) / float64(spec.Length); f > 0.5 {
+		t.Errorf("sibling distance fraction %v suggests no shared ancestry", f)
+	}
+}
+
+func TestRRNAScaledMinimum(t *testing.T) {
+	if s := RRNA16S.Scaled(0); s.Sequences != 2 {
+		t.Errorf("minimum sequences = %d, want 2", s.Sequences)
+	}
+}
+
+func TestPacBioGenerate(t *testing.T) {
+	spec := PacBio.Scaled(0.0001) // ~3 sets
+	spec.RegionMin, spec.RegionMax = 2000, 4000
+	sets := spec.Generate()
+	if len(sets) != spec.Sets {
+		t.Fatalf("%d sets", len(sets))
+	}
+	for si, s := range sets {
+		if len(s.Reads) < spec.ReadsMin || len(s.Reads) > spec.ReadsMax {
+			t.Errorf("set %d: %d reads outside [%d,%d]", si, len(s.Reads), spec.ReadsMin, spec.ReadsMax)
+		}
+		if len(s.Region) < spec.RegionMin || len(s.Region) > spec.RegionMax {
+			t.Errorf("set %d: region %d outside range", si, len(s.Region))
+		}
+		for ri, r := range s.Reads {
+			ratio := float64(len(r)) / float64(len(s.Region))
+			if ratio < 0.6 || ratio > 1.5 {
+				t.Errorf("set %d read %d: length ratio %v", si, ri, ratio)
+			}
+		}
+	}
+}
+
+func TestPacBioHasBigGaps(t *testing.T) {
+	// The paper's PacBio sets contain gaps exceeding 100 bp; with the
+	// structural-gap model on, some read should show a >=100 base run of
+	// insertions or deletions against its region.
+	spec := PacBioSpec{
+		Sets: 4, ReadsMin: 3, ReadsMax: 4,
+		RegionMin: 1500, RegionMax: 2500,
+		ErrorRate: 0.1, BigGapRate: 0.001, BigGapMin: 100, BigGapMax: 400,
+		Seed: 9,
+	}
+	found := false
+	p := core.DefaultParams()
+	for _, s := range spec.Generate() {
+		for _, r := range s.Reads {
+			res := core.GotohAlign(r, s.Region, p)
+			for _, op := range res.Cigar {
+				if (op.Kind.String() == "I" || op.Kind.String() == "D") && op.Len >= 100 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no structural gap >= 100 bp found in any read")
+	}
+}
+
+func TestReadSetPairs(t *testing.T) {
+	spec := PacBio.Scaled(0.00005) // ~1 set
+	spec.RegionMin, spec.RegionMax = 500, 800
+	sets := spec.Generate()
+	n := len(sets[0].Reads)
+	pairs := sets[0].Pairs(100)
+	if len(pairs) != n*(n-1)/2 {
+		t.Fatalf("%d pairs for %d reads", len(pairs), n)
+	}
+	if pairs[0].ID != 100 {
+		t.Errorf("baseID not honoured: %d", pairs[0].ID)
+	}
+	all := AllSetPairs(sets)
+	want := 0
+	for _, s := range sets {
+		want += len(s.Reads) * (len(s.Reads) - 1) / 2
+	}
+	if len(all) != want {
+		t.Errorf("AllSetPairs = %d, want %d", len(all), want)
+	}
+	for i, p := range all {
+		if p.ID != i {
+			t.Fatalf("IDs not dense: %d at %d", p.ID, i)
+		}
+	}
+}

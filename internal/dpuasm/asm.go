@@ -1,0 +1,202 @@
+package dpuasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// fixup is a forward branch reference awaiting label resolution.
+type fixup struct {
+	instr int
+	label string
+	line  int
+}
+
+// Assemble parses assembly text into a Program.
+//
+// Syntax, one instruction per line ('#' or ';' start a comment):
+//
+//	label:
+//	add   rd, ra, rb|imm [, cond, label]   ; ALU ops, optional fused jump
+//	move  rd, ra|imm     [, cond, label]
+//	cmpb4 rd, ra, rb
+//	lw    rd, ra, imm                      ; rd = wram32[ra+imm]
+//	lbu   rd, ra, imm
+//	sw    rs, ra, imm                      ; wram32[ra+imm] = rs
+//	sb    rs, ra, imm
+//	jump  label
+//	halt
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}, Source: src}
+	var fixups []fixup
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := p.Labels[name]; dup {
+				return nil, fmt.Errorf("dpuasm: line %d: duplicate label %q", ln+1, name)
+			}
+			p.Labels[name] = len(p.Instrs)
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnemonic := fields[0]
+		op, ok := opNames[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("dpuasm: line %d: unknown mnemonic %q", ln+1, mnemonic)
+		}
+		args := splitArgs(strings.TrimSpace(line[len(mnemonic):]))
+		in := Instr{Op: op, Target: -1}
+
+		parseErr := func(msg string) error {
+			return fmt.Errorf("dpuasm: line %d: %s: %q", ln+1, msg, raw)
+		}
+		switch op {
+		case OpHalt:
+			if len(args) != 0 {
+				return nil, parseErr("halt takes no operands")
+			}
+		case OpJump:
+			if len(args) != 1 {
+				return nil, parseErr("jump takes one label")
+			}
+			fixups = append(fixups, fixup{len(p.Instrs), args[0], ln + 1})
+		case OpLw, OpLbu, OpSw, OpSb:
+			if len(args) != 3 {
+				return nil, parseErr("memory ops take rd/rs, ra, imm")
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			ra, err := parseReg(args[1])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			imm, err := strconv.ParseInt(args[2], 0, 32)
+			if err != nil {
+				return nil, parseErr("bad displacement")
+			}
+			in.Rd, in.Ra, in.Imm = rd, ra, int32(imm)
+		case OpMove:
+			if len(args) != 2 && len(args) != 4 {
+				return nil, parseErr("move takes rd, src [, cond, label]")
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			in.Rd = rd
+			if ra, err := parseReg(args[1]); err == nil {
+				in.Ra = ra
+			} else if imm, err := strconv.ParseInt(args[1], 0, 32); err == nil {
+				in.Imm, in.UseImm = int32(imm), true
+			} else {
+				return nil, parseErr("bad move source")
+			}
+			if len(args) == 4 {
+				if err := parseFused(&in, args[2], args[3], &fixups, len(p.Instrs), ln+1); err != nil {
+					return nil, err
+				}
+			}
+		case OpCmpB4:
+			if len(args) != 3 {
+				return nil, parseErr("cmpb4 takes rd, ra, rb")
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			ra, err := parseReg(args[1])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			rb, err := parseReg(args[2])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			in.Rd, in.Ra, in.Rb = rd, ra, rb
+		default: // triadic ALU
+			if len(args) != 3 && len(args) != 5 {
+				return nil, parseErr("ALU ops take rd, ra, rb|imm [, cond, label]")
+			}
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			ra, err := parseReg(args[1])
+			if err != nil {
+				return nil, parseErr(err.Error())
+			}
+			in.Rd, in.Ra = rd, ra
+			if rb, err := parseReg(args[2]); err == nil {
+				in.Rb = rb
+			} else if imm, err := strconv.ParseInt(args[2], 0, 32); err == nil {
+				in.Imm, in.UseImm = int32(imm), true
+			} else {
+				return nil, parseErr("bad second operand")
+			}
+			if len(args) == 5 {
+				if err := parseFused(&in, args[3], args[4], &fixups, len(p.Instrs), ln+1); err != nil {
+					return nil, err
+				}
+			}
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("dpuasm: line %d: undefined label %q", f.line, f.label)
+		}
+		p.Instrs[f.instr].Target = target
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseFused(in *Instr, condStr, label string, fixups *[]fixup, idx, line int) error {
+	cond, ok := condNames[condStr]
+	if !ok {
+		return fmt.Errorf("dpuasm: line %d: unknown condition %q", line, condStr)
+	}
+	in.Cond = cond
+	*fixups = append(*fixups, fixup{idx, label, line})
+	return nil
+}

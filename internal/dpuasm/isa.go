@@ -1,0 +1,130 @@
+// Package dpuasm implements a small assembler and interpreter for a
+// UPMEM-DPU-style instruction set (§2.1 of the paper): a triadic 32-bit
+// RISC with *fused jumps* — every ALU instruction can branch on a
+// condition of its own result at zero extra cost — and the one vector
+// instruction the paper's hand-optimised kernel leans on, cmpb4 (compare
+// four bytes at once). The package exists to make the kernel cost tables
+// executable: internal/dpuasm/kernel.go carries the anti-diagonal inner
+// loop in two variants (compiler-style and hand-optimised, §4.2.4), the
+// tests verify both compute exactly the reference recurrences, and the
+// measured instructions-per-cell substantiate the pim.CostTable figures
+// and Table 7's speedup mechanism.
+package dpuasm
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers a tasklet context
+// holds (the DPU has 24 working registers per thread).
+const NumRegs = 24
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Loads/stores address WRAM only, as on the real DPU (MRAM is
+// reached through the DMA engine, which the kernel issues outside this
+// inner loop).
+const (
+	OpAdd Op = iota
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpLsl // logical shift left
+	OpLsr // logical shift right
+	OpAsr // arithmetic shift right
+	OpMove
+	OpCmpB4 // rd[byte i] = 0xFF if ra[byte i] == rb[byte i], else 0
+	OpLw    // rd = *(int32*)(wram + ra + imm)
+	OpLbu   // rd = *(uint8*)(wram + ra + imm)
+	OpSw    // *(int32*)(wram + ra + imm) = rb
+	OpSb    // *(uint8*)(wram + ra + imm) = rb (low byte)
+	OpJump  // unconditional branch
+	OpHalt
+)
+
+var opNames = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"lsl": OpLsl, "lsr": OpLsr, "asr": OpAsr, "move": OpMove,
+	"cmpb4": OpCmpB4, "lw": OpLw, "lbu": OpLbu, "sw": OpSw, "sb": OpSb,
+	"jump": OpJump, "halt": OpHalt,
+}
+
+// Cond is a fused-jump condition evaluated on the instruction's result.
+// The DPU pipeline's re-entry restriction makes these branches free
+// (§2.1), which is why the hand-optimised kernel prefers them.
+type Cond uint8
+
+// Conditions. CondPar/CondNPar test the result's lowest bit — the
+// "shift fused with a jump on parity" idiom §5.5 describes for consuming
+// cmpb4 masks.
+const (
+	CondNone Cond = iota
+	CondZ         // result == 0
+	CondNZ        // result != 0
+	CondLTZ       // result < 0
+	CondGEZ       // result >= 0
+	CondGTZ       // result > 0
+	CondLEZ       // result <= 0
+	CondPar       // result bit0 == 1
+	CondNPar      // result bit0 == 0
+)
+
+var condNames = map[string]Cond{
+	"z": CondZ, "nz": CondNZ, "ltz": CondLTZ, "gez": CondGEZ,
+	"gtz": CondGTZ, "lez": CondLEZ, "par": CondPar, "npar": CondNPar,
+}
+
+func (c Cond) holds(v int32) bool {
+	switch c {
+	case CondNone:
+		return false
+	case CondZ:
+		return v == 0
+	case CondNZ:
+		return v != 0
+	case CondLTZ:
+		return v < 0
+	case CondGEZ:
+		return v >= 0
+	case CondGTZ:
+		return v > 0
+	case CondLEZ:
+		return v <= 0
+	case CondPar:
+		return v&1 == 1
+	default: // CondNPar
+		return v&1 == 0
+	}
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination (also the stored register for sw/sb)
+	Ra     uint8 // first source / address base
+	Rb     uint8 // second source
+	Imm    int32 // immediate second operand or address displacement
+	UseImm bool
+	Cond   Cond
+	Target int // branch target (instruction index)
+}
+
+// Program is an assembled instruction sequence.
+type Program struct {
+	Instrs []Instr
+	Labels map[string]int
+	Source string
+}
+
+func (p *Program) validate() error {
+	for i, in := range p.Instrs {
+		if int(in.Rd) >= NumRegs || int(in.Ra) >= NumRegs || int(in.Rb) >= NumRegs {
+			return fmt.Errorf("dpuasm: instruction %d uses a register beyond r%d", i, NumRegs-1)
+		}
+		if (in.Cond != CondNone || in.Op == OpJump) &&
+			(in.Target < 0 || in.Target > len(p.Instrs)) {
+			return fmt.Errorf("dpuasm: instruction %d branches out of program", i)
+		}
+	}
+	return nil
+}

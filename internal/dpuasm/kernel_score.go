@@ -1,0 +1,137 @@
+package dpuasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Score-only variants of the two cell kernels: no traceback nibble is
+// assembled or stored (the 16S workload of §5.3). Comparing their
+// instruction counts against the traceback kernels reproduces the
+// *mechanism* behind Table 7's 16S row — with less code in the loop, the
+// hand optimisation has less to win.
+
+// CompiledScoreKernel is the compiler-style score-only loop.
+const CompiledScoreKernel = `
+loop:
+  ; ---- I ----
+  lw   r16, r0, 0
+  sub  r16, r16, r12
+  lw   r17, r2, 0
+  sub  r17, r17, r13
+  sub  r18, r17, r16
+  move r19, r18
+  sub  r19, r19, 0, gez, i_done
+  move r17, r16
+i_done:
+  sw   r17, r6, 0
+  ; ---- D ----
+  lw   r16, r0, 4
+  sub  r16, r16, r12
+  lw   r19, r3, 0
+  sub  r19, r19, r13
+  sub  r18, r19, r16
+  move r21, r18
+  sub  r21, r21, 0, gez, d_done
+  move r19, r16
+d_done:
+  sw   r19, r7, 0
+  ; ---- diagonal ----
+  lw   r22, r4, 0
+  lbu  r16, r9, 0
+  lbu  r18, r10, 0
+  sub  r18, r16, r18
+  move r21, r18
+  sub  r21, r21, 0, z, is_match
+  add  r22, r22, r15
+  jump diag_done
+is_match:
+  add  r22, r22, r14
+diag_done:
+  sub  r18, r17, r22
+  move r21, r18
+  sub  r21, r21, 0, lez, no_i
+  move r22, r17
+no_i:
+  sub  r18, r19, r22
+  move r21, r18
+  sub  r21, r21, 0, lez, no_d
+  move r22, r19
+no_d:
+  sw   r22, r5, 0
+  add  r0, r0, 4
+  add  r2, r2, 4
+  add  r3, r3, 4
+  add  r4, r4, 4
+  add  r5, r5, 4
+  add  r6, r6, 4
+  add  r7, r7, 4
+  add  r9, r9, 1
+  add  r10, r10, 1
+  sub  r11, r11, 1
+  move r21, r11
+  sub  r21, r21, 0, gtz, loop
+  halt
+`
+
+// HandScoreKernel is the hand-optimised score-only loop (fused jumps,
+// cmpb4, 4x unroll).
+func HandScoreKernel() (*Program, error) {
+	var sb strings.Builder
+	sb.WriteString(`
+loop:
+  lw    r21, r9, 0
+  lw    r18, r10, 0
+  cmpb4 r21, r21, r18
+`)
+	for k := 0; k < 4; k++ {
+		fmt.Fprintf(&sb, `
+  ; ---- cell %[1]d ----
+  lw   r16, r0, %[2]d
+  lw   r17, r2, %[2]d
+  sub  r16, r16, r12
+  sub  r17, r17, r13
+  sub  r18, r17, r16, gez, idone%[1]d
+  move r17, r16
+idone%[1]d:
+  sw   r17, r6, %[2]d
+  lw   r16, r0, %[3]d
+  lw   r19, r3, %[2]d
+  sub  r16, r16, r12
+  sub  r19, r19, r13
+  sub  r18, r19, r16, gez, ddone%[1]d
+  move r19, r16
+ddone%[1]d:
+  sw   r19, r7, %[2]d
+  lw   r22, r4, %[2]d
+  lsr  r21, r21, 1, par, ismatch%[1]d
+  add  r22, r22, r15
+  jump diagdone%[1]d
+ismatch%[1]d:
+  add  r22, r22, r14
+diagdone%[1]d:
+  lsr  r21, r21, 7
+  sub  r18, r17, r22, lez, noi%[1]d
+  move r22, r17
+noi%[1]d:
+  sub  r18, r19, r22, lez, nod%[1]d
+  move r22, r19
+nod%[1]d:
+  sw   r22, r5, %[2]d
+`, k, 4*k, 4*k+4)
+	}
+	sb.WriteString(`
+  add  r0, r0, 16
+  add  r2, r2, 16
+  add  r3, r3, 16
+  add  r4, r4, 16
+  add  r5, r5, 16
+  add  r6, r6, 16
+  add  r7, r7, 16
+  add  r9, r9, 4
+  add  r10, r10, 4
+  sub  r11, r11, 4, gtz, loop
+  halt
+`)
+	return Assemble(sb.String())
+}

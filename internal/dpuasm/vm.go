@@ -1,0 +1,156 @@
+package dpuasm
+
+import "fmt"
+
+// VM executes a Program against a WRAM image. Each executed instruction
+// counts one issue slot — on the DPU every instruction spends exactly one
+// pipeline slot and fused jumps are free (§2.1), so Executed is the
+// quantity the pim.CostTable encodes.
+type VM struct {
+	Regs [NumRegs]int32
+	WRAM []byte
+	// Executed counts instructions issued (halt excluded).
+	Executed int64
+	// MaxInstructions aborts runaway programs (default 100M).
+	MaxInstructions int64
+}
+
+// NewVM builds a VM with the given WRAM size.
+func NewVM(wramBytes int) *VM {
+	return &VM{WRAM: make([]byte, wramBytes), MaxInstructions: 100_000_000}
+}
+
+// Run executes p from instruction 0 until halt or the end of the program.
+func (vm *VM) Run(p *Program) error {
+	pc := 0
+	for pc < len(p.Instrs) {
+		if vm.Executed >= vm.MaxInstructions {
+			return fmt.Errorf("dpuasm: instruction budget exhausted at pc=%d", pc)
+		}
+		in := &p.Instrs[pc]
+		if in.Op == OpHalt {
+			return nil
+		}
+		vm.Executed++
+
+		var result int32
+		haveResult := true
+		switch in.Op {
+		case OpJump:
+			pc = in.Target
+			continue
+		case OpLw:
+			v, err := vm.load32(vm.Regs[in.Ra] + in.Imm)
+			if err != nil {
+				return fmt.Errorf("dpuasm: pc=%d: %v", pc, err)
+			}
+			vm.Regs[in.Rd] = v
+			result = v
+		case OpLbu:
+			addr := vm.Regs[in.Ra] + in.Imm
+			if addr < 0 || int(addr) >= len(vm.WRAM) {
+				return fmt.Errorf("dpuasm: pc=%d: byte load at %d outside WRAM", pc, addr)
+			}
+			vm.Regs[in.Rd] = int32(vm.WRAM[addr])
+			result = vm.Regs[in.Rd]
+		case OpSw:
+			if err := vm.store32(vm.Regs[in.Ra]+in.Imm, vm.Regs[in.Rd]); err != nil {
+				return fmt.Errorf("dpuasm: pc=%d: %v", pc, err)
+			}
+			haveResult = false
+		case OpSb:
+			addr := vm.Regs[in.Ra] + in.Imm
+			if addr < 0 || int(addr) >= len(vm.WRAM) {
+				return fmt.Errorf("dpuasm: pc=%d: byte store at %d outside WRAM", pc, addr)
+			}
+			vm.WRAM[addr] = byte(vm.Regs[in.Rd])
+			haveResult = false
+		case OpMove:
+			if in.UseImm {
+				vm.Regs[in.Rd] = in.Imm
+			} else {
+				vm.Regs[in.Rd] = vm.Regs[in.Ra]
+			}
+			result = vm.Regs[in.Rd]
+		case OpCmpB4:
+			a, b := uint32(vm.Regs[in.Ra]), uint32(vm.Regs[in.Rb])
+			var mask uint32
+			for byteIdx := 0; byteIdx < 4; byteIdx++ {
+				sh := uint(8 * byteIdx)
+				if (a>>sh)&0xFF == (b>>sh)&0xFF {
+					mask |= 0xFF << sh
+				}
+			}
+			vm.Regs[in.Rd] = int32(mask)
+			result = vm.Regs[in.Rd]
+		default: // triadic ALU
+			b := vm.Regs[in.Rb]
+			if in.UseImm {
+				b = in.Imm
+			}
+			a := vm.Regs[in.Ra]
+			switch in.Op {
+			case OpAdd:
+				result = a + b
+			case OpSub:
+				result = a - b
+			case OpAnd:
+				result = a & b
+			case OpOr:
+				result = a | b
+			case OpXor:
+				result = a ^ b
+			case OpLsl:
+				result = int32(uint32(a) << (uint32(b) & 31))
+			case OpLsr:
+				result = int32(uint32(a) >> (uint32(b) & 31))
+			case OpAsr:
+				result = a >> (uint32(b) & 31)
+			}
+			vm.Regs[in.Rd] = result
+		}
+
+		if haveResult && in.Cond != CondNone && in.Cond.holds(result) {
+			pc = in.Target
+			continue
+		}
+		pc++
+	}
+	return nil
+}
+
+func (vm *VM) load32(addr int32) (int32, error) {
+	if addr < 0 || int(addr)+4 > len(vm.WRAM) {
+		return 0, fmt.Errorf("word load at %d outside WRAM", addr)
+	}
+	b := vm.WRAM[addr:]
+	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24), nil
+}
+
+func (vm *VM) store32(addr, v int32) error {
+	if addr < 0 || int(addr)+4 > len(vm.WRAM) {
+		return fmt.Errorf("word store at %d outside WRAM", addr)
+	}
+	b := vm.WRAM[addr:]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	return nil
+}
+
+// SetWord32 writes a little-endian int32 into WRAM (test/driver helper).
+func (vm *VM) SetWord32(addr int, v int32) {
+	if err := vm.store32(int32(addr), v); err != nil {
+		panic(err)
+	}
+}
+
+// Word32 reads a little-endian int32 from WRAM (test/driver helper).
+func (vm *VM) Word32(addr int) int32 {
+	v, err := vm.load32(int32(addr))
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

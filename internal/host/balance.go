@@ -1,0 +1,96 @@
+package host
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// BalancePolicy selects how pair workloads are spread over the 64 DPUs of
+// a rank. The paper uses LPT (§4.1.2); the alternatives exist for the
+// balance ablation, which quantifies how much the policy matters given the
+// rank-completion barrier.
+type BalancePolicy int
+
+// Policies.
+const (
+	// BalanceLPT is the paper's heuristic: sort by decreasing workload,
+	// always assign to the least-loaded DPU.
+	BalanceLPT BalancePolicy = iota
+	// BalanceRoundRobin deals pairs out in input order.
+	BalanceRoundRobin
+	// BalanceRandom assigns each pair to a uniformly random DPU.
+	BalanceRandom
+)
+
+// assign distributes items (with the given workloads) over n buckets
+// according to the policy.
+func (p BalancePolicy) assign(loads []int64, n int, seed int64) [][]int {
+	switch p {
+	case BalanceRoundRobin:
+		buckets := make([][]int, n)
+		for i := range loads {
+			buckets[i%n] = append(buckets[i%n], i)
+		}
+		return buckets
+	case BalanceRandom:
+		rng := rand.New(rand.NewSource(seed))
+		buckets := make([][]int, n)
+		for i := range loads {
+			b := rng.Intn(n)
+			buckets[b] = append(buckets[b], i)
+		}
+		return buckets
+	default:
+		buckets, _ := lpt(loads, n)
+		return buckets
+	}
+}
+
+// lpt distributes items over n buckets with the paper's §4.1.2 heuristic:
+// sort by decreasing workload, repeatedly assign the heaviest remaining
+// item to the least-loaded bucket. It returns the bucket contents (indices
+// into items) and the final loads. LPT is the classic 4/3-approximation to
+// makespan scheduling — fast and good enough that the paper measures ≤5 %
+// spread between the fastest and slowest DPU of a rank.
+func lpt(loads []int64, n int) ([][]int, []int64) {
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+
+	buckets := make([][]int, n)
+	sums := make([]int64, n)
+	for _, idx := range order {
+		best := 0
+		for b := 1; b < n; b++ {
+			if sums[b] < sums[best] {
+				best = b
+			}
+		}
+		buckets[best] = append(buckets[best], idx)
+		sums[best] += loads[idx]
+	}
+	return buckets, sums
+}
+
+// splitGroups cuts pairs into read-groups of at most groupPairs each
+// (one group if groupPairs <= 0), preserving input order as the paper's
+// disk reader does.
+func splitGroups(pairs []Pair, groupPairs int) [][]Pair {
+	if groupPairs <= 0 || groupPairs >= len(pairs) {
+		if len(pairs) == 0 {
+			return nil
+		}
+		return [][]Pair{pairs}
+	}
+	var groups [][]Pair
+	for off := 0; off < len(pairs); off += groupPairs {
+		end := off + groupPairs
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		groups = append(groups, pairs[off:end])
+	}
+	return groups
+}

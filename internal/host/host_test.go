@@ -1,0 +1,294 @@
+package host
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/kernel"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+)
+
+func testConfig(ranks int, traceback bool) Config {
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = ranks
+	return Config{
+		PIM: pimCfg,
+		Kernel: kernel.Config{
+			Geometry:  kernel.DefaultGeometry(),
+			Band:      64,
+			Params:    core.DefaultParams(),
+			Costs:     pim.Asm,
+			Traceback: traceback,
+			PIM:       pimCfg,
+		},
+	}
+}
+
+func makePairs(seed int64, n, length int, errRate float64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		a := seq.Random(rng, length+rng.Intn(length/3+1))
+		b := seq.UniformErrors(errRate).Apply(rng, a)
+		pairs[i] = Pair{ID: i, A: a, B: b}
+	}
+	return pairs
+}
+
+func TestLPTBalances(t *testing.T) {
+	loads := []int64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	buckets, sums := lpt(loads, 3)
+	var total, max int64
+	seen := map[int]bool{}
+	for b, bucket := range buckets {
+		for _, idx := range bucket {
+			if seen[idx] {
+				t.Fatalf("item %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+		total += sums[b]
+		if sums[b] > max {
+			max = sums[b]
+		}
+	}
+	if len(seen) != len(loads) {
+		t.Fatalf("assigned %d of %d items", len(seen), len(loads))
+	}
+	if total != 55 {
+		t.Fatalf("loads lost: %d", total)
+	}
+	// LPT guarantees makespan <= 4/3 OPT; OPT here is ceil(55/3)=19.
+	if max > 19*4/3+1 {
+		t.Errorf("LPT makespan %d too uneven", max)
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	pairs := makePairs(1, 10, 50, 0.1)
+	if g := splitGroups(pairs, 0); len(g) != 1 || len(g[0]) != 10 {
+		t.Errorf("groupPairs=0: %d groups", len(g))
+	}
+	g := splitGroups(pairs, 4)
+	if len(g) != 3 || len(g[0]) != 4 || len(g[2]) != 2 {
+		t.Errorf("groupPairs=4: lens %d,%d,%d", len(g[0]), len(g[1]), len(g[2]))
+	}
+	if g := splitGroups(nil, 4); g != nil {
+		t.Error("empty input should give no groups")
+	}
+}
+
+func TestAlignPairsMatchesReference(t *testing.T) {
+	cfg := testConfig(2, true)
+	pairs := makePairs(2, 30, 200, 0.1)
+	rep, results, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("%d results for %d pairs", len(results), len(pairs))
+	}
+	if rep.Alignments != len(pairs) {
+		t.Errorf("report alignments = %d", rep.Alignments)
+	}
+	byID := map[int]Result{}
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	for _, p := range pairs {
+		r, ok := byID[p.ID]
+		if !ok {
+			t.Fatalf("pair %d missing", p.ID)
+		}
+		want := core.AdaptiveBandAlign(p.A, p.B, cfg.Kernel.Params, cfg.Kernel.Band)
+		if r.Score != want.Score {
+			t.Errorf("pair %d: score %d, want %d", p.ID, r.Score, want.Score)
+		}
+		if string(r.Cigar) != want.Cigar.String() {
+			t.Errorf("pair %d: cigar mismatch", p.ID)
+		}
+		if r.Rank < 0 || r.Rank >= cfg.PIM.Ranks {
+			t.Errorf("pair %d: rank %d out of range", p.ID, r.Rank)
+		}
+	}
+}
+
+func TestAlignPairsTimelineSanity(t *testing.T) {
+	cfg := testConfig(2, true)
+	pairs := makePairs(3, 40, 150, 0.08)
+	rep, _, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanSec <= 0 {
+		t.Fatal("zero makespan")
+	}
+	var maxKernel float64
+	for _, rs := range rep.Ranks {
+		if rs.KernelSec > maxKernel {
+			maxKernel = rs.KernelSec
+		}
+		if rs.EndSec < rs.StartSec {
+			t.Errorf("rank %d batch %d: end before start", rs.Rank, rs.Batch)
+		}
+		if rs.FastestDPUSec > rs.KernelSec {
+			t.Errorf("fastest DPU slower than slowest: %+v", rs)
+		}
+	}
+	if rep.MakespanSec < maxKernel {
+		t.Errorf("makespan %.6f below slowest kernel %.6f", rep.MakespanSec, maxKernel)
+	}
+	if f := rep.HostOverheadFraction(); f < 0 || f >= 1 {
+		t.Errorf("host overhead fraction = %v", f)
+	}
+	if rep.BytesIn <= 0 || rep.BytesOut <= 0 {
+		t.Errorf("transfer accounting: in=%d out=%d", rep.BytesIn, rep.BytesOut)
+	}
+}
+
+func TestAlignPairsStrongScaling(t *testing.T) {
+	// Doubling ranks should come close to halving the simulated makespan
+	// (the paper's Tables 2-4 show near-linear rank scaling). The system
+	// must be saturated for that: with 4 ranks = 256 DPUs x 6 pools,
+	// 2048 pairs still queue ~1.3 alignments per pool.
+	pairs := makePairs(4, 2048, 100, 0.08)
+	rep1, _, err := AlignPairs(testConfig(1, true), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, _, err := AlignPairs(testConfig(4, true), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := rep1.MakespanSec / rep4.MakespanSec
+	if speedup < 2.5 || speedup > 4.5 {
+		t.Errorf("1->4 ranks speedup = %.2f, want near 4", speedup)
+	}
+}
+
+func TestAlignPairsEmpty(t *testing.T) {
+	rep, results, err := AlignPairs(testConfig(1, false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 || rep.MakespanSec != 0 {
+		t.Errorf("empty run: %+v", rep)
+	}
+}
+
+func TestAlignPairsInvalidConfig(t *testing.T) {
+	cfg := testConfig(1, false)
+	cfg.Kernel.Band = 3
+	if _, _, err := AlignPairs(cfg, makePairs(5, 2, 50, 0.1)); err == nil {
+		t.Error("invalid kernel config accepted")
+	}
+}
+
+func TestAlignAllPairsMatchesReference(t *testing.T) {
+	cfg := testConfig(2, false)
+	rng := rand.New(rand.NewSource(6))
+	root := seq.Random(rng, 300)
+	seqs := make([]seq.Seq, 12)
+	for i := range seqs {
+		seqs[i] = seq.UniformErrors(0.05).Apply(rng, root)
+	}
+	rep, results, err := AlignAllPairs(cfg, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := AllPairIndices(len(seqs))
+	if len(results) != len(indices) {
+		t.Fatalf("%d results for %d comparisons", len(results), len(indices))
+	}
+	for _, r := range results {
+		pi := indices[r.ID]
+		want := core.AdaptiveBandScore(seqs[pi.I], seqs[pi.J], cfg.Kernel.Params, cfg.Kernel.Band)
+		if r.Score != want.Score {
+			t.Errorf("pair (%d,%d): score %d, want %d", pi.I, pi.J, r.Score, want.Score)
+		}
+		if r.Cigar != nil {
+			t.Error("score-only mode produced a cigar")
+		}
+	}
+	if rep.MakespanSec <= 0 || rep.TransferInSec <= 0 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestAlignAllPairsRejectsTraceback(t *testing.T) {
+	cfg := testConfig(1, true)
+	if _, _, err := AlignAllPairs(cfg, make([]seq.Seq, 3)); err == nil {
+		t.Error("traceback all-against-all accepted")
+	}
+}
+
+func TestAlignAllPairsTooBigForMRAM(t *testing.T) {
+	cfg := testConfig(1, false)
+	cfg.PIM.MRAM = 4096
+	cfg.Kernel.PIM.MRAM = 4096
+	rng := rand.New(rand.NewSource(7))
+	seqs := []seq.Seq{seq.Random(rng, 9000), seq.Random(rng, 9000), seq.Random(rng, 9000)}
+	if _, _, err := AlignAllPairs(cfg, seqs); err == nil {
+		t.Error("oversized broadcast dataset accepted")
+	}
+}
+
+func TestAllPairIndices(t *testing.T) {
+	idx := AllPairIndices(4)
+	if len(idx) != 6 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	if idx[0] != (PairIndex{0, 1}) || idx[5] != (PairIndex{2, 3}) {
+		t.Errorf("indices = %v", idx)
+	}
+	for _, p := range idx {
+		if p.I >= p.J {
+			t.Errorf("unordered pair %v", p)
+		}
+	}
+	if got := AllPairIndices(1); len(got) != 0 {
+		t.Error("n=1 should have no pairs")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	var visited [100]int32
+	err := parallelFor(8, 100, func(i int) error {
+		atomic.AddInt32(&visited[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	wantErr := errors.New("boom")
+	var count int32
+	err = parallelFor(4, 1000, func(i int) error {
+		if atomic.AddInt32(&count, 1) == 10 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestParallelForSequentialFallback(t *testing.T) {
+	order := []int{}
+	err := parallelFor(1, 5, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil || len(order) != 5 {
+		t.Fatalf("sequential: %v %v", order, err)
+	}
+}

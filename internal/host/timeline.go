@@ -1,0 +1,62 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders the run as a text Gantt chart, one row per rank:
+// '>' host→PiM transfer, '#' DPU kernel execution, '<' result collection,
+// '.' idle. It makes the §4.1 pipeline visible — transfers serialising on
+// the bus while other ranks compute, and the tail effect of the last
+// batches.
+func (r *Report) Timeline(width int) string {
+	if width <= 10 {
+		width = 72
+	}
+	if r.MakespanSec <= 0 || len(r.Ranks) == 0 {
+		return "(empty timeline)\n"
+	}
+	ranks := map[int][]RankStats{}
+	var ids []int
+	for _, rs := range r.Ranks {
+		if _, ok := ranks[rs.Rank]; !ok {
+			ids = append(ids, rs.Rank)
+		}
+		ranks[rs.Rank] = append(ranks[rs.Rank], rs)
+	}
+	sort.Ints(ids)
+
+	scale := float64(width) / r.MakespanSec
+	col := func(t float64) int {
+		c := int(t * scale)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %.4fs total, %d batches ('>' in, '#' kernel, '<' out)\n",
+		r.MakespanSec, r.Batches)
+	for _, id := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		paint := func(from, to float64, ch byte) {
+			for c := col(from); c <= col(to) && c < width; c++ {
+				row[c] = ch
+			}
+		}
+		for _, rs := range ranks[id] {
+			inEnd := rs.StartSec + rs.TransferInSec
+			kEnd := inEnd + rs.KernelSec
+			paint(rs.StartSec, inEnd, '>')
+			paint(inEnd, kEnd, '#')
+			paint(kEnd, rs.EndSec, '<')
+		}
+		fmt.Fprintf(&sb, "rank %2d |%s|\n", id, row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,174 @@
+// Package kernel is the DPU program of the paper's §4.2: the adaptive
+// banded Needleman & Wunsch compute kernel that runs on every DPU of the
+// (simulated) PiM system. It owns everything that is device-side in the
+// paper: the pool-of-tasklets execution geometry (P pools of T tasklets,
+// §4.2.3), the WRAM working-set budget (four w-sized anti-diagonal arrays,
+// §4.2.1), the MRAM-resident traceback structure streamed row by row
+// (§4.2.2), 2-bit nucleotide extraction (§4.1.1), and the per-phase
+// instruction/DMA cost accounting under one of the two ISA cost tables
+// (pure C vs hand-written assembly, §4.2.4).
+//
+// The cell recurrence itself is shared with internal/core — the DPU
+// kernel and the host reference implementation compute bit-identical
+// alignments by construction, which is what lets the experiment harness
+// attribute every accuracy difference to band geometry rather than to
+// implementation divergence.
+package kernel
+
+import (
+	"fmt"
+
+	"pimnw/internal/core"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+)
+
+// Geometry is the tasklet execution shape: P pools of T tasklets each.
+type Geometry struct {
+	Pools           int // P: alignments in flight per DPU
+	TaskletsPerPool int // T: tasklets cooperating on one anti-diagonal
+}
+
+// DefaultGeometry is the paper's evaluated configuration (P=6, T=4, 24
+// tasklets, 95–99 % pipeline utilisation).
+func DefaultGeometry() Geometry { return Geometry{Pools: 6, TaskletsPerPool: 4} }
+
+// Tasklets is the number of booted tasklets.
+func (g Geometry) Tasklets() int { return g.Pools * g.TaskletsPerPool }
+
+// Config assembles one kernel build: geometry, band, scoring, cost table.
+type Config struct {
+	Geometry Geometry
+	Band     int         // adaptive band size w (cells per anti-diagonal)
+	Params   core.Params // scoring model
+	Costs    pim.CostTable
+	// Traceback selects the CIGAR-producing kernel; false is the
+	// score-only kernel used by the 16S experiment.
+	Traceback bool
+	// PIM provides the WRAM/MRAM capacities the kernel must fit in.
+	PIM pim.Config
+}
+
+// WRAM working-set constants (bytes), documented in DESIGN.md §5. The real
+// kernel's figures differ in detail; what matters is that the budget is
+// enforced, producing the paper's §4.2.3 trade-off: alignment-level
+// parallelism alone cannot boot enough tasklets to fill the pipeline.
+const (
+	seqWindowBytes = 2 * 512  // streaming windows into the two packed sequences
+	btBufferBytes  = 2 * 1024 // double-buffered BT rows awaiting MRAM flush
+	poolSharedVars = 128      // master/worker shared state per pool
+)
+
+// poolWRAM returns the per-pool WRAM working set for band w: the four
+// w-sized int32 anti-diagonal arrays of §4.2.1 (two H generations kept by
+// in-place update, plus I and D), the sequence windows, the BT flush
+// buffers (traceback kernels only) and the shared variables.
+func poolWRAM(w int, traceback bool) int {
+	n := 4*4*w + seqWindowBytes + poolSharedVars
+	if traceback {
+		n += btBufferBytes
+	}
+	return n
+}
+
+// Validate checks the geometry against the device: tasklet count, and the
+// full WRAM budget (stacks + per-pool working sets) via a real allocation
+// pass against the scratchpad model.
+func (c Config) Validate() error {
+	g := c.Geometry
+	if g.Pools < 1 || g.TaskletsPerPool < 1 {
+		return fmt.Errorf("kernel: geometry %+v must be at least 1x1", g)
+	}
+	if g.Tasklets() > pim.MaxTasklets {
+		return fmt.Errorf("kernel: %d tasklets exceed the DPU's %d hardware threads",
+			g.Tasklets(), pim.MaxTasklets)
+	}
+	if c.Band < 2 {
+		return fmt.Errorf("kernel: band %d too small", c.Band)
+	}
+	if c.Band%2 != 0 {
+		return fmt.Errorf("kernel: band %d must be even (paired nibble rows)", c.Band)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.PIM.Validate(); err != nil {
+		return err
+	}
+	if c.Costs.CellScore <= 0 {
+		return fmt.Errorf("kernel: cost table %q has no per-cell cost", c.Costs.Name)
+	}
+	_, err := c.allocWRAM()
+	return err
+}
+
+// allocWRAM performs the boot-time scratchpad layout and returns it, or an
+// overflow error identifying the geometry as infeasible.
+func (c Config) allocWRAM() (*pim.WRAM, error) {
+	w, err := pim.NewWRAM(c.PIM.WRAM, c.Geometry.Tasklets()*c.PIM.StackBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: %v", err)
+	}
+	for pool := 0; pool < c.Geometry.Pools; pool++ {
+		if _, err := w.Alloc(poolWRAM(c.Band, c.Traceback)); err != nil {
+			return nil, fmt.Errorf("kernel: pool %d working set does not fit: %v", pool, err)
+		}
+	}
+	return w, nil
+}
+
+// Pair describes one alignment staged in a DPU's MRAM: 2-bit packed
+// sequences at the given offsets.
+type Pair struct {
+	ID         int // caller-chosen identifier, returned with the result
+	AOff, ALen int // packed offset (bytes) and length (bases) of the query
+	BOff, BLen int // same for the target
+}
+
+// Workload is the paper's equation (6) load estimate for a pair:
+// (m+n)·w, the quantity the host's balancer uses.
+func (p Pair) Workload(band int) int64 {
+	return int64(p.ALen+p.BLen) * int64(band)
+}
+
+// PairResult is one alignment outcome returned to the host.
+type PairResult struct {
+	ID     int
+	Score  int32
+	InBand bool
+	Cigar  []byte // serialized CIGAR text, nil for score-only kernels
+	Cells  int64
+	Steps  int
+}
+
+// StagePair packs two sequences into the DPU's MRAM and returns the pair
+// descriptor, the host-side encode step of §4.1.1. It is used by the host
+// runtime and directly by tests.
+func StagePair(d *pim.DPU, id int, a, b seq.Seq) (Pair, error) {
+	pa, err := stageSeq(d, a)
+	if err != nil {
+		return Pair{}, err
+	}
+	pb, err := stageSeq(d, b)
+	if err != nil {
+		return Pair{}, err
+	}
+	return Pair{ID: id, AOff: pa, ALen: len(a), BOff: pb, BLen: len(b)}, nil
+}
+
+func stageSeq(d *pim.DPU, s seq.Seq) (int, error) {
+	n := seq.PackedSize(len(s))
+	off, err := d.MRAM.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	seq.PackInto(d.MRAM.Bytes(off, n), s)
+	return off, nil
+}
+
+// loadSeq re-expands a staged sequence from MRAM (the DPU-side 2-bit
+// extraction; its instruction cost is part of the per-cell budget).
+func loadSeq(d *pim.DPU, off, bases int) seq.Seq {
+	p := seq.Packed{Bytes: d.MRAM.Bytes(off, seq.PackedSize(bases)), N: bases}
+	return p.Unpack()
+}

@@ -1,0 +1,214 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"pimnw/internal/core"
+	"pimnw/internal/pim"
+)
+
+// DPUOutcome is everything one DPU produces for a batch: the alignment
+// results and the simulated execution statistics.
+type DPUOutcome struct {
+	Results []PairResult
+	Stats   pim.DPUStats
+	// MRAMPeak is the modelled peak MRAM consumption: staged sequences
+	// plus the concurrent per-pool BT scratch regions.
+	MRAMPeak int
+}
+
+// Run executes the kernel on one DPU: the pairs staged in the DPU's MRAM
+// are distributed over the P pools (LPT, mirroring the host's balancing
+// heuristic at pool granularity), each pool's tasklets compute the
+// adaptive-banded DP anti-diagonal by anti-diagonal, the master tasklet
+// streams BT rows to MRAM and performs the sequential traceback, and the
+// whole schedule is priced by the fluid pipeline/DMA simulator.
+func Run(d *pim.DPU, cfg Config, pairs []Pair) (DPUOutcome, error) {
+	var out DPUOutcome
+	if err := cfg.Validate(); err != nil {
+		return out, err
+	}
+	g := cfg.Geometry
+	run, err := pim.NewDPURun(g.Tasklets())
+	if err != nil {
+		return out, err
+	}
+
+	// LPT assignment of pairs to pools.
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return pairs[order[x]].Workload(cfg.Band) > pairs[order[y]].Workload(cfg.Band)
+	})
+	poolPairs := make([][]int, g.Pools)
+	poolLoad := make([]int64, g.Pools)
+	for _, idx := range order {
+		best := 0
+		for p := 1; p < g.Pools; p++ {
+			if poolLoad[p] < poolLoad[best] {
+				best = p
+			}
+		}
+		poolPairs[best] = append(poolPairs[best], idx)
+		poolLoad[best] += pairs[idx].Workload(cfg.Band)
+	}
+
+	out.Results = make([]PairResult, 0, len(pairs))
+	rowBytes := core.NibbleRowSize(cfg.Band)
+	seqBytesStaged := d.MRAM.Used()
+	btPeakPerPool := make([]int, g.Pools)
+
+	for pool := 0; pool < g.Pools; pool++ {
+		base := pool * g.TaskletsPerPool
+		master := run.Traces[base]
+		workers := run.Traces[base : base+g.TaskletsPerPool]
+		group := int64(pool)
+		for _, idx := range poolPairs[pool] {
+			pr, btBytes, err := alignOne(d, cfg, pairs[idx], rowBytes, master, workers, group)
+			if err != nil {
+				return out, err
+			}
+			if btBytes > btPeakPerPool[pool] {
+				btPeakPerPool[pool] = btBytes
+			}
+			out.Results = append(out.Results, pr)
+		}
+	}
+
+	// MRAM pressure: in the real device the P pools hold their BT scratch
+	// regions concurrently; model the peak as the sum of per-pool maxima.
+	peak := seqBytesStaged
+	for _, b := range btPeakPerPool {
+		peak += b
+	}
+	out.MRAMPeak = peak
+	if peak > d.MRAM.Capacity() {
+		return out, fmt.Errorf("kernel: modelled MRAM peak %d exceeds the %d-byte bank (band %d too large for this batch)",
+			peak, d.MRAM.Capacity(), cfg.Band)
+	}
+
+	stats, err := pim.FluidSimulate(run)
+	if err != nil {
+		return out, err
+	}
+	out.Stats = stats
+	return out, nil
+}
+
+// alignOne computes one pair on a pool and appends its execution trace.
+func alignOne(d *pim.DPU, cfg Config, pair Pair, rowBytes int,
+	master *pim.TaskletTrace, workers []*pim.TaskletTrace, group int64) (PairResult, int, error) {
+
+	a := loadSeq(d, pair.AOff, pair.ALen)
+	b := loadSeq(d, pair.BOff, pair.BLen)
+
+	var res core.Result
+	if cfg.Traceback {
+		res = core.AdaptiveBandAlign(a, b, cfg.Params, cfg.Band)
+	} else {
+		res = core.AdaptiveBandScore(a, b, cfg.Params, cfg.Band)
+	}
+
+	pr := PairResult{ID: pair.ID, Score: res.Score, InBand: res.InBand,
+		Cells: res.Cells, Steps: res.Steps}
+	if cfg.Traceback && res.Cigar != nil {
+		pr.Cigar = []byte(res.Cigar.String())
+	}
+
+	// BT scratch in MRAM: (steps+1) nibble rows. Allocated for real so the
+	// capacity constraint of §3.3 is enforced, released after traceback.
+	btBytes := 0
+	if cfg.Traceback {
+		btBytes = (res.Steps + 1) * rowBytes
+		mark := d.MRAM.Mark()
+		if _, err := d.MRAM.Alloc(btBytes); err != nil {
+			return pr, 0, fmt.Errorf("kernel: BT scratch for pair %d: %v", pair.ID, err)
+		}
+		d.MRAM.Release(mark)
+	}
+
+	emitTrace(cfg, pair, res, len(pr.Cigar), rowBytes, master, workers, group)
+	return pr, btBytes, nil
+}
+
+// emitTrace prices the alignment: the DP phase in BT-flush intervals, then
+// the master-only traceback, with pool barriers fencing the phases.
+func emitTrace(cfg Config, pair Pair, res core.Result, cigarLen, rowBytes int,
+	master *pim.TaskletTrace, workers []*pim.TaskletTrace, group int64) {
+
+	t := int64(len(workers))
+	costs := cfg.Costs
+	cellCost := costs.CellScore
+	if cfg.Traceback {
+		cellCost = costs.CellTB
+	}
+	master.Exec(costs.AlignSetup)
+
+	// Rows flushed per interval: half of the double buffer.
+	flushSteps := (btBufferBytes / 2) / rowBytes
+	if flushSteps < 1 {
+		flushSteps = 1
+	}
+	seqBytes := int64((pair.ALen+3)/4 + (pair.BLen+3)/4)
+	steps := int64(res.Steps)
+	cells := res.Cells
+	seqLeft := seqBytes
+	stepsLeft := steps
+	cellsLeft := cells
+	for stepsLeft > 0 {
+		h := int64(flushSteps)
+		if h > stepsLeft {
+			h = stepsLeft
+		}
+		cellsHere := cellsLeft * h / stepsLeft
+		seqHere := seqLeft * h / stepsLeft
+		stepsLeft -= h
+		cellsLeft -= cellsHere
+		seqLeft -= seqHere
+
+		share := cellsHere / t
+		for i, w := range workers {
+			own := share
+			if i == 0 {
+				own += cellsHere % t // master absorbs the remainder
+			}
+			w.Exec(own*cellCost + h*costs.StepTasklet)
+		}
+		master.Exec(h * costs.StepMaster)
+		master.DMARead(seqHere)
+		if cfg.Traceback {
+			master.DMAWrite(h * int64(rowBytes))
+		}
+		if t > 1 {
+			for _, w := range workers {
+				w.Barrier(group)
+			}
+		}
+	}
+
+	// Sequential traceback on the master (§4.2.2), streaming BT rows back
+	// from MRAM in engine-sized chunks.
+	if cfg.Traceback {
+		btBytes := (steps + 1) * int64(rowBytes)
+		cols := int64(cigarLen) // proportional to alignment columns
+		for btBytes > 0 {
+			chunk := int64(pim.DMAMaxBytes)
+			if chunk > btBytes {
+				chunk = btBytes
+			}
+			master.DMARead(chunk)
+			colsHere := cols * chunk / ((steps+1)*int64(rowBytes) + 1)
+			master.Exec(colsHere * costs.TracebackCol)
+			btBytes -= chunk
+		}
+	}
+	master.DMAWrite(int64(16 + cigarLen))
+	if t > 1 {
+		for _, w := range workers {
+			w.Barrier(group)
+		}
+	}
+}

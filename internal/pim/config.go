@@ -1,0 +1,165 @@
+// Package pim models the UPMEM Processing-in-Memory system of the paper's
+// §2: DIMMs of two ranks, ranks of 64 DPUs, each DPU owning a 64 MB MRAM
+// bank and a 64 KB WRAM scratchpad and executing up to 24 hardware tasklets
+// through a 14-stage round-robin pipeline with an 11-cycle re-entry
+// restriction. There is no UPMEM hardware in this environment, so the
+// package provides the device as a *model*: hard capacity enforcement for
+// the memories, an instruction/DMA cost accounting interface for kernels,
+// and two cross-validated performance simulators (an exact cycle-stepped
+// round-robin simulator and a fast fluid-rate event simulator) that turn a
+// kernel's tasklet traces into DPU cycle counts.
+package pim
+
+import "fmt"
+
+// Architectural constants of the UPMEM device generation evaluated in the
+// paper (DPU-S "v1.4", 350 MHz parts).
+const (
+	DPUsPerRank     = 64
+	RanksPerDIMM    = 2
+	DefaultFreqMHz  = 350
+	DefaultMRAM     = 64 << 20 // 64 MB bank per DPU
+	DefaultWRAM     = 64 << 10 // 64 KB scratchpad per DPU
+	MaxTasklets     = 24
+	PipelineReentry = 11 // a tasklet may issue at most one instruction per 11 cycles
+	PipelineDepth   = 14
+	// DMA engine: MRAM<->WRAM transfers at 2 bytes/cycle after a fixed
+	// setup latency; transfer sizes are architecturally 8..2048 bytes.
+	DMABytesPerCycle = 2
+	DMASetupCycles   = 64
+	DMAMinBytes      = 8
+	DMAMaxBytes      = 2048
+)
+
+// Config describes one PiM system instance.
+type Config struct {
+	Ranks   int // total ranks in the system (paper server: 20 DIMMs = 40 ranks)
+	FreqMHz int // DPU clock
+	MRAM    int // bytes of MRAM per DPU
+	WRAM    int // bytes of WRAM per DPU
+	// StackBytes is the per-tasklet stack carved out of WRAM at boot; it
+	// is what limits pure alignment-level parallelism (§4.2.3).
+	StackBytes int
+	// HostBandwidthGBs is the host<->PiM transfer bandwidth over the DDR
+	// bus (the paper measures ~60 GB/s aggregated).
+	HostBandwidthGBs float64
+	// RankLaunchOverheadUS models the per-launch host cost of booting a
+	// rank and collecting its completion status, in microseconds.
+	RankLaunchOverheadUS float64
+}
+
+// DefaultConfig is the paper's evaluation server: 20 PiM DIMMs (40 ranks,
+// 2560 DPUs) at 350 MHz.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:                40,
+		FreqMHz:              DefaultFreqMHz,
+		MRAM:                 DefaultMRAM,
+		WRAM:                 DefaultWRAM,
+		StackBytes:           1280,
+		HostBandwidthGBs:     60,
+		RankLaunchOverheadUS: 150,
+	}
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("pim: Ranks must be positive, got %d", c.Ranks)
+	}
+	if c.FreqMHz <= 0 {
+		return fmt.Errorf("pim: FreqMHz must be positive, got %d", c.FreqMHz)
+	}
+	if c.MRAM <= 0 || c.WRAM <= 0 {
+		return fmt.Errorf("pim: memory sizes must be positive")
+	}
+	if c.StackBytes <= 0 || c.StackBytes*MaxTasklets > c.WRAM {
+		return fmt.Errorf("pim: %d tasklet stacks of %d bytes exceed WRAM %d",
+			MaxTasklets, c.StackBytes, c.WRAM)
+	}
+	if c.HostBandwidthGBs <= 0 {
+		return fmt.Errorf("pim: HostBandwidthGBs must be positive")
+	}
+	return nil
+}
+
+// DPUs returns the total DPU count.
+func (c Config) DPUs() int { return c.Ranks * DPUsPerRank }
+
+// CyclesToSeconds converts DPU cycles to wall-clock seconds.
+func (c Config) CyclesToSeconds(cycles int64) float64 {
+	return float64(cycles) / (float64(c.FreqMHz) * 1e6)
+}
+
+// HostTransferSeconds returns the time to move n bytes between host memory
+// and PiM MRAMs over the DDR bus.
+func (c Config) HostTransferSeconds(n int64) float64 {
+	return float64(n) / (c.HostBandwidthGBs * 1e9)
+}
+
+// DMACycles returns the DPU cycles a single MRAM<->WRAM DMA transfer of n
+// bytes occupies the engine: fixed setup plus 2 bytes per cycle. Transfers
+// larger than the architectural maximum are split.
+func DMACycles(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	transfers := (n + DMAMaxBytes - 1) / DMAMaxBytes
+	return transfers*DMASetupCycles + (n+DMABytesPerCycle-1)/DMABytesPerCycle
+}
+
+// CostTable itemises the instruction budget of the DPU alignment kernel's
+// phases. Two instances model the paper's two kernels: the portable C one
+// and the hand-optimised assembly one (26 lines of asm: cmpb4 4-byte SIMD
+// compare, shift-fused-jump on parity, fused arithmetic-branch
+// instructions; §4.2.4 and §5.5). On the DPU every instruction costs one
+// issue slot and there is no speculation, so cycle counts are instruction
+// counts — which is why the 38 % inner-loop reduction translates directly
+// into the Table 7 speedups.
+type CostTable struct {
+	Name string
+	// CellScore: instructions per DP cell on the score-only path
+	// (anti-diagonal update of H, I, D, including 2-bit base extraction).
+	CellScore int64
+	// CellTB: instructions per DP cell when the 4-bit traceback nibble is
+	// also assembled and buffered.
+	CellTB int64
+	// StepTasklet: per anti-diagonal per tasklet loop/index/sync overhead.
+	StepTasklet int64
+	// StepMaster: per anti-diagonal master-only work (shift decision,
+	// window bookkeeping, BT row flush bookkeeping).
+	StepMaster int64
+	// TracebackCol: instructions per emitted alignment column during the
+	// sequential traceback walk.
+	TracebackCol int64
+	// AlignSetup: per-alignment fixed cost (buffer init, result emission).
+	AlignSetup int64
+}
+
+// Kernel cost tables. The absolute values are calibrated in EXPERIMENTS.md
+// §"Cost model calibration" from the paper's own Tables 5 and 7 (score-only
+// ratio 864/632 = 1.37, traceback-heavy ratio up to 1.69); what the
+// experiments exercise is their *ratios* and the split between score and
+// traceback paths.
+var (
+	// PureC is the kernel as produced by the LLVM-based DPU compiler.
+	PureC = CostTable{
+		Name:         "pure-C",
+		CellScore:    44,
+		CellTB:       70,
+		StepTasklet:  24,
+		StepMaster:   40,
+		TracebackCol: 96,
+		AlignSetup:   3000,
+	}
+	// Asm is the kernel with the hand-written assembly inner loops.
+	Asm = CostTable{
+		Name:         "asm",
+		CellScore:    32,
+		CellTB:       44,
+		StepTasklet:  18,
+		StepMaster:   32,
+		TracebackCol: 56,
+		AlignSetup:   3000,
+	}
+)

@@ -1,0 +1,177 @@
+package pim
+
+import (
+	"fmt"
+	"math"
+)
+
+// FluidSimulate runs the fast performance model: between events, the
+// pipeline is a fluid resource serving the k currently-executing tasklets
+// at an aggregate rate of min(k/11, 1) instructions per cycle (each tasklet
+// progressing at min(1/11, 1/k)), which is the exact behaviour of the
+// round-robin issue stage in steady state. DMA transfers are served one at
+// a time at 2 B/cycle plus setup. Events are segment completions, so the
+// cost is O(segments), letting the experiment harness simulate full-size
+// kernels that would take hours under ExactSimulate. The two models are
+// cross-validated in the package tests (within a few percent).
+func FluidSimulate(run *DPURun) (DPUStats, error) {
+	const (
+		stExec = iota
+		stDMAQueued
+		stDMAActive
+		stBarrier
+		stDone
+	)
+	n := len(run.Traces)
+	if n == 0 {
+		return DPUStats{}, fmt.Errorf("pim: empty run")
+	}
+	type tasklet struct {
+		segs      []Segment
+		idx       int
+		remaining float64 // instructions (Exec) or engine cycles (DMA)
+		state     int
+	}
+	ts := make([]*tasklet, n)
+	var stats DPUStats
+
+	groups := run.barrierGroups()
+	arrived := map[int64]int{}
+	waiting := map[int64][]int{}
+	var dmaQueue []int
+	dmaActive := -1
+
+	var advance func(i int)
+	advance = func(i int) {
+		t := ts[i]
+		for {
+			t.idx++
+			if t.idx >= len(t.segs) {
+				t.state = stDone
+				return
+			}
+			seg := t.segs[t.idx]
+			switch seg.Kind {
+			case SegExec:
+				t.state = stExec
+				t.remaining = float64(seg.Arg)
+				return
+			case SegDMARead, SegDMAWrite:
+				t.state = stDMAQueued
+				t.remaining = float64(DMACycles(seg.Arg))
+				stats.DMABytes += seg.Arg
+				stats.DMATransfers += (seg.Arg + DMAMaxBytes - 1) / DMAMaxBytes
+				dmaQueue = append(dmaQueue, i)
+				return
+			case SegBarrier:
+				g := seg.Arg
+				arrived[g]++
+				if arrived[g] == len(groups[g]) {
+					arrived[g] = 0
+					released := waiting[g]
+					waiting[g] = nil
+					for _, j := range released {
+						advance(j)
+					}
+					continue
+				}
+				t.state = stBarrier
+				waiting[g] = append(waiting[g], i)
+				return
+			}
+		}
+	}
+
+	for i, tr := range run.Traces {
+		ts[i] = &tasklet{segs: tr.Segs, idx: -1}
+		advance(i)
+	}
+
+	var now float64
+	var issueIntegral, dmaIntegral float64
+	const eps = 1e-9
+	for {
+		// Activate the DMA engine if idle.
+		if dmaActive < 0 && len(dmaQueue) > 0 {
+			dmaActive = dmaQueue[0]
+			dmaQueue = dmaQueue[1:]
+			ts[dmaActive].state = stDMAActive
+		}
+
+		// Count executing tasklets and find the horizon.
+		k := 0
+		for _, t := range ts {
+			if t.state == stExec {
+				k++
+			}
+		}
+		if k == 0 && dmaActive < 0 {
+			break // all done, or deadlocked on barriers (checked below)
+		}
+		perTaskletRate := 0.0
+		if k > 0 {
+			perTaskletRate = math.Min(1.0/PipelineReentry, 1.0/float64(k))
+		}
+		dt := math.Inf(1)
+		for _, t := range ts {
+			if t.state == stExec && perTaskletRate > 0 {
+				if d := t.remaining / perTaskletRate; d < dt {
+					dt = d
+				}
+			}
+		}
+		if dmaActive >= 0 {
+			if d := ts[dmaActive].remaining; d < dt {
+				dt = d
+			}
+		}
+		if math.IsInf(dt, 1) {
+			break
+		}
+		if dt < eps {
+			dt = eps
+		}
+
+		now += dt
+		aggRate := float64(k) * perTaskletRate // = min(k/11, 1)
+		issueIntegral += aggRate * dt
+		if dmaActive >= 0 {
+			dmaIntegral += dt
+		}
+		var finishedDMA = -1
+		for i, t := range ts {
+			switch t.state {
+			case stExec:
+				t.remaining -= perTaskletRate * dt
+				if t.remaining < eps {
+					advance(i)
+				}
+			case stDMAActive:
+				t.remaining -= dt
+				if t.remaining < eps {
+					finishedDMA = i
+				}
+			}
+		}
+		if finishedDMA >= 0 {
+			dmaActive = -1
+			advance(finishedDMA)
+		}
+	}
+
+	for g, w := range waiting {
+		if len(w) > 0 {
+			return stats, fmt.Errorf("pim: %d tasklets deadlocked on barrier group %d", len(w), g)
+		}
+	}
+	for i, t := range ts {
+		if t.state != stDone {
+			return stats, fmt.Errorf("pim: tasklet %d stalled in state %d", i, t.state)
+		}
+	}
+	stats.Cycles = int64(math.Ceil(now))
+	stats.IssueCycles = int64(issueIntegral + 0.5)
+	stats.Instr, _, _ = run.Totals()
+	stats.DMACycles = int64(dmaIntegral + 0.5)
+	return stats, nil
+}

@@ -1,0 +1,131 @@
+package pim
+
+import "fmt"
+
+// align8 rounds n up to the DPU's 8-byte DMA alignment.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// MRAM models one DPU's 64 MB DRAM bank: a bump allocator over real bytes
+// with hard capacity enforcement. The backing array grows on demand so a
+// 2560-DPU system does not reserve 160 GB of host memory up front.
+type MRAM struct {
+	capacity int
+	used     int
+	buf      []byte
+}
+
+// NewMRAM creates a bank of the given capacity.
+func NewMRAM(capacity int) *MRAM { return &MRAM{capacity: capacity} }
+
+// Alloc reserves n bytes (8-byte aligned) and returns their offset.
+func (m *MRAM) Alloc(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("pim: negative MRAM allocation %d", n)
+	}
+	off := m.used
+	need := off + align8(n)
+	if need > m.capacity {
+		return 0, fmt.Errorf("pim: MRAM overflow: %d used + %d requested > %d bank size",
+			m.used, n, m.capacity)
+	}
+	m.used = need
+	if need > len(m.buf) {
+		grown := make([]byte, need+need/2)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	return off, nil
+}
+
+// Bytes returns the live window [off, off+n) of the bank.
+func (m *MRAM) Bytes(off, n int) []byte {
+	if off < 0 || n < 0 || off+n > m.used {
+		panic(fmt.Sprintf("pim: MRAM access [%d,%d) outside allocated %d bytes", off, off+n, m.used))
+	}
+	return m.buf[off : off+n]
+}
+
+// Used reports the allocated byte count.
+func (m *MRAM) Used() int { return m.used }
+
+// Capacity reports the bank size.
+func (m *MRAM) Capacity() int { return m.capacity }
+
+// Reset frees every allocation (the host reuses banks between batches).
+// The backing array is kept to avoid re-growing.
+func (m *MRAM) Reset() { m.used = 0 }
+
+// Mark returns the current allocation watermark.
+func (m *MRAM) Mark() int { return m.used }
+
+// Release rolls the allocator back to a previous Mark, freeing everything
+// allocated since (the kernel releases each alignment's BT scratch this
+// way once the traceback is done).
+func (m *MRAM) Release(mark int) {
+	if mark < 0 || mark > m.used {
+		panic(fmt.Sprintf("pim: Release(%d) outside [0,%d]", mark, m.used))
+	}
+	m.used = mark
+}
+
+// WRAM models the 64 KB scratchpad. Allocations come from a bump pointer
+// after the per-tasklet stacks; exceeding the scratchpad is an error the
+// kernel must handle at configuration time — this is the constraint that
+// forces the banded formulation and the pool geometry of §4.2.3.
+type WRAM struct {
+	capacity int
+	used     int
+	buf      []byte
+}
+
+// NewWRAM creates a scratchpad, reserving stacks bytes for tasklet stacks.
+func NewWRAM(capacity, stacks int) (*WRAM, error) {
+	if stacks > capacity {
+		return nil, fmt.Errorf("pim: tasklet stacks (%d B) exceed WRAM (%d B)", stacks, capacity)
+	}
+	return &WRAM{capacity: capacity, used: stacks, buf: make([]byte, capacity)}, nil
+}
+
+// Alloc reserves n bytes (8-byte aligned) and returns the live slice.
+func (w *WRAM) Alloc(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pim: negative WRAM allocation %d", n)
+	}
+	off := w.used
+	need := off + align8(n)
+	if need > w.capacity {
+		return nil, fmt.Errorf("pim: WRAM overflow: %d used + %d requested > %d scratchpad",
+			w.used, n, w.capacity)
+	}
+	w.used = need
+	return w.buf[off : off+n : off+n], nil
+}
+
+// AllocInt32 reserves a w-element int32 array (the anti-diagonal score
+// arrays of §4.2.1 live in WRAM as int32).
+func (w *WRAM) AllocInt32(n int) ([]int32, error) {
+	if _, err := w.Alloc(4 * n); err != nil {
+		return nil, err
+	}
+	return make([]int32, n), nil
+}
+
+// Used reports the allocated byte count, stacks included.
+func (w *WRAM) Used() int { return w.used }
+
+// Free reports the remaining bytes.
+func (w *WRAM) Free() int { return w.capacity - w.used }
+
+// DPU bundles the per-DPU state the kernel and host interact with.
+type DPU struct {
+	ID   int // global DPU index: rank*64 + member
+	MRAM *MRAM
+}
+
+// NewDPU builds a DPU with an MRAM bank per the configuration.
+func (c Config) NewDPU(id int) *DPU {
+	return &DPU{ID: id, MRAM: NewMRAM(c.MRAM)}
+}
+
+// Rank returns the rank this DPU belongs to.
+func (d *DPU) Rank() int { return d.ID / DPUsPerRank }

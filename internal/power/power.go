@@ -1,0 +1,109 @@
+// Package power implements the paper's §5.6 energy and cost analysis,
+// following the component-level methodology of Falevoz & Legriel (Euro-Par
+// 2023 workshops): per-part power figures from specifications, energy =
+// power × execution time.
+package power
+
+import "fmt"
+
+// Component is one powered system part.
+type Component struct {
+	Name  string
+	Watts float64
+}
+
+// System is a server configuration.
+type System struct {
+	Name       string
+	Components []Component
+}
+
+// Watts is the total power draw.
+func (s System) Watts() float64 {
+	var w float64
+	for _, c := range s.Components {
+		w += c.Watts
+	}
+	return w
+}
+
+// EnergyJoules is the energy of a run taking the given time.
+func (s System) EnergyJoules(seconds float64) float64 {
+	return s.Watts() * seconds
+}
+
+// EnergyKJ is EnergyJoules in kilojoules, the unit of Table 8.
+func (s System) EnergyKJ(seconds float64) float64 {
+	return s.EnergyJoules(seconds) / 1000
+}
+
+// The paper's three systems. The totals match §5.6 exactly (307 W, 337 W,
+// 767 W); the per-part split follows the cited methodology.
+var (
+	// Server4215 is the dual Xeon Silver 4215 server (85 W TDP parts).
+	Server4215 = System{
+		Name: "Intel 4215",
+		Components: []Component{
+			{"2x Xeon Silver 4215", 170},
+			{"8x DDR4 DIMM", 24},
+			{"chassis+fans+PSU", 113},
+		},
+	}
+	// Server4216 is the dual Xeon Silver 4216 server (100 W TDP parts).
+	Server4216 = System{
+		Name: "Intel 4216",
+		Components: []Component{
+			{"2x Xeon Silver 4216", 200},
+			{"8x DDR4 DIMM", 24},
+			{"chassis+fans+PSU", 113},
+		},
+	}
+	// PiMServer is the 4215 server plus 20 UPMEM PiM DIMMs (23 W each).
+	PiMServer = System{
+		Name: "UPMEM PiM",
+		Components: []Component{
+			{"2x Xeon Silver 4215", 170},
+			{"8x DDR4 DIMM", 24},
+			{"chassis+fans+PSU", 113},
+			{"20x UPMEM PiM DIMM", 460},
+		},
+	}
+)
+
+// CostModel is the §5.6 acquisition-cost comparison.
+type CostModel struct {
+	BaseServerEUR float64 // the Intel 4216 server
+	PiMDIMMsEUR   float64 // adding the 20 PiM DIMMs
+}
+
+// PaperCosts are the figures quoted in §5.6.
+var PaperCosts = CostModel{BaseServerEUR: 11_000, PiMDIMMsEUR: 9_000}
+
+// CostRatio is the price multiplier of the PiM-equipped server over the
+// base server (the paper's 1.8x).
+func (c CostModel) CostRatio() float64 {
+	if c.BaseServerEUR == 0 {
+		return 0
+	}
+	return (c.BaseServerEUR + c.PiMDIMMsEUR) / c.BaseServerEUR
+}
+
+// PerfPerCost relates a measured speedup to the cost ratio: values above 1
+// mean the PiM investment buys more throughput than it costs.
+func (c CostModel) PerfPerCost(speedup float64) float64 {
+	r := c.CostRatio()
+	if r == 0 {
+		return 0
+	}
+	return speedup / r
+}
+
+// EfficiencyGain is the energy ratio of a baseline run against a PiM run
+// (the paper's "2.4 to 3.7x less power").
+func EfficiencyGain(baseline System, baselineSec float64, pimSec float64) (float64, error) {
+	pe := PiMServer.EnergyJoules(pimSec)
+	if pe <= 0 {
+		return 0, fmt.Errorf("power: non-positive PiM energy")
+	}
+	return baseline.EnergyJoules(baselineSec) / pe, nil
+}

@@ -1,0 +1,85 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSystemWattsMatchPaper(t *testing.T) {
+	cases := []struct {
+		sys  System
+		want float64
+	}{
+		{Server4215, 307},
+		{Server4216, 337},
+		{PiMServer, 767},
+	}
+	for _, tc := range cases {
+		if got := tc.sys.Watts(); math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("%s = %v W, paper says %v", tc.sys.Name, got, tc.want)
+		}
+	}
+}
+
+func TestTable8Energies(t *testing.T) {
+	// Table 8 is power x Table 5/6 runtimes; reproduce all six cells.
+	cases := []struct {
+		sys     System
+		seconds float64
+		wantKJ  float64
+	}{
+		{Server4215, 5882, 1805}, // 16S
+		{Server4216, 3538, 1192},
+		{PiMServer, 632, 484},
+		{Server4215, 4044, 1241}, // PacBio
+		{Server4216, 2788, 939},
+		{PiMServer, 505, 387},
+	}
+	for _, tc := range cases {
+		got := tc.sys.EnergyKJ(tc.seconds)
+		if math.Abs(got-tc.wantKJ) > tc.wantKJ*0.01 {
+			t.Errorf("%s x %.0fs = %.0f kJ, paper says %.0f", tc.sys.Name, tc.seconds, got, tc.wantKJ)
+		}
+	}
+}
+
+func TestCostRatio(t *testing.T) {
+	if r := PaperCosts.CostRatio(); math.Abs(r-20.0/11) > 0.01 {
+		t.Errorf("cost ratio = %v, paper says ~1.8", r)
+	}
+	if (CostModel{}).CostRatio() != 0 {
+		t.Error("zero-cost model should not divide by zero")
+	}
+}
+
+func TestPerfPerCost(t *testing.T) {
+	// The paper's argument: 5.5x speedup for 1.8x cost is a ~3x win.
+	v := PaperCosts.PerfPerCost(5.5)
+	if v < 2.9 || v > 3.2 {
+		t.Errorf("perf/cost = %v, want ~3", v)
+	}
+	if (CostModel{}).PerfPerCost(5) != 0 {
+		t.Error("zero-cost model should return 0")
+	}
+}
+
+func TestEfficiencyGainRange(t *testing.T) {
+	// Table 8 implies gains of 2.4-3.7x over the two Intel servers.
+	g1, err := EfficiencyGain(Server4215, 5882, 632)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 < 3.5 || g1 > 3.9 {
+		t.Errorf("16S vs 4215 gain = %v, want ~3.7", g1)
+	}
+	g2, err := EfficiencyGain(Server4216, 2788, 505)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 < 2.2 || g2 > 2.6 {
+		t.Errorf("PacBio vs 4216 gain = %v, want ~2.4", g2)
+	}
+	if _, err := EfficiencyGain(Server4215, 100, 0); err == nil {
+		t.Error("zero PiM time accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Record is a named FASTA sequence.
+type Record struct {
+	Name string
+	Seq  Seq
+}
+
+// ReadFASTA parses FASTA records from r. Ambiguous bases are resolved with
+// rng (see FromString); pass a seeded rng for reproducible N substitution.
+func ReadFASTA(r io.Reader, rng *rand.Rand) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var (
+		recs []Record
+		name string
+		body strings.Builder
+		open bool
+	)
+	flush := func() error {
+		if !open {
+			return nil
+		}
+		s, err := FromString(body.String(), rng)
+		if err != nil {
+			return fmt.Errorf("seq: record %q: %w", name, err)
+		}
+		recs = append(recs, Record{Name: name, Seq: s})
+		body.Reset()
+		return nil
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			name = strings.TrimSpace(text[1:])
+			open = true
+			continue
+		}
+		if !open {
+			return nil, fmt.Errorf("seq: line %d: sequence data before first FASTA header", line)
+		}
+		body.WriteString(text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// WriteFASTA writes records to w, wrapping sequence lines at width columns
+// (60 if width <= 0).
+func WriteFASTA(w io.Writer, recs []Record, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		s := rec.Seq.String()
+		for len(s) > 0 {
+			n := width
+			if n > len(s) {
+				n = len(s)
+			}
+			if _, err := bw.WriteString(s[:n]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			s = s[n:]
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,88 @@
+package seq
+
+import "math/rand"
+
+// Mutator applies a sequencing-error / divergence model to sequences. It is
+// the generator behind the synthetic datasets (the role the WFA paper's
+// generator plays in §5) and behind the PacBio-like high-error reads: base
+// substitutions, short indels with geometric lengths, and optional large
+// structural gaps (the ">100 bp" gaps of the paper's PacBio dataset).
+type Mutator struct {
+	SubRate float64 // per-base substitution probability
+	InsRate float64 // per-position insertion-start probability
+	DelRate float64 // per-position deletion-start probability
+	// IndelExt is the geometric continuation probability of an indel run;
+	// 0 means all indels have length 1.
+	IndelExt float64
+	// BigGapRate is the per-position probability of a large structural gap
+	// (insertion or deletion with equal probability).
+	BigGapRate float64
+	// BigGapMin/BigGapMax bound the structural gap length (inclusive).
+	BigGapMin, BigGapMax int
+}
+
+// geomLen draws 1 + Geometric(1-ext) capped at 100 to keep short indels short.
+func geomLen(rng *rand.Rand, ext float64) int {
+	n := 1
+	for n < 100 && ext > 0 && rng.Float64() < ext {
+		n++
+	}
+	return n
+}
+
+func (m Mutator) bigGapLen(rng *rand.Rand) int {
+	lo, hi := m.BigGapMin, m.BigGapMax
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// Apply mutates s according to the model, returning a new sequence. The
+// original is never modified.
+func (m Mutator) Apply(rng *rand.Rand, s Seq) Seq {
+	out := make(Seq, 0, len(s)+len(s)/8)
+	for i := 0; i < len(s); i++ {
+		if m.BigGapRate > 0 && rng.Float64() < m.BigGapRate {
+			n := m.bigGapLen(rng)
+			if rng.Intn(2) == 0 {
+				// structural insertion of random bases
+				for k := 0; k < n; k++ {
+					out = append(out, Base(rng.Intn(NumBases)))
+				}
+			} else {
+				// structural deletion: skip n source bases
+				i += n - 1
+				continue
+			}
+		}
+		if rng.Float64() < m.InsRate {
+			for k, n := 0, geomLen(rng, m.IndelExt); k < n; k++ {
+				out = append(out, Base(rng.Intn(NumBases)))
+			}
+		}
+		if rng.Float64() < m.DelRate {
+			n := geomLen(rng, m.IndelExt)
+			i += n - 1
+			continue
+		}
+		b := s[i]
+		if rng.Float64() < m.SubRate {
+			// substitute with one of the three other bases
+			b = (b + Base(1+rng.Intn(NumBases-1))) & 3
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// UniformErrors is a convenience mutator with equal substitution, insertion
+// and deletion rates summing to errorRate, the error model of the synthetic
+// S-datasets.
+func UniformErrors(errorRate float64) Mutator {
+	r := errorRate / 3
+	return Mutator{SubRate: r, InsRate: r, DelRate: r, IndelExt: 0.3}
+}

@@ -1,0 +1,87 @@
+package wfa
+
+import (
+	"fmt"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/seq"
+)
+
+// backtrack reconstructs the optimal path from the retained wavefronts,
+// mirroring the forward pass's tie-breaking (mismatch before I before D;
+// gap-open before gap-extend — maxOff prefers its first argument).
+//
+// Component/CIGAR mapping: the I component consumes a target character
+// (cigar.Del relative to the query); the D component consumes a query
+// character (cigar.Ins).
+func backtrack(a, b seq.Seq, p Penalties, ws *waves, sFinal int32) cigar.Cigar {
+	var c cigar.Cigar
+	s := sFinal
+	comp := compM
+	k := int32(len(b) - len(a))
+	h := offset(len(b))
+	guard := 4 * (len(a) + len(b) + 4)
+
+	for {
+		if guard--; guard < 0 {
+			panic("wfa: backtrack did not terminate")
+		}
+		switch comp {
+		case compM:
+			if s == 0 {
+				// The initial extension run from (0,0) on diagonal 0.
+				c = c.Append(cigar.Match, int(h))
+				return c.Reverse()
+			}
+			// Undo the match extension down to the pre-extend offset.
+			misW := ws.get(compM, s-p.Mismatch)
+			var mis offset = offNone
+			if misW != nil && misW.at(k) > offNone {
+				mis = misW.at(k) + 1
+			}
+			iv := ws.get(compI, s).at(k)
+			dv := ws.get(compD, s).at(k)
+			h0 := maxOff(mis, maxOff(iv, dv))
+			if h0 <= offNone {
+				panic(fmt.Sprintf("wfa: no predecessor for M state s=%d k=%d h=%d", s, k, h))
+			}
+			if h > h0 {
+				c = c.Append(cigar.Match, int(h-h0))
+				h = h0
+			}
+			switch {
+			case h == mis:
+				c = c.Append(cigar.Mismatch, 1)
+				s -= p.Mismatch
+				h--
+			case h == iv:
+				comp = compI
+			default:
+				comp = compD
+			}
+		case compI:
+			// One target character consumed: a deletion from the query.
+			c = c.Append(cigar.Del, 1)
+			open := ws.get(compM, s-p.GapOpen-p.GapExt)
+			h--
+			if open != nil && open.at(k-1) == h {
+				s -= p.GapOpen + p.GapExt
+				comp = compM
+			} else {
+				s -= p.GapExt
+			}
+			k--
+		case compD:
+			// One query character consumed: an insertion.
+			c = c.Append(cigar.Ins, 1)
+			open := ws.get(compM, s-p.GapOpen-p.GapExt)
+			if open != nil && open.at(k+1) == h {
+				s -= p.GapOpen + p.GapExt
+				comp = compM
+			} else {
+				s -= p.GapExt
+			}
+			k++
+		}
+	}
+}

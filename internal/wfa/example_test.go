@@ -1,0 +1,23 @@
+package wfa_test
+
+import (
+	"fmt"
+
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+	"pimnw/internal/wfa"
+)
+
+func ExampleAlignParams() {
+	a := seq.MustFromString("ACGTACGT")
+	b := seq.MustFromString("ACGAACGT")
+	res, _ := wfa.AlignParams(a, b, core.DefaultParams())
+	fmt.Println(res.Score, res.Penalty, res.Cigar)
+	// Output: 10 6 3=1X4=
+}
+
+func ExampleFromParams() {
+	p, _ := wfa.FromParams(core.DefaultParams())
+	fmt.Println(p.Mismatch, p.GapOpen, p.GapExt)
+	// Output: 6 4 3
+}

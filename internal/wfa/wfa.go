@@ -1,0 +1,311 @@
+// Package wfa implements the gap-affine wavefront alignment algorithm
+// (Marco-Sola et al., Bioinformatics 2020) — the modern exact aligner the
+// paper cites as related work and borrows its dataset generator from. It
+// serves two roles in this repository: an independent exact oracle for the
+// DP implementations (WFA provably returns the optimal affine-gap score),
+// and the host-side comparator for the extension experiments.
+//
+// WFA is formulated as penalty minimisation with free matches; the
+// maximisation scores of internal/core map onto it exactly (see
+// FromParams): an alignment maximising M·a + X·b − Σ(O + len·E) minimises
+// b·x + k·o + len·e with x = M−X, o = O, e = E + M/2, and the scores
+// relate by S = M·(m+n)/2 − P. Why the paper still uses the banded DP on
+// the DPU: WFA's working set grows with the penalty (O(s²) cells for
+// divergent pairs), which neither fits the 64 KB WRAM nor bounds MRAM
+// traffic, whereas the band is a fixed w·(m+n) budget.
+package wfa
+
+import (
+	"fmt"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+// Penalties is the WFA cost model: matches are free, everything else is a
+// non-negative penalty to minimise.
+type Penalties struct {
+	Mismatch int32 // x > 0
+	GapOpen  int32 // o >= 0
+	GapExt   int32 // e > 0
+}
+
+// Validate rejects models WFA cannot handle.
+func (p Penalties) Validate() error {
+	if p.Mismatch <= 0 {
+		return fmt.Errorf("wfa: mismatch penalty must be positive, got %d", p.Mismatch)
+	}
+	if p.GapOpen < 0 {
+		return fmt.Errorf("wfa: gap-open penalty must be non-negative, got %d", p.GapOpen)
+	}
+	if p.GapExt <= 0 {
+		return fmt.Errorf("wfa: gap-extend penalty must be positive, got %d", p.GapExt)
+	}
+	return nil
+}
+
+// FromParams converts the library's maximisation scores into WFA
+// penalties. It requires an even Match score (the standard score-to-
+// penalty transform divides it by two).
+func FromParams(p core.Params) (Penalties, error) {
+	if p.Match%2 != 0 {
+		return Penalties{}, fmt.Errorf("wfa: match score %d must be even for the penalty transform", p.Match)
+	}
+	return Penalties{
+		Mismatch: p.Match - p.Mismatch,
+		GapOpen:  p.GapOpen,
+		GapExt:   p.GapExt + p.Match/2,
+	}, nil
+}
+
+// ScoreFromPenalty maps a WFA penalty back to the maximisation score of an
+// (m,n) global alignment.
+func ScoreFromPenalty(p core.Params, m, n int, penalty int32) int32 {
+	return p.Match*int32(m+n)/2 - penalty
+}
+
+// offset is a furthest-reaching point: the number of target characters
+// consumed (the column h); the row is recovered as v = h - k.
+type offset int32
+
+// offNone marks an unreachable wavefront cell.
+const offNone offset = -(1 << 30)
+
+// wavefront is one (score, component) diagonal range of furthest offsets.
+type wavefront struct {
+	lo, hi int32 // diagonal range [lo, hi]
+	off    []offset
+}
+
+func (w *wavefront) at(k int32) offset {
+	if w == nil || k < w.lo || k > w.hi {
+		return offNone
+	}
+	return w.off[k-w.lo]
+}
+
+func newWavefront(lo, hi int32) *wavefront {
+	w := &wavefront{lo: lo, hi: hi, off: make([]offset, hi-lo+1)}
+	for i := range w.off {
+		w.off[i] = offNone
+	}
+	return w
+}
+
+// waves holds the M/I/D wavefronts of every penalty computed so far
+// (retained in full so the traceback can walk them).
+type waves struct {
+	m, i, d []*wavefront
+}
+
+func (ws *waves) get(comp int, s int32) *wavefront {
+	var arr []*wavefront
+	switch comp {
+	case compM:
+		arr = ws.m
+	case compI:
+		arr = ws.i
+	default:
+		arr = ws.d
+	}
+	if s < 0 || int(s) >= len(arr) {
+		return nil
+	}
+	return arr[s]
+}
+
+const (
+	compM = iota
+	compI // gap in the query: consumes target (h+1), diagonal k+1
+	compD // gap in the target: consumes query (v+1), diagonal k-1
+)
+
+// Result is a WFA alignment outcome.
+type Result struct {
+	// Penalty is the minimal WFA penalty.
+	Penalty int32
+	// Score is the equivalent maximisation score under the core Params
+	// the run was configured from (only set by AlignParams/ScoreParams).
+	Score int32
+	// Cigar is the optimal path (nil for score-only runs).
+	Cigar cigar.Cigar
+	// Cells counts wavefront offsets computed, WFA's work metric.
+	Cells int64
+}
+
+// Score computes the minimal penalty of a global alignment.
+func Score(a, b seq.Seq, p Penalties) (Result, error) {
+	return run(a, b, p, false)
+}
+
+// Align additionally produces the CIGAR. Memory is O(s·s) offsets for a
+// final penalty s.
+func Align(a, b seq.Seq, p Penalties) (Result, error) {
+	return run(a, b, p, true)
+}
+
+// ScoreParams scores under the library's maximisation model.
+func ScoreParams(a, b seq.Seq, params core.Params) (Result, error) {
+	p, err := FromParams(params)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := Score(a, b, p)
+	if err != nil {
+		return res, err
+	}
+	res.Score = ScoreFromPenalty(params, len(a), len(b), res.Penalty)
+	return res, nil
+}
+
+// AlignParams aligns under the library's maximisation model.
+func AlignParams(a, b seq.Seq, params core.Params) (Result, error) {
+	p, err := FromParams(params)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := Align(a, b, p)
+	if err != nil {
+		return res, err
+	}
+	res.Score = ScoreFromPenalty(params, len(a), len(b), res.Penalty)
+	return res, nil
+}
+
+func run(a, b seq.Seq, p Penalties, traceback bool) (Result, error) {
+	var res Result
+	if err := p.Validate(); err != nil {
+		return res, err
+	}
+	m, n := len(a), len(b)
+	kFinal := int32(n - m)
+	offFinal := offset(n)
+
+	ws := &waves{}
+	// Penalty 0: extend the initial match run from (0,0).
+	w0 := newWavefront(0, 0)
+	w0.off[0] = extend(a, b, 0, 0)
+	ws.m = append(ws.m, w0)
+	ws.i = append(ws.i, nil)
+	ws.d = append(ws.d, nil)
+	res.Cells = 1
+
+	if w0.off[0] == offFinal && kFinal == 0 {
+		res.Penalty = 0
+		if traceback {
+			res.Cigar = backtrack(a, b, p, ws, 0)
+		}
+		return res, nil
+	}
+
+	// Hard ceiling: any global alignment costs at most a full mismatch +
+	// gap rewrite; a penalty beyond that means an internal bug.
+	limit := p.Mismatch*int32(min(m, n)) + 2*(p.GapOpen+p.GapExt*int32(m+n)) + 16
+
+	for s := int32(1); ; s++ {
+		if s > limit {
+			return res, fmt.Errorf("wfa: penalty exceeded the theoretical ceiling %d", limit)
+		}
+		mw := ws.get(compM, s-p.Mismatch)
+		ow := ws.get(compM, s-p.GapOpen-p.GapExt)
+		iw := ws.get(compI, s-p.GapExt)
+		dw := ws.get(compD, s-p.GapExt)
+
+		lo, hi, any := waveRange(mw, ow, iw, dw)
+		if !any {
+			ws.m = append(ws.m, nil)
+			ws.i = append(ws.i, nil)
+			ws.d = append(ws.d, nil)
+			continue
+		}
+		nm := newWavefront(lo, hi)
+		ni := newWavefront(lo, hi)
+		nd := newWavefront(lo, hi)
+		for k := lo; k <= hi; k++ {
+			// I: gap consuming target, arriving on diagonal k from k-1.
+			iv := maxOff(ow.at(k-1), iw.at(k-1))
+			if iv > offNone {
+				iv++
+			}
+			ni.off[k-lo] = iv
+			// D: gap consuming query, arriving from k+1, offset unchanged.
+			dv := maxOff(ow.at(k+1), dw.at(k+1))
+			nd.off[k-lo] = dv
+			// M: mismatch from the same diagonal, or close a gap.
+			mv := mw.at(k)
+			if mv > offNone {
+				mv++
+			}
+			mv = maxOff(mv, maxOff(iv, dv))
+			if mv > offNone {
+				v := int(mv) - int(k)
+				if v < 0 || v > m || int(mv) > n {
+					mv = offNone // fell off the matrix
+				} else {
+					mv = extend(a, b, k, mv)
+				}
+			}
+			nm.off[k-lo] = mv
+			res.Cells += 3
+		}
+		ws.m = append(ws.m, nm)
+		ws.i = append(ws.i, ni)
+		ws.d = append(ws.d, nd)
+
+		if kFinal >= lo && kFinal <= hi && nm.at(kFinal) == offFinal {
+			res.Penalty = s
+			if traceback {
+				res.Cigar = backtrack(a, b, p, ws, s)
+			}
+			return res, nil
+		}
+	}
+}
+
+// extend advances an M offset along its diagonal while characters match.
+func extend(a, b seq.Seq, k int32, h offset) offset {
+	v := int(h) - int(k)
+	hh := int(h)
+	for v < len(a) && hh < len(b) && a[v] == b[hh] {
+		v++
+		hh++
+	}
+	return offset(hh)
+}
+
+// waveRange computes the diagonal span of the next wavefront.
+func waveRange(mw, ow, iw, dw *wavefront) (lo, hi int32, any bool) {
+	lo, hi = 1<<30, -(1 << 30)
+	grow := func(w *wavefront, dlo, dhi int32) {
+		if w == nil {
+			return
+		}
+		if w.lo+dlo < lo {
+			lo = w.lo + dlo
+		}
+		if w.hi+dhi > hi {
+			hi = w.hi + dhi
+		}
+		any = true
+	}
+	grow(mw, 0, 0)
+	grow(ow, -1, 1)
+	grow(iw, 1, 1)
+	grow(dw, -1, -1)
+	return lo, hi, any
+}
+
+func maxOff(a, b offset) offset {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package wfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+func TestPenaltiesValidate(t *testing.T) {
+	good := Penalties{Mismatch: 6, GapOpen: 4, GapExt: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Penalties{
+		{Mismatch: 0, GapOpen: 4, GapExt: 3},
+		{Mismatch: 6, GapOpen: -1, GapExt: 3},
+		{Mismatch: 6, GapOpen: 4, GapExt: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFromParams(t *testing.T) {
+	p, err := FromParams(core.DefaultParams()) // 2,-4,4,2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mismatch != 6 || p.GapOpen != 4 || p.GapExt != 3 {
+		t.Errorf("penalties = %+v, want {6 4 3}", p)
+	}
+	odd := core.Params{Match: 3, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	if _, err := FromParams(odd); err == nil {
+		t.Error("odd match score accepted")
+	}
+}
+
+func TestScoreIdentical(t *testing.T) {
+	a := seq.MustFromString("ACGTACGTAC")
+	res, err := Score(a, a, Penalties{Mismatch: 6, GapOpen: 4, GapExt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalty != 0 {
+		t.Errorf("penalty = %d, want 0", res.Penalty)
+	}
+}
+
+func TestScoreSingleMismatch(t *testing.T) {
+	a := seq.MustFromString("ACGTACGT")
+	b := seq.MustFromString("ACGAACGT")
+	res, err := Score(a, b, Penalties{Mismatch: 6, GapOpen: 4, GapExt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalty != 6 {
+		t.Errorf("penalty = %d, want 6", res.Penalty)
+	}
+}
+
+func TestScoreSingleGap(t *testing.T) {
+	a := seq.MustFromString("ACGTACGT")
+	b := seq.MustFromString("ACGACGT") // one deletion
+	res, err := Score(a, b, Penalties{Mismatch: 6, GapOpen: 4, GapExt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalty != 7 {
+		t.Errorf("penalty = %d, want o+e = 7", res.Penalty)
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	p := Penalties{Mismatch: 6, GapOpen: 4, GapExt: 3}
+	res, err := Score(nil, nil, p)
+	if err != nil || res.Penalty != 0 {
+		t.Fatalf("empty/empty: %+v %v", res, err)
+	}
+	a := seq.MustFromString("ACG")
+	res, err = Align(a, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalty != 4+3*3 {
+		t.Errorf("penalty vs empty = %d, want 13", res.Penalty)
+	}
+	if res.Cigar.String() != "3I" {
+		t.Errorf("cigar = %v", res.Cigar)
+	}
+	res, err = Align(nil, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cigar.String() != "3D" {
+		t.Errorf("cigar = %v", res.Cigar)
+	}
+}
+
+// TestMatchesGotohProperty is the headline oracle test: WFA and the Gotoh
+// DP must agree on the optimal score for every input under the score
+// transform.
+func TestMatchesGotohProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	params := core.DefaultParams()
+	for trial := 0; trial < 120; trial++ {
+		var a, b seq.Seq
+		switch trial % 3 {
+		case 0:
+			a = seq.Random(rng, rng.Intn(60))
+			b = seq.Random(rng, rng.Intn(60))
+		case 1:
+			a = seq.Random(rng, 20+rng.Intn(200))
+			b = seq.UniformErrors(0.1).Apply(rng, a)
+		default:
+			a = seq.Random(rng, 20+rng.Intn(100))
+			b = seq.UniformErrors(0.35).Apply(rng, a)
+		}
+		want := core.GotohScore(a, b, params).Score
+		res, err := ScoreParams(a, b, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != want {
+			t.Fatalf("trial %d (%d/%d bases): wfa %d != gotoh %d",
+				trial, len(a), len(b), res.Score, want)
+		}
+	}
+}
+
+func TestAlignCigarConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	params := core.DefaultParams()
+	for trial := 0; trial < 80; trial++ {
+		var a, b seq.Seq
+		if trial%2 == 0 {
+			a = seq.Random(rng, rng.Intn(50))
+			b = seq.Random(rng, rng.Intn(50))
+		} else {
+			a, b = seq.Random(rng, 30+rng.Intn(150)), nil
+			b = seq.UniformErrors(0.15).Apply(rng, a)
+		}
+		res, err := AlignParams(a, b, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Cigar.Validate(a, b); err != nil {
+			t.Fatalf("trial %d: invalid cigar: %v (a=%v b=%v)", trial, err, a, b)
+		}
+		// The CIGAR's affine score must equal the transformed penalty.
+		if got := core.ScoreFromCigar(res.Cigar, params); got != res.Score {
+			t.Fatalf("trial %d: cigar score %d, wfa score %d (cigar=%v)",
+				trial, got, res.Score, res.Cigar)
+		}
+	}
+}
+
+func TestAlignAffineGapRuns(t *testing.T) {
+	// A single long gap must come out as one run (affine), not fragments.
+	params := core.DefaultParams()
+	rng := rand.New(rand.NewSource(33))
+	a := seq.Random(rng, 200)
+	b := append(a[:80].Clone(), a[120:]...)
+	res, err := AlignParams(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Cigar.Stats()
+	if st.GapOpens != 1 || st.Insertions != 40 {
+		t.Errorf("expected one 40-base insertion run, got %v", res.Cigar)
+	}
+}
+
+func TestCellsGrowWithDivergence(t *testing.T) {
+	// WFA's defining property: work scales with the penalty, not the
+	// sequence length — close pairs are nearly free.
+	rng := rand.New(rand.NewSource(34))
+	params := core.DefaultParams()
+	a := seq.Random(rng, 2000)
+	close := seq.UniformErrors(0.01).Apply(rng, a)
+	far := seq.UniformErrors(0.20).Apply(rng, a)
+	resClose, err := ScoreParams(a, close, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFar, err := ScoreParams(a, far, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFar.Cells < 10*resClose.Cells {
+		t.Errorf("divergent pair cells %d not ≫ close pair cells %d", resFar.Cells, resClose.Cells)
+	}
+}
+
+func TestScoreOnlyOmitsCigar(t *testing.T) {
+	a := seq.MustFromString("ACGT")
+	res, err := Score(a, a, Penalties{Mismatch: 6, GapOpen: 4, GapExt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cigar != nil {
+		t.Error("score-only run produced a cigar")
+	}
+}
+
+func TestPrettyRoundTrip(t *testing.T) {
+	params := core.DefaultParams()
+	a := seq.MustFromString("ACGTTAGCTAGCCTA")
+	b := seq.MustFromString("ACCTTAGCTAGCTAG")
+	res, err := AlignParams(a, b, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := res.Cigar.Replay(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Equal(b) {
+		t.Error("cigar does not replay the target")
+	}
+	_ = cigar.Cigar(res.Cigar).String()
+}

@@ -1,0 +1,220 @@
+package xp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimnw/internal/baseline"
+	"pimnw/internal/datasets"
+	"pimnw/internal/pim"
+)
+
+// dsDef binds one evaluation dataset to its paper reference numbers.
+type dsDef struct {
+	key       string
+	tableID   string // Table 2..6
+	title     string
+	cpuBand   int  // minimap2's band at the table's accuracy level
+	traceback bool // CIGAR needed (everything except 16S)
+	broadcast bool // §5.3 all-against-all mode
+
+	fullPairs    int64   // paper-scale alignment count
+	pairBases    float64 // average m+n per alignment at full scale
+	datasetBytes int64   // broadcast transfer volume (broadcast mode)
+
+	cpu4215, cpu4216 float64         // paper runtimes (s)
+	dpuPaper         map[int]float64 // ranks -> paper runtime (s)
+	paperPureC       float64         // Table 7 rows (40 ranks)
+	paperAsm         float64
+
+	// sample returns calibration pairs (scaled; Quick shrinks lengths).
+	sample func(o Options) []datasets.Pair
+}
+
+// sampleSynthetic builds a calibration sample from an S-dataset spec.
+func sampleSynthetic(spec datasets.SyntheticSpec) func(Options) []datasets.Pair {
+	return func(o Options) []datasets.Pair {
+		s := spec
+		s.Pairs = 12
+		s.Seed += o.Seed
+		if o.Quick {
+			s.ReadLen /= 10
+			if s.ReadLen < 200 {
+				s.ReadLen = 200
+			}
+		}
+		return s.Generate()
+	}
+}
+
+func sample16S(o Options) []datasets.Pair {
+	spec := datasets.RRNA16S.Scaled(0.004) // ~38 sequences
+	if o.Quick {
+		spec = spec.Scaled(0.6)
+	}
+	spec.Seed += o.Seed
+	seqs := spec.Generate()
+	rng := rand.New(rand.NewSource(161 + o.Seed))
+	pairs := make([]datasets.Pair, 12)
+	for i := range pairs {
+		a, b := rng.Intn(len(seqs)), rng.Intn(len(seqs)-1)
+		if b >= a {
+			b++
+		}
+		pairs[i] = datasets.Pair{ID: i, A: seqs[a], B: seqs[b]}
+	}
+	return pairs
+}
+
+func samplePacBio(o Options) []datasets.Pair {
+	spec := datasets.PacBio
+	spec.Sets = 1
+	spec.ReadsMin, spec.ReadsMax = 6, 6
+	spec.Seed += o.Seed
+	if o.Quick {
+		spec.RegionMin, spec.RegionMax = 400, 900
+	}
+	pairs := datasets.AllSetPairs(spec.Generate())
+	if len(pairs) > 15 {
+		pairs = pairs[:15]
+	}
+	return pairs
+}
+
+// full16SPairs is 9557 choose 2.
+const full16SPairs = int64(9557) * 9556 / 2
+
+// fullPacBioPairs is 38,512 sets times the expected in-set pair count for
+// 10..30 uniformly distributed reads: (E[n^2]-E[n])/2 = 208.3.
+const fullPacBioPairs = int64(8_022_050)
+
+var dsDefs = []dsDef{
+	{
+		key: "S1000", tableID: "2",
+		title:   "Runtime on the S1000 dataset at 100% accuracy",
+		cpuBand: 128, traceback: true,
+		fullPairs: 10_000_000, pairBases: 2000,
+		cpu4215: 294, cpu4216: 242,
+		dpuPaper:   map[int]float64{10: 560, 20: 283, 40: 146},
+		paperPureC: 247, paperAsm: 146,
+		sample: sampleSynthetic(datasets.S1000),
+	},
+	{
+		key: "S10000", tableID: "3",
+		title:   "Runtime on the S10000 dataset at 100% accuracy",
+		cpuBand: 256, traceback: true,
+		fullPairs: 1_000_000, pairBases: 20_000,
+		cpu4215: 744, cpu4216: 369,
+		dpuPaper:   map[int]float64{10: 502, 20: 255, 40: 132},
+		paperPureC: 207, paperAsm: 132,
+		sample: sampleSynthetic(datasets.S10000),
+	},
+	{
+		key: "S30000", tableID: "4",
+		title:   "Runtime on the S30000 dataset at 100% accuracy",
+		cpuBand: 512, traceback: true,
+		fullPairs: 500_000, pairBases: 60_000,
+		cpu4215: 1650, cpu4216: 1265,
+		dpuPaper:   map[int]float64{10: 755, 20: 391, 40: 200},
+		paperPureC: 316, paperAsm: 200,
+		sample: sampleSynthetic(datasets.S30000),
+	},
+	{
+		key: "16S", tableID: "5",
+		title:   "16S all-against-all comparison (accuracy > 85%)",
+		cpuBand: 512, traceback: false, broadcast: true,
+		fullPairs: full16SPairs, pairBases: 2 * 1542,
+		datasetBytes: 9557 * (1542/4 + 24),
+		cpu4215:      5882, cpu4216: 3538,
+		dpuPaper:   map[int]float64{10: 2544, 20: 1257, 40: 632},
+		paperPureC: 864, paperAsm: 632,
+		sample: sample16S,
+	},
+	{
+		key: "Pacbio", tableID: "6",
+		title:   "Pacbio consensus pairwise alignment (accuracy > 85%)",
+		cpuBand: 512, traceback: true,
+		fullPairs: fullPacBioPairs, pairBases: 2 * 4750,
+		cpu4215: 4044, cpu4216: 2788,
+		dpuPaper:   map[int]float64{10: 1882, 20: 956, 40: 505},
+		paperPureC: 806, paperAsm: 505,
+		sample: samplePacBio,
+	},
+}
+
+func findDS(key string) *dsDef {
+	for i := range dsDefs {
+		if dsDefs[i].key == key || dsDefs[i].tableID == key {
+			return &dsDefs[i]
+		}
+	}
+	return nil
+}
+
+// cpuCells is the paper-scale CPU DP work: rows x band per alignment.
+func (d *dsDef) cpuCells() int64 {
+	return int64(float64(d.fullPairs) * d.pairBases / 2 * float64(d.cpuBand))
+}
+
+// cpuSeconds models a server's full-scale runtime.
+func (d *dsDef) cpuSeconds(m baseline.ServerModel) float64 {
+	return m.Seconds(d.cpuCells(), d.traceback)
+}
+
+// dpuSeconds projects the full-scale DPU runtime at the given rank count
+// under a cost table.
+func (d *dsDef) dpuSeconds(r *Runner, ranks int, costs pim.CostTable) (float64, error) {
+	cal, err := r.calibrationFor(d, costs)
+	if err != nil {
+		return 0, err
+	}
+	if d.broadcast {
+		return projectBroadcast(ranksConfig(ranks), cal, d.fullPairs, d.pairBases, d.datasetBytes), nil
+	}
+	rep := projectPairs(ranksConfig(ranks), cal, d.fullPairs, d.pairBases)
+	return rep.MakespanSec, nil
+}
+
+// runtimeTable builds one of Tables 2-6.
+func (r *Runner) runtimeTable(d *dsDef) (Table, error) {
+	t := Table{
+		ID:     d.tableID,
+		Title:  d.title,
+		Header: []string{"System", "Paper (s)", "Ours (s)", "Paper speedup", "Our speedup"},
+	}
+	ours4215 := d.cpuSeconds(baseline.Xeon4215)
+	ours4216 := d.cpuSeconds(baseline.Xeon4216)
+	rows := []struct {
+		label       string
+		paper, ours float64
+	}{
+		{baseline.Xeon4215.Name, d.cpu4215, ours4215},
+		{baseline.Xeon4216.Name, d.cpu4216, ours4216},
+	}
+	for _, ranks := range []int{10, 20, 40} {
+		ours, err := d.dpuSeconds(r, ranks, pim.Asm)
+		if err != nil {
+			return t, err
+		}
+		rows = append(rows, struct {
+			label       string
+			paper, ours float64
+		}{fmt.Sprintf("DPU %d ranks", ranks), d.dpuPaper[ranks], ours})
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			row.label,
+			fmtSecs(row.paper),
+			fmtSecs(row.ours),
+			fmtX(d.cpu4215 / row.paper),
+			fmtX(ours4215 / row.ours),
+		})
+	}
+	cal, err := r.calibrationFor(d, pim.Asm)
+	if err != nil {
+		return t, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("DPU kernel calibrated on a scaled sample: %.1f%% pipeline utilization; CPU columns use the calibrated Xeon throughput models", 100*cal.utilization))
+	return t, nil
+}

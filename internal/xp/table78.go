@@ -1,0 +1,81 @@
+package xp
+
+import (
+	"fmt"
+
+	"pimnw/internal/baseline"
+	"pimnw/internal/pim"
+	"pimnw/internal/power"
+)
+
+// table7 reproduces the manual-assembly study (§5.5): full-server (40
+// rank) runtimes under the pure-C and the hand-optimised cost tables.
+func (r *Runner) table7() (Table, error) {
+	t := Table{
+		ID:    "7",
+		Title: "Speed up of manually optimised vs pure C DPU kernels (40 ranks)",
+		Header: []string{"Dataset", "Pure C paper/ours (s)", "Asm paper/ours (s)",
+			"Paper speedup", "Our speedup"},
+	}
+	for _, d := range dsDefs {
+		pure, err := d.dpuSeconds(r, 40, pim.PureC)
+		if err != nil {
+			return t, err
+		}
+		asm, err := d.dpuSeconds(r, 40, pim.Asm)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			d.key,
+			fmt.Sprintf("%s / %s", fmtSecs(d.paperPureC), fmtSecs(pure)),
+			fmt.Sprintf("%s / %s", fmtSecs(d.paperAsm), fmtSecs(asm)),
+			fmt.Sprintf("%.2f", d.paperPureC/d.paperAsm),
+			fmt.Sprintf("%.2f", pure/asm),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the smaller 16S gain reproduces the paper's explanation: no traceback, so less code for the asm inner loops to optimise")
+	return t, nil
+}
+
+// table8 reproduces the energy comparison (§5.6): component-level power
+// times the real-dataset runtimes, plus the cost argument.
+func (r *Runner) table8() (Table, error) {
+	t := Table{
+		ID:     "8",
+		Title:  "Energy per full run on the real datasets (kJ)",
+		Header: []string{"System", "16S paper/ours (kJ)", "Pacbio paper/ours (kJ)"},
+	}
+	d16 := findDS("16S")
+	dpb := findDS("Pacbio")
+	our16DPU, err := d16.dpuSeconds(r, 40, pim.Asm)
+	if err != nil {
+		return t, err
+	}
+	ourPbDPU, err := dpb.dpuSeconds(r, 40, pim.Asm)
+	if err != nil {
+		return t, err
+	}
+	rows := []struct {
+		sys              power.System
+		sec16, secPb     float64
+		paper16, paperPb float64
+	}{
+		{power.Server4215, d16.cpuSeconds(baseline.Xeon4215), dpb.cpuSeconds(baseline.Xeon4215), 1805, 1241},
+		{power.Server4216, d16.cpuSeconds(baseline.Xeon4216), dpb.cpuSeconds(baseline.Xeon4216), 1192, 939},
+		{power.PiMServer, our16DPU, ourPbDPU, 484, 387},
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			row.sys.Name,
+			fmt.Sprintf("%.0f / %.0f", row.paper16, row.sys.EnergyKJ(row.sec16)),
+			fmt.Sprintf("%.0f / %.0f", row.paperPb, row.sys.EnergyKJ(row.secPb)),
+		})
+	}
+	speedup := dpb.cpuSeconds(baseline.Xeon4216) / ourPbDPU
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cost argument (§5.6): %.1fx speedup over the 4216 for a %.1fx price increase = %.1fx perf/cost",
+			speedup, power.PaperCosts.CostRatio(), power.PaperCosts.PerfPerCost(speedup)))
+	return t, nil
+}
