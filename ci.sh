@@ -1,0 +1,37 @@
+#!/bin/sh
+# ci.sh — the tier-1 gate for this repository (see ROADMAP.md).
+#
+# Runs, in order:
+#   1. gofmt -l          (fails if any file is unformatted)
+#   2. go vet ./...
+#   3. go build ./...
+#   4. go test -race ./...
+#   5. benchmark smoke   (every benchmark compiles and runs once)
+#
+# Any step failing fails the script. This is a superset of ROADMAP.md's
+# minimal `go build ./... && go test ./...` gate.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== benchmark smoke (-benchtime=1x) =="
+go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "CI PASS"

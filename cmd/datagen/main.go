@@ -18,10 +18,12 @@ import (
 	"path/filepath"
 
 	"pimnw/internal/datasets"
+	"pimnw/internal/obs"
 	"pimnw/internal/seq"
 )
 
 func main() {
+	obs.SetLogPrefix("datagen")
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
@@ -30,12 +32,17 @@ func main() {
 
 func run() error {
 	var (
-		name  = flag.String("dataset", "s1000", "dataset: s1000, s10000, s30000, 16s, pacbio")
-		scale = flag.Float64("scale", 0.0001, "fraction of the paper-scale dataset to generate")
-		seed  = flag.Int64("seed", 0, "seed offset")
-		out   = flag.String("out", ".", "output directory")
+		name    = flag.String("dataset", "s1000", "dataset: s1000, s10000, s30000, 16s, pacbio")
+		scale   = flag.Float64("scale", 0.0001, "fraction of the paper-scale dataset to generate")
+		seed    = flag.Int64("seed", 0, "seed offset")
+		out     = flag.String("out", ".", "output directory")
+		verbose = flag.Bool("v", false, "verbose (debug) logging")
 	)
 	flag.Parse()
+	if *verbose {
+		obs.SetVerbosity(1)
+	}
+	obs.Debugf("dataset=%s scale=%g seed=%d out=%s", *name, *scale, *seed, *out)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
@@ -97,6 +104,6 @@ func writeFasta(path string, recs []seq.Record) error {
 	if err := seq.WriteFASTA(f, recs, 0); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "datagen: wrote %s (%d records)\n", path, len(recs))
+	obs.Logf("wrote %s (%d records)", path, len(recs))
 	return f.Close()
 }

@@ -3,35 +3,62 @@
 //
 // Usage:
 //
-//	experiments [-table 1|2|...|8|utilization|ablation|all] [-quick] [-samples N] [-seed S]
+//	experiments [-table 1|2|...|8|utilization|ablation|all] [-quick]
+//	            [-samples N] [-seed S] [-format text|markdown] [-v]
+//	            [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //
 // Accuracy numbers come from running the real aligners on sampled pairs;
 // runtime numbers come from scaled simulated runs calibrated and projected
 // to the paper's dataset sizes (see EXPERIMENTS.md for the methodology).
+//
+// Observability: -metrics snapshots the run's metric registry (kernel
+// cells, simulator cycle breakdowns, utilization histograms) as Prometheus
+// text, -trace-out writes the harness's wall-clock spans (per table, per
+// calibration, per batch) as Chrome trace-event JSON for Perfetto, and
+// -report-json writes every generated table as a JSON array. "-" writes
+// to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"pimnw/internal/obs"
 	"pimnw/internal/xp"
 )
 
 func main() {
+	obs.SetLogPrefix("experiments")
 	table := flag.String("table", "all", "table to regenerate (1-8, utilization, ablation, hybrid, wfa, all)")
 	quick := flag.Bool("quick", false, "shrink samples and read lengths for a fast smoke run")
 	samples := flag.Int("samples", 0, "override the per-dataset accuracy sample count")
 	seed := flag.Int64("seed", 0, "offset every generator seed")
 	format := flag.String("format", "text", "output format: text or markdown")
+	verbose := flag.Bool("v", false, "verbose (debug) logging")
+	metrics := flag.String("metrics", "", "write a Prometheus-text metrics snapshot to FILE (\"-\" = stdout)")
+	traceOut := flag.String("trace-out", "", "write the harness spans as Chrome trace-event JSON to FILE")
+	reportJSON := flag.String("report-json", "", "write the generated tables as JSON to FILE")
 	flag.Parse()
+	if *verbose {
+		obs.SetVerbosity(1)
+	}
+	if *metrics != "" {
+		obs.SetDefault(obs.NewRegistry())
+	}
+	if *traceOut != "" {
+		obs.SetDefaultTracer(obs.NewTracer())
+	}
 
 	runner := xp.NewRunner(xp.Options{Quick: *quick, Samples: *samples, Seed: *seed})
 	ids := []string{*table}
 	if *table == "all" {
 		ids = xp.TableIDs()
 	}
+	var tables []xp.Table
 	for _, id := range ids {
 		start := time.Now()
 		t, err := runner.Table(id)
@@ -39,11 +66,63 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: table %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		tables = append(tables, t)
 		if *format == "markdown" {
 			fmt.Println(t.RenderMarkdown())
 		} else {
 			fmt.Println(t.Render())
 		}
-		fmt.Printf("(generated in %.1fs)\n\n", time.Since(start).Seconds())
+		obs.Logf("table %s generated in %.1fs", id, time.Since(start).Seconds())
 	}
+	if err := writeArtifacts(tables, *metrics, *traceOut, *reportJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// writeArtifacts dumps the enabled observability outputs after the run.
+func writeArtifacts(tables []xp.Table, metrics, traceOut, reportJSON string) error {
+	if metrics != "" {
+		if err := toFile(metrics, func(w io.Writer) error {
+			return obs.Default().WritePrometheus(w)
+		}); err != nil {
+			return fmt.Errorf("writing -metrics: %w", err)
+		}
+	}
+	if traceOut != "" {
+		if err := toFile(traceOut, func(w io.Writer) error {
+			tr := obs.DefaultTracer()
+			events := append([]obs.TraceEvent{obs.ProcessName(0, "experiments (wall clock)")}, tr.Events(0)...)
+			return obs.WriteTraceEvents(w, events)
+		}); err != nil {
+			return fmt.Errorf("writing -trace-out: %w", err)
+		}
+		obs.Logf("trace written to %s (open in Perfetto or chrome://tracing)", traceOut)
+	}
+	if reportJSON != "" {
+		if err := toFile(reportJSON, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(tables)
+		}); err != nil {
+			return fmt.Errorf("writing -report-json: %w", err)
+		}
+	}
+	return nil
+}
+
+// toFile runs write against the named file, or stdout for "-".
+func toFile(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

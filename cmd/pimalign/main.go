@@ -9,12 +9,21 @@
 // Usage:
 //
 //	pimalign -a queries.fa -b targets.fa [-engine pim|cpu] [-band 128]
-//	         [-static] [-ranks 40] [-score-only] [-threads N]
+//	         [-static] [-ranks 40] [-score-only] [-threads N] [-v]
+//	         [-metrics FILE] [-trace-out FILE] [-report-json FILE]
+//
+// Observability (pim engine): -metrics dumps a Prometheus-text snapshot
+// of the run's counters/histograms, -trace-out writes a Chrome
+// trace-event JSON file (open in Perfetto or chrome://tracing) combining
+// the modelled rank timeline with the host's wall-clock pipeline spans,
+// and -report-json writes the machine-readable run report. "-" writes to
+// stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -22,31 +31,54 @@ import (
 	"pimnw/internal/core"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 	"pimnw/internal/seq"
 )
 
 func main() {
+	obs.SetLogPrefix("pimalign")
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "pimalign:", err)
 		os.Exit(1)
 	}
 }
 
+// artifacts collects the observability output paths ("" = off).
+type artifacts struct {
+	metrics, traceOut, reportJSON string
+}
+
+func (a artifacts) any() bool { return a.metrics != "" || a.traceOut != "" || a.reportJSON != "" }
+
 func run() error {
 	var (
-		aPath     = flag.String("a", "", "FASTA file of query sequences")
-		bPath     = flag.String("b", "", "FASTA file of target sequences (omit with -mode allpairs)")
-		mode      = flag.String("mode", "pairs", "pairs (record i of -a vs record i of -b) or allpairs (-a against itself, score-only broadcast, as in §5.3)")
-		engine    = flag.String("engine", "pim", "alignment engine: pim (simulated UPMEM server) or cpu (baseline)")
-		band      = flag.Int("band", 128, "band size (cells per anti-diagonal / row)")
-		static    = flag.Bool("static", false, "use the static band instead of the adaptive one (cpu engine)")
-		ranks     = flag.Int("ranks", 40, "PiM ranks (pim engine)")
-		scoreOnly = flag.Bool("score-only", false, "skip traceback/CIGAR")
-		threads   = flag.Int("threads", 0, "CPU threads (cpu engine; 0 = all)")
-		timeline  = flag.Bool("timeline", false, "print the simulated rank timeline (pim engine)")
+		aPath      = flag.String("a", "", "FASTA file of query sequences")
+		bPath      = flag.String("b", "", "FASTA file of target sequences (omit with -mode allpairs)")
+		mode       = flag.String("mode", "pairs", "pairs (record i of -a vs record i of -b) or allpairs (-a against itself, score-only broadcast, as in §5.3)")
+		engine     = flag.String("engine", "pim", "alignment engine: pim (simulated UPMEM server) or cpu (baseline)")
+		band       = flag.Int("band", 128, "band size (cells per anti-diagonal / row)")
+		static     = flag.Bool("static", false, "use the static band instead of the adaptive one (cpu engine)")
+		ranks      = flag.Int("ranks", 40, "PiM ranks (pim engine)")
+		scoreOnly  = flag.Bool("score-only", false, "skip traceback/CIGAR")
+		threads    = flag.Int("threads", 0, "CPU threads (cpu engine; 0 = all)")
+		timeline   = flag.Bool("timeline", false, "print the simulated rank timeline (pim engine)")
+		verbose    = flag.Bool("v", false, "verbose (debug) logging")
+		metrics    = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to FILE (\"-\" = stdout; pim engine)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file to FILE for Perfetto (pim engine)")
+		reportJSON = flag.String("report-json", "", "write the machine-readable run report to FILE (pim engine)")
 	)
 	flag.Parse()
+	if *verbose {
+		obs.SetVerbosity(1)
+	}
+	art := artifacts{metrics: *metrics, traceOut: *traceOut, reportJSON: *reportJSON}
+	if art.metrics != "" {
+		obs.SetDefault(obs.NewRegistry())
+	}
+	if art.traceOut != "" {
+		obs.SetDefaultTracer(obs.NewTracer())
+	}
 	if *aPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-a is required")
@@ -55,9 +87,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	obs.Debugf("read %d query records from %s", len(queries), *aPath)
 
 	if *mode == "allpairs" {
-		return runAllPairs(queries, *band, *ranks)
+		return runAllPairs(queries, *band, *ranks, art)
 	}
 	if *bPath == "" {
 		flag.Usage()
@@ -67,23 +100,73 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	obs.Debugf("read %d target records from %s", len(targets), *bPath)
 	if len(queries) != len(targets) {
 		return fmt.Errorf("%d queries vs %d targets", len(queries), len(targets))
 	}
 
 	switch *engine {
 	case "pim":
-		return runPiM(queries, targets, *band, *ranks, !*scoreOnly, *timeline)
+		return runPiM(queries, targets, *band, *ranks, !*scoreOnly, *timeline, art)
 	case "cpu":
+		if art.any() {
+			obs.Logf("note: -metrics/-trace-out/-report-json apply to the pim engine only")
+		}
 		return runCPU(queries, targets, *band, *static, *threads, !*scoreOnly)
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
 }
 
+// writeArtifacts dumps the enabled observability outputs for a pim run.
+func writeArtifacts(rep *host.Report, art artifacts) error {
+	if art.metrics != "" {
+		if err := toFile(art.metrics, func(w io.Writer) error {
+			return obs.Default().WritePrometheus(w)
+		}); err != nil {
+			return fmt.Errorf("writing -metrics: %w", err)
+		}
+	}
+	if art.traceOut != "" {
+		events := rep.ChromeTraceEvents()
+		if tr := obs.DefaultTracer(); tr != nil {
+			events = append(events, obs.ProcessName(0, "host (wall clock)"))
+			events = append(events, tr.Events(0)...)
+		}
+		if err := toFile(art.traceOut, func(w io.Writer) error {
+			return obs.WriteTraceEvents(w, events)
+		}); err != nil {
+			return fmt.Errorf("writing -trace-out: %w", err)
+		}
+		obs.Logf("trace written to %s (open in Perfetto or chrome://tracing)", art.traceOut)
+	}
+	if art.reportJSON != "" {
+		if err := toFile(art.reportJSON, rep.WriteJSON); err != nil {
+			return fmt.Errorf("writing -report-json: %w", err)
+		}
+	}
+	return nil
+}
+
+// toFile runs write against the named file, or stdout for "-".
+func toFile(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runAllPairs is the §5.3 workflow: the dataset is broadcast to every DPU
 // and all n(n-1)/2 scores are computed without traceback.
-func runAllPairs(recs []seq.Record, band, ranks int) error {
+func runAllPairs(recs []seq.Record, band, ranks int, art artifacts) error {
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
@@ -110,10 +193,9 @@ func runAllPairs(recs []seq.Record, band, ranks int) error {
 		pi := indices[r.ID]
 		printResult(recs[pi.I].Name, recs[pi.J].Name, r.Score, r.InBand, "")
 	}
-	fmt.Fprintf(os.Stderr,
-		"pimalign: %d all-against-all scores on %d simulated ranks: %.3fs modelled (broadcast %.3fs)\n",
+	obs.Logf("%d all-against-all scores on %d simulated ranks: %.3fs modelled (broadcast %.3fs)",
 		rep.Alignments, ranks, rep.MakespanSec, rep.TransferInSec)
-	return nil
+	return writeArtifacts(rep, art)
 }
 
 func readFasta(path string) ([]seq.Record, error) {
@@ -125,7 +207,7 @@ func readFasta(path string) ([]seq.Record, error) {
 	return seq.ReadFASTA(f, nil)
 }
 
-func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline bool) error {
+func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline bool, art artifacts) error {
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
@@ -151,13 +233,14 @@ func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline 
 	for _, r := range results {
 		printResult(queries[r.ID].Name, targets[r.ID].Name, r.Score, r.InBand, string(r.Cigar))
 	}
-	fmt.Fprintf(os.Stderr,
-		"pimalign: %d alignments on %d simulated ranks: %.3fs modelled (%.1f%% host overhead, %.0f%% min pipeline util)\n",
+	obs.Logf("%d alignments on %d simulated ranks: %.3fs modelled (%.1f%% host overhead, %.0f%% min pipeline util)",
 		rep.Alignments, ranks, rep.MakespanSec, 100*rep.HostOverheadFraction(), 100*rep.UtilizationMin)
+	obs.Debugf("%d batches, %d cells, %d instructions, %d B in / %d B out",
+		rep.Batches, rep.TotalCells, rep.TotalInstr, rep.BytesIn, rep.BytesOut)
 	if timeline {
 		fmt.Fprint(os.Stderr, rep.Timeline(72))
 	}
-	return nil
+	return writeArtifacts(rep, art)
 }
 
 func runCPU(queries, targets []seq.Record, band int, static bool, threads int, traceback bool) error {
@@ -188,7 +271,7 @@ func runCPU(queries, targets []seq.Record, band int, static bool, threads int, t
 	for _, r := range out.Results {
 		printResult(queries[r.ID].Name, targets[r.ID].Name, r.Score, r.InBand, r.Cigar.String())
 	}
-	fmt.Fprintf(os.Stderr, "pimalign: cpu baseline: %.3fs wall, %d cells\n", out.WallSeconds, out.Cells)
+	obs.Logf("cpu baseline: %.3fs wall, %d cells", out.WallSeconds, out.Cells)
 	return nil
 }
 

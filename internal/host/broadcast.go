@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 	"pimnw/internal/seq"
 )
@@ -41,6 +42,9 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 	if len(seqs) < 2 {
 		return rep, nil, nil
 	}
+	sp := obs.StartSpan("host.align_all_pairs")
+	sp.SetAttrInt("seqs", int64(len(seqs)))
+	defer sp.End()
 
 	var datasetBytes int64
 	for _, s := range seqs {
@@ -64,11 +68,17 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 			return nil
 		}
 		d := cfg.PIM.NewDPU(di)
+		// One root span per DPU so concurrent DPUs get their own lanes.
+		dsp := obs.StartSpan("host.dpu")
+		dsp.SetAttrInt("dpu", int64(di))
+		defer dsp.End()
 		// Broadcast: every DPU holds the full packed dataset.
+		esp := dsp.Child("host.encode")
 		offs := make([]int, len(seqs))
 		for si, s := range seqs {
 			off, err := d.MRAM.Alloc(seq.PackedSize(len(s)))
 			if err != nil {
+				esp.End()
 				return fmt.Errorf("host: dataset does not fit one MRAM bank: %w", err)
 			}
 			seq.PackInto(d.MRAM.Bytes(off, seq.PackedSize(len(s))), s)
@@ -83,7 +93,10 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 				BOff: offs[pi.J], BLen: len(seqs[pi.J]),
 			})
 		}
+		esp.End()
+		ksp := dsp.Child("host.kernel")
 		out, err := kernel.Run(d, cfg.Kernel, kp)
+		ksp.End()
 		if err != nil {
 			return fmt.Errorf("host: DPU %d: %w", di, err)
 		}
@@ -96,6 +109,8 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 
 	// Timeline: one broadcast transfer, ranks compute concurrently, tiny
 	// per-rank result collections serialised on the bus afterwards.
+	csp := sp.Child("host.collect")
+	defer csp.End()
 	inDur := cfg.PIM.HostTransferSeconds(datasetBytes)
 	launch := cfg.PIM.RankLaunchOverheadUS * 1e-6
 	var results []Result
@@ -176,5 +191,6 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 	rep.MakespanSec = makespan
 	rep.Alignments = len(results)
 	rep.Batches = 1
+	rep.publishMetrics()
 	return rep, results, nil
 }

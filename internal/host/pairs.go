@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 )
 
@@ -41,9 +42,13 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	if len(pairs) == 0 {
 		return rep, nil, nil
 	}
+	sp := obs.StartSpan("host.align_pairs")
+	sp.SetAttrInt("pairs", int64(len(pairs)))
+	defer sp.End()
 
 	// Group and split into rank-sized batches, balancing pair workloads
 	// across the batches of a group (the host spreads work over ranks).
+	bsp := sp.Child("host.balance")
 	var batches [][]Pair
 	for _, group := range splitGroups(pairs, cfg.GroupPairs) {
 		nBatches := cfg.PIM.Ranks
@@ -66,10 +71,17 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 			batches = append(batches, b)
 		}
 	}
+	bsp.SetAttrInt("batches", int64(len(batches)))
+	bsp.End()
 
 	execs := make([]batchExec, len(batches))
 	if err := parallelFor(cfg.workers(), len(batches), func(bi int) error {
-		ex, err := runBatch(cfg, batches[bi])
+		// Batch spans are roots so each concurrent batch gets its own
+		// trace lane; encode/kernel sub-spans nest inside.
+		bs := obs.StartSpan("host.batch")
+		bs.SetAttrInt("batch", int64(bi))
+		defer bs.End()
+		ex, err := runBatch(cfg, batches[bi], bs)
 		if err != nil {
 			return err
 		}
@@ -79,8 +91,12 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 		return nil, nil, err
 	}
 
-	var results []Result
+	dsp := sp.Child("host.dispatch")
 	scheduleTimeline(cfg, execs, rep)
+	dsp.End()
+
+	csp := sp.Child("host.collect")
+	var results []Result
 	for bi := range execs {
 		rank := rep.Ranks[bi].Rank
 		for i := range execs[bi].results {
@@ -90,20 +106,42 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 		rep.TotalCells += execs[bi].cells
 		rep.TotalInstr += execs[bi].stats.Instr
 	}
+	csp.End()
 	rep.Alignments = len(results)
 	rep.Batches = len(batches)
+	rep.publishMetrics()
 	return rep, results, nil
 }
 
+// publishMetrics feeds the run-level outcome into the default metrics
+// registry; a no-op when metrics are disabled.
+func (r *Report) publishMetrics() {
+	reg := obs.Default()
+	if reg == nil {
+		return
+	}
+	reg.Counter("host_batches_total").Add(int64(r.Batches))
+	reg.Counter("host_alignments_total").Add(int64(r.Alignments))
+	reg.Counter("host_bytes_in_total").Add(r.BytesIn)
+	reg.Counter("host_bytes_out_total").Add(r.BytesOut)
+	reg.Gauge("host_makespan_seconds").Set(r.MakespanSec)
+	reg.Gauge("host_overhead_fraction").Set(r.HostOverheadFraction())
+	reg.Gauge("host_utilization_min").Set(r.UtilizationMin)
+	reg.Gauge("host_utilization_mean").Set(r.UtilizationMean)
+}
+
 // runBatch balances one batch over the 64 DPUs of a rank and executes the
-// kernel on each loaded DPU.
-func runBatch(cfg Config, pairs []Pair) (batchExec, error) {
+// kernel on each loaded DPU. sp is the batch's trace span (nil when
+// tracing is off).
+func runBatch(cfg Config, pairs []Pair, sp *obs.Span) (batchExec, error) {
 	ex := batchExec{minDPUSec: math.Inf(1), utilMin: 1}
+	lsp := sp.Child("host.balance_rank")
 	loads := make([]int64, len(pairs))
 	for i, p := range pairs {
 		loads[i] = p.Workload(cfg.Kernel.Band)
 	}
 	buckets := cfg.Balance.assign(loads, pim.DPUsPerRank, int64(len(pairs)))
+	lsp.End()
 
 	type dpuOut struct {
 		out   kernel.DPUOutcome
@@ -117,18 +155,24 @@ func runBatch(cfg Config, pairs []Pair) (batchExec, error) {
 			return nil
 		}
 		d := cfg.PIM.NewDPU(di)
+		esp := sp.Child("host.encode")
+		esp.SetAttrInt("dpu", int64(di))
 		kp := make([]kernel.Pair, 0, len(buckets[di]))
 		var bytesIn int64
 		for _, idx := range buckets[di] {
 			p := pairs[idx]
-			sp, err := kernel.StagePair(d, p.ID, p.A, p.B)
+			staged, err := kernel.StagePair(d, p.ID, p.A, p.B)
 			if err != nil {
 				return fmt.Errorf("host: staging pair %d on DPU %d: %w", p.ID, di, err)
 			}
 			bytesIn += int64((len(p.A)+3)/4+(len(p.B)+3)/4) + pairDescriptorBytes
-			kp = append(kp, sp)
+			kp = append(kp, staged)
 		}
+		esp.End()
+		ksp := sp.Child("host.kernel")
+		ksp.SetAttrInt("dpu", int64(di))
 		out, err := kernel.Run(d, cfg.Kernel, kp)
+		ksp.End()
 		if err != nil {
 			return fmt.Errorf("host: DPU %d: %w", di, err)
 		}

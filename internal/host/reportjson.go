@@ -1,0 +1,53 @@
+package host
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// reportJSON is the machine-readable run report: every Report field plus
+// the derived host-overhead fraction, so downstream tooling (dashboards,
+// regression checks) never re-implements the derivation.
+type reportJSON struct {
+	MakespanSec          float64     `json:"makespan_sec"`
+	HostOverheadFraction float64     `json:"host_overhead_fraction"`
+	TransferInSec        float64     `json:"transfer_in_sec"`
+	TransferOutSec       float64     `json:"transfer_out_sec"`
+	KernelSecSum         float64     `json:"kernel_sec_sum"`
+	BytesIn              int64       `json:"bytes_in"`
+	BytesOut             int64       `json:"bytes_out"`
+	TotalCells           int64       `json:"total_cells"`
+	TotalInstr           int64       `json:"total_instr"`
+	Alignments           int         `json:"alignments"`
+	Batches              int         `json:"batches"`
+	UtilizationMin       float64     `json:"utilization_min"`
+	UtilizationMean      float64     `json:"utilization_mean"`
+	Ranks                []RankStats `json:"ranks"`
+}
+
+// WriteJSON writes the run report as indented JSON (the -report-json flag
+// of cmd/pimalign).
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := reportJSON{
+		MakespanSec:          r.MakespanSec,
+		HostOverheadFraction: r.HostOverheadFraction(),
+		TransferInSec:        r.TransferInSec,
+		TransferOutSec:       r.TransferOutSec,
+		KernelSecSum:         r.KernelSecSum,
+		BytesIn:              r.BytesIn,
+		BytesOut:             r.BytesOut,
+		TotalCells:           r.TotalCells,
+		TotalInstr:           r.TotalInstr,
+		Alignments:           r.Alignments,
+		Batches:              r.Batches,
+		UtilizationMin:       r.UtilizationMin,
+		UtilizationMean:      r.UtilizationMean,
+		Ranks:                r.Ranks,
+	}
+	if out.Ranks == nil {
+		out.Ranks = []RankStats{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

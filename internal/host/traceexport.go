@@ -1,0 +1,88 @@
+package host
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"pimnw/internal/obs"
+)
+
+// Trace-lane layout for the modelled timeline: every rank is a Chrome
+// trace process (pid = rank + 1; pid 0 is reserved for the host's
+// wall-clock spans), with three thread lanes showing the §4.1 pipeline —
+// the input transfer serialising on the DDR bus, the rank-concurrent
+// kernel execution, and the barrier-gated result collection.
+const (
+	tidTransferIn  = 0
+	tidKernel      = 1
+	tidTransferOut = 2
+)
+
+// ChromeTraceEvents converts the simulated timeline into Chrome
+// trace-event JSON events (ph "X" complete slices, microsecond
+// timestamps), one slice per pipeline stage per rank batch, plus ph "M"
+// metadata naming the tracks. The result loads directly in Perfetto or
+// chrome://tracing and supersedes the ASCII Timeline for deep runs: kernel
+// slices carry the rank-summed pim.DPUStats breakdown (instructions, DMA
+// bytes/cycles, barrier-wait cycles, pipeline utilization) as args.
+func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
+	var events []obs.TraceEvent
+	seen := map[int]bool{}
+	for _, rs := range r.Ranks {
+		pid := rs.Rank + 1
+		if !seen[pid] {
+			seen[pid] = true
+			events = append(events,
+				obs.ProcessName(pid, "rank "+strconv.Itoa(rs.Rank)+" (modelled)"),
+				obs.ThreadName(pid, tidTransferIn, "bus in"),
+				obs.ThreadName(pid, tidKernel, "kernel"),
+				obs.ThreadName(pid, tidTransferOut, "bus out"))
+		}
+		kStart := rs.StartSec + rs.TransferInSec
+		events = append(events,
+			obs.TraceEvent{
+				Name: "xfer_in", Ph: "X",
+				Ts: rs.StartSec * 1e6, Dur: rs.TransferInSec * 1e6,
+				Pid: pid, Tid: tidTransferIn,
+				Args: map[string]any{"batch": rs.Batch, "bytes": rs.BytesIn},
+			},
+			obs.TraceEvent{
+				Name: "kernel", Ph: "X",
+				Ts: kStart * 1e6, Dur: rs.KernelSec * 1e6,
+				Pid: pid, Tid: tidKernel,
+				Args: map[string]any{
+					"batch":          rs.Batch,
+					"loaded_dpus":    rs.LoadedDPUs,
+					"fastest_dpu_s":  rs.FastestDPUSec,
+					"instructions":   rs.DPUStats.Instr,
+					"dma_bytes":      rs.DPUStats.DMABytes,
+					"dma_cycles":     rs.DPUStats.DMACycles,
+					"issue_cycles":   rs.DPUStats.IssueCycles,
+					"barrier_cycles": rs.DPUStats.BarrierCycles,
+					"utilization":    rs.DPUStats.Utilization(),
+				},
+			},
+			obs.TraceEvent{
+				Name: "xfer_out", Ph: "X",
+				Ts: (rs.EndSec - rs.TransferOutSec) * 1e6, Dur: rs.TransferOutSec * 1e6,
+				Pid: pid, Tid: tidTransferOut,
+				Args: map[string]any{"batch": rs.Batch, "bytes": rs.BytesOut},
+			})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	return events
+}
+
+// WriteChromeTrace writes the modelled timeline as a Chrome trace-event
+// JSON file. Callers that also want the host's wall-clock spans in the
+// same file append obs.Tracer.Events(0) to ChromeTraceEvents and use
+// obs.WriteTraceEvents directly (pid 0 is left free for them).
+func (r *Report) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteTraceEvents(w, r.ChromeTraceEvents())
+}

@@ -5,7 +5,16 @@ import (
 	"sort"
 
 	"pimnw/internal/core"
+	"pimnw/internal/obs"
 	"pimnw/internal/pim"
+)
+
+// Histogram boundaries for the kernel's registry metrics: effective band
+// width (cells per computed anti-diagonal, which dips below the configured
+// w near the DP corners) and per-DPU pipeline utilization.
+var (
+	bandWidthBuckets   = []float64{8, 16, 32, 64, 128, 256, 512, 1024}
+	utilizationBuckets = []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99}
 )
 
 // DPUOutcome is everything one DPU produces for a batch: the alignment
@@ -95,6 +104,10 @@ func Run(d *pim.DPU, cfg Config, pairs []Pair) (DPUOutcome, error) {
 		return out, err
 	}
 	out.Stats = stats
+	if reg := obs.Default(); reg != nil {
+		reg.Counter("pim_dpu_runs_total").Add(1)
+		reg.Histogram("pim_dpu_utilization", utilizationBuckets).Observe(stats.Utilization())
+	}
 	return out, nil
 }
 
@@ -131,6 +144,20 @@ func alignOne(d *pim.DPU, cfg Config, pair Pair, rowBytes int,
 	}
 
 	emitTrace(cfg, pair, res, len(pr.Cigar), rowBytes, master, workers, group)
+
+	// Per-alignment metrics. The nil-registry path is the no-op fast path:
+	// one pointer load and a branch, zero allocations (asserted in
+	// internal/obs's overhead tests), so the simulation hot loop is
+	// unaffected when metrics are off.
+	if reg := obs.Default(); reg != nil {
+		reg.Counter("pim_alignments_total").Add(1)
+		reg.Counter("pim_cells_total").Add(res.Cells)
+		reg.Counter("pim_steps_total").Add(int64(res.Steps))
+		if res.Steps > 0 {
+			reg.Histogram("pim_band_width_cells", bandWidthBuckets).
+				Observe(float64(res.Cells) / float64(res.Steps))
+		}
+	}
 	return pr, btBytes, nil
 }
 

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one entry of the Chrome trace-event JSON array format, the
+// input Perfetto and chrome://tracing load directly. Ts and Dur are in
+// microseconds. Ph "X" is a complete slice; ph "M" is metadata (process
+// and thread names).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ProcessName builds the ph "M" metadata event naming a pid's track.
+func ProcessName(pid int, name string) TraceEvent {
+	return TraceEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}}
+}
+
+// ThreadName builds the ph "M" metadata event naming a (pid, tid) lane.
+func ThreadName(pid, tid int, name string) TraceEvent {
+	return TraceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}}
+}
+
+// WriteTraceEvents writes the events as one JSON array — the whole trace
+// file. Load the result via Perfetto's "Open trace file" or
+// chrome://tracing.
+func WriteTraceEvents(w io.Writer, events []TraceEvent) error {
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}

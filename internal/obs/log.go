@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// The leveled logger replaces the commands' scattered
+// fmt.Fprintf(os.Stderr, ...) status lines: Logf is always-on progress
+// output, Debugf only prints once SetVerbosity(1) (the -v flag) is set.
+// Output defaults to stderr so it never mixes with result data on stdout.
+
+var (
+	logMu     sync.Mutex
+	logOut    io.Writer = os.Stderr
+	logPrefix string
+	verbosity atomic.Int32
+)
+
+// SetLogOutput redirects log output (default os.Stderr).
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	logOut = w
+	logMu.Unlock()
+}
+
+// SetLogPrefix sets the program tag prepended to every line ("tag: ...").
+func SetLogPrefix(prefix string) {
+	logMu.Lock()
+	logPrefix = prefix
+	logMu.Unlock()
+}
+
+// SetVerbosity sets the log level: 0 shows Logf only, >=1 adds Debugf.
+func SetVerbosity(v int) { verbosity.Store(int32(v)) }
+
+// Verbosity reports the current log level.
+func Verbosity() int { return int(verbosity.Load()) }
+
+// Logf prints one status line (level 0, always shown).
+func Logf(format string, args ...any) { logf(format, args...) }
+
+// Debugf prints one diagnostic line, only at verbosity >= 1.
+func Debugf(format string, args ...any) {
+	if verbosity.Load() < 1 {
+		return
+	}
+	logf(format, args...)
+}
+
+func logf(format string, args ...any) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if logPrefix != "" {
+		fmt.Fprintf(logOut, "%s: ", logPrefix)
+	}
+	fmt.Fprintf(logOut, format, args...)
+	fmt.Fprintln(logOut)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pim_cells_total")
+	c.Add(40)
+	c.Add(2)
+	if got := r.Counter("pim_cells_total").Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("host_makespan_seconds")
+	g.Set(1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.Add(0.25)
+	if got := g.Value(); got != 1.75 {
+		t.Fatalf("gauge after Add = %v, want 1.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("width", []float64{10, 100})
+	for _, v := range []float64{1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["width"]
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1066 {
+		t.Fatalf("sum = %v, want 1066", s.Sum)
+	}
+	// Cumulative: le=10 -> 3 (1,5,10), le=100 -> 4, +Inf -> 5.
+	want := []int64{3, 4, 5}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[2].LE, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", s.Buckets[2].LE)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(1)
+	r.Histogram("z", []float64{1}).Observe(1)
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pim_cells_total").Add(1234)
+	r.Gauge("host_utilization_min").Set(0.97)
+	r.Histogram("pim_band_width_cells", []float64{64, 128}).Observe(100)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pim_cells_total counter\npim_cells_total 1234\n",
+		"# TYPE host_utilization_min gauge\nhost_utilization_min 0.97\n",
+		"# TYPE pim_band_width_cells histogram\n",
+		"pim_band_width_cells_bucket{le=\"64\"} 0\n",
+		"pim_band_width_cells_bucket{le=\"128\"} 1\n",
+		"pim_band_width_cells_bucket{le=\"+Inf\"} 1\n",
+		"pim_band_width_cells_sum 100\n",
+		"pim_band_width_cells_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a_total"] != 7 {
+		t.Fatalf("round-tripped counter = %d, want 7", s.Counters["a_total"])
+	}
+	if s.Histograms["h"].Count != 1 {
+		t.Fatalf("round-tripped histogram count = %d, want 1", s.Histograms["h"].Count)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{0.5}).Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c").Value(); v != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", v)
+	}
+	if v := r.Gauge("g").Value(); v != 8000 {
+		t.Fatalf("concurrent gauge = %v, want 8000", v)
+	}
+	if v := r.Histogram("h", nil).Count(); v != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", v)
+	}
+}

@@ -1,0 +1,139 @@
+package obs_test
+
+// The no-op overhead guarantee: every instrumentation hook left in the
+// simulation hot loops (kernel per-alignment counters, simulator stat
+// publication, host pipeline spans) must cost nothing when observability
+// is disabled — a nil pointer load and a branch, zero allocations. The
+// test below exercises exactly the hook sequence the kernel runs per
+// alignment and asserts 0 allocs; the paired benchmarks compare a real
+// DPU kernel batch with instrumentation disabled vs enabled.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+)
+
+// hookPath is the per-alignment instrumentation sequence from
+// kernel.alignOne plus the per-run sequence from kernel.Run and the span
+// hooks from host.runBatch, with whatever registry/tracer is installed.
+func hookPath() {
+	if reg := obs.Default(); reg != nil {
+		reg.Counter("pim_alignments_total").Add(1)
+		reg.Counter("pim_cells_total").Add(12345)
+		reg.Counter("pim_steps_total").Add(100)
+		reg.Histogram("pim_band_width_cells", bandBuckets).Observe(123.45)
+		reg.Histogram("pim_dpu_utilization", utilBuckets).Observe(0.97)
+	}
+	sp := obs.StartSpan("host.batch")
+	sp.SetAttrInt("batch", 1)
+	child := sp.Child("host.kernel")
+	child.End()
+	sp.End()
+}
+
+var (
+	bandBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024}
+	utilBuckets = []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99}
+)
+
+func TestNilSinkHookPathZeroAllocs(t *testing.T) {
+	obs.SetDefault(nil)
+	obs.SetDefaultTracer(nil)
+	if allocs := testing.AllocsPerRun(1000, hookPath); allocs != 0 {
+		t.Fatalf("disabled hook path allocates %.1f times per alignment, want 0", allocs)
+	}
+}
+
+func TestEnabledHookPathRecords(t *testing.T) {
+	reg, tr := obs.NewRegistry(), obs.NewTracer()
+	obs.SetDefault(reg)
+	obs.SetDefaultTracer(tr)
+	defer obs.SetDefault(nil)
+	defer obs.SetDefaultTracer(nil)
+	hookPath()
+	if reg.Counter("pim_cells_total").Value() != 12345 {
+		t.Fatal("enabled hook path did not record the counter")
+	}
+	if len(tr.Events(0)) != 2 {
+		t.Fatal("enabled hook path did not record the spans")
+	}
+}
+
+// kernelBatch runs one staged DPU kernel batch, the workload both
+// overhead benchmarks share.
+func kernelBatch(b *testing.B, rng *rand.Rand, kcfg kernel.Config) {
+	b.Helper()
+	b.StopTimer()
+	d := kcfg.PIM.NewDPU(0)
+	pairs := make([]kernel.Pair, 12)
+	for j := range pairs {
+		a := seq.Random(rng, 1000)
+		q := seq.UniformErrors(0.05).Apply(rng, a)
+		sp, err := kernel.StagePair(d, j, a, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs[j] = sp
+	}
+	b.StartTimer()
+	if _, err := kernel.Run(d, kcfg, pairs); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchKernelConfig() kernel.Config {
+	return kernel.Config{
+		Geometry:  kernel.DefaultGeometry(),
+		Band:      128,
+		Params:    core.DefaultParams(),
+		Costs:     pim.Asm,
+		Traceback: true,
+		PIM:       pim.DefaultConfig(),
+	}
+}
+
+// BenchmarkKernelNilSink is the instrumented-but-disabled baseline: the
+// hooks are compiled in, observability is off. Compare with
+// BenchmarkKernelInstrumented; the delta is the price of turning
+// metrics+tracing on, and NilSink must stay within noise of the
+// pre-instrumentation kernel benchmark (BenchmarkDPUKernelBatch).
+func BenchmarkKernelNilSink(b *testing.B) {
+	obs.SetDefault(nil)
+	obs.SetDefaultTracer(nil)
+	kcfg := benchKernelConfig()
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kernelBatch(b, rng, kcfg)
+	}
+}
+
+func BenchmarkKernelInstrumented(b *testing.B) {
+	obs.SetDefault(obs.NewRegistry())
+	obs.SetDefaultTracer(obs.NewTracer())
+	defer obs.SetDefault(nil)
+	defer obs.SetDefaultTracer(nil)
+	kcfg := benchKernelConfig()
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kernelBatch(b, rng, kcfg)
+	}
+}
+
+// BenchmarkHookPathNilSink isolates the disabled hook sequence itself:
+// expect ~ns/op and 0 allocs/op.
+func BenchmarkHookPathNilSink(b *testing.B) {
+	obs.SetDefault(nil)
+	obs.SetDefaultTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hookPath()
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer collects wall-clock spans over the host pipeline. Spans started
+// from concurrent goroutines are safe; a span's attributes and End must be
+// owned by the goroutine that started it, and Events must only be called
+// after the instrumented work has finished.
+type Tracer struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []*Span
+}
+
+// NewTracer creates a tracer; span timestamps are relative to this moment.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// Start opens a span. On a nil tracer it returns nil, a valid no-op span
+// (no clock read, no allocation). The parent may be nil (a root span,
+// rendered on its own trace lane) or a span from any goroutine.
+func (t *Tracer) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, Name: name, parent: parent, start: time.Now()}
+	t.mu.Lock()
+	s.id = len(t.spans)
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed region of the pipeline. All methods are nil-safe.
+type Span struct {
+	tr     *Tracer
+	parent *Span
+	id     int
+	Name   string
+	start  time.Time
+	end    time.Time
+	attrs  []Attr
+}
+
+// Attr is one span attribute.
+type Attr struct{ Key, Value string }
+
+// Child opens a sub-span. Returns nil when the receiver is nil, so a
+// disabled root span disables its whole subtree for free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.Start(name, s)
+}
+
+// SetAttr attaches a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, value})
+}
+
+// SetAttrInt attaches an integer attribute.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, strconv.FormatInt(v, 10)})
+}
+
+// SetAttrFloat attaches a float attribute.
+func (s *Span) SetAttrFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, strconv.FormatFloat(v, 'g', -1, 64)})
+}
+
+// End closes the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.end = time.Now()
+}
+
+// Duration is the span's closed duration (0 if unfinished or nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// root walks to the span's root ancestor, whose id becomes the trace lane
+// (tid): children nest inside their root's lane, concurrent root spans get
+// separate lanes.
+func (s *Span) root() *Span {
+	for s.parent != nil {
+		s = s.parent
+	}
+	return s
+}
+
+// Events converts every finished span into a Chrome "complete" (ph "X")
+// trace event under the given pid, timestamps in microseconds since the
+// tracer started.
+func (t *Tracer) Events(pid int) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	var events []TraceEvent
+	for _, s := range spans {
+		if s.end.IsZero() {
+			continue
+		}
+		ev := TraceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(t.start)) / float64(time.Microsecond),
+			Dur:  float64(s.end.Sub(s.start)) / float64(time.Microsecond),
+			Pid:  pid,
+			Tid:  s.root().id,
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = map[string]any{}
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}

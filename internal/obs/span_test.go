@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("host.align_pairs", nil)
+	root.SetAttrInt("pairs", 64)
+	child := root.Child("host.balance")
+	child.End()
+	root.End()
+
+	events := tr.Events(0)
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	byName := map[string]TraceEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	rootEv, ok := byName["host.align_pairs"]
+	if !ok {
+		t.Fatal("missing root event")
+	}
+	if rootEv.Ph != "X" || rootEv.Pid != 0 {
+		t.Fatalf("root event = %+v", rootEv)
+	}
+	if rootEv.Args["pairs"] != "64" {
+		t.Fatalf("root args = %v", rootEv.Args)
+	}
+	childEv := byName["host.balance"]
+	if childEv.Tid != rootEv.Tid {
+		t.Fatalf("child lane %d != root lane %d", childEv.Tid, rootEv.Tid)
+	}
+	if childEv.Ts < rootEv.Ts || childEv.Ts+childEv.Dur > rootEv.Ts+rootEv.Dur+1 {
+		t.Fatalf("child [%v,%v] not inside root [%v,%v]",
+			childEv.Ts, childEv.Ts+childEv.Dur, rootEv.Ts, rootEv.Ts+rootEv.Dur)
+	}
+}
+
+func TestUnfinishedSpansAreSkipped(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("open", nil) // never ended
+	done := tr.Start("done", nil)
+	done.End()
+	events := tr.Events(0)
+	if len(events) != 1 || events[0].Name != "done" {
+		t.Fatalf("events = %+v, want just the finished span", events)
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x", nil)
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	s.SetAttr("k", "v")
+	s.SetAttrInt("n", 1)
+	s.SetAttrFloat("f", 1.5)
+	c := s.Child("y")
+	if c != nil {
+		t.Fatal("nil span returned a child")
+	}
+	c.End()
+	s.End()
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+	if ev := tr.Events(0); ev != nil {
+		t.Fatalf("nil tracer events = %v", ev)
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	events := []TraceEvent{
+		ProcessName(1, "rank 0 (modelled)"),
+		{Name: "kernel", Ph: "X", Ts: 10, Dur: 5, Pid: 1, Tid: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(parsed))
+	}
+	for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+		if _, ok := parsed[1][key]; !ok {
+			t.Errorf("event missing %q: %v", key, parsed[1])
+		}
+	}
+	// Empty input must still be a valid (empty) JSON array.
+	buf.Reset()
+	if err := WriteTraceEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty trace = %q, want []", got)
+	}
+}
+
+func TestDefaultRegistryAndTracerInstall(t *testing.T) {
+	if Default() != nil || DefaultTracer() != nil {
+		t.Fatal("defaults not nil at test start")
+	}
+	r, tr := NewRegistry(), NewTracer()
+	SetDefault(r)
+	SetDefaultTracer(tr)
+	defer SetDefault(nil)
+	defer SetDefaultTracer(nil)
+	Default().Counter("x").Add(1)
+	sp := StartSpan("s")
+	if sp == nil {
+		t.Fatal("StartSpan returned nil with a tracer installed")
+	}
+	sp.End()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("default registry did not record")
+	}
+	if len(tr.Events(0)) != 1 {
+		t.Fatal("default tracer did not record")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	SetLogPrefix("test")
+	defer func() {
+		SetLogOutput(os.Stderr)
+		SetLogPrefix("")
+		SetVerbosity(0)
+	}()
+
+	SetVerbosity(0)
+	Logf("info %d", 1)
+	Debugf("debug %d", 2)
+	if got := buf.String(); got != "test: info 1\n" {
+		t.Fatalf("level 0 output = %q", got)
+	}
+	buf.Reset()
+	SetVerbosity(1)
+	Debugf("debug %d", 3)
+	if got := buf.String(); got != "test: debug 3\n" {
+		t.Fatalf("level 1 output = %q", got)
+	}
+}

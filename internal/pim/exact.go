@@ -97,7 +97,9 @@ func ExactSimulate(run *DPURun) (DPUStats, error) {
 		for _, t := range ts {
 			if t.state != stDone {
 				allDone = false
-				break
+			}
+			if t.state == stBarrier {
+				stats.BarrierCycles++
 			}
 		}
 		if allDone {
@@ -167,5 +169,6 @@ func ExactSimulate(run *DPURun) (DPUStats, error) {
 		}
 	}
 	stats.Cycles = cycle
+	stats.publish()
 	return stats, nil
 }

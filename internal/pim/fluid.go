@@ -88,7 +88,7 @@ func FluidSimulate(run *DPURun) (DPUStats, error) {
 	}
 
 	var now float64
-	var issueIntegral, dmaIntegral float64
+	var issueIntegral, dmaIntegral, barrierIntegral float64
 	const eps = 1e-9
 	for {
 		// Activate the DMA engine if idle.
@@ -98,11 +98,14 @@ func FluidSimulate(run *DPURun) (DPUStats, error) {
 			ts[dmaActive].state = stDMAActive
 		}
 
-		// Count executing tasklets and find the horizon.
-		k := 0
+		// Count executing and barrier-blocked tasklets, find the horizon.
+		k, nb := 0, 0
 		for _, t := range ts {
-			if t.state == stExec {
+			switch t.state {
+			case stExec:
 				k++
+			case stBarrier:
+				nb++
 			}
 		}
 		if k == 0 && dmaActive < 0 {
@@ -135,6 +138,7 @@ func FluidSimulate(run *DPURun) (DPUStats, error) {
 		now += dt
 		aggRate := float64(k) * perTaskletRate // = min(k/11, 1)
 		issueIntegral += aggRate * dt
+		barrierIntegral += float64(nb) * dt
 		if dmaActive >= 0 {
 			dmaIntegral += dt
 		}
@@ -173,5 +177,7 @@ func FluidSimulate(run *DPURun) (DPUStats, error) {
 	stats.IssueCycles = int64(issueIntegral + 0.5)
 	stats.Instr, _, _ = run.Totals()
 	stats.DMACycles = int64(dmaIntegral + 0.5)
+	stats.BarrierCycles = int64(barrierIntegral + 0.5)
+	stats.publish()
 	return stats, nil
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"pimnw/internal/obs"
 )
 
 func TestDefaultConfigValid(t *testing.T) {
@@ -404,10 +406,64 @@ func TestFluidDeadlockDetected(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := DPUStats{Cycles: 10, Instr: 5, DMABytes: 100, DMATransfers: 1, DMACycles: 3, IssueCycles: 5}
-	a.Add(DPUStats{Cycles: 20, Instr: 10, DMABytes: 200, DMATransfers: 2, DMACycles: 6, IssueCycles: 10})
-	if a.Cycles != 30 || a.Instr != 15 || a.DMABytes != 300 || a.DMATransfers != 3 {
+	a := DPUStats{Cycles: 10, Instr: 5, DMABytes: 100, DMATransfers: 1, DMACycles: 3, IssueCycles: 5, BarrierCycles: 2}
+	a.Add(DPUStats{Cycles: 20, Instr: 10, DMABytes: 200, DMATransfers: 2, DMACycles: 6, IssueCycles: 10, BarrierCycles: 4})
+	if a.Cycles != 30 || a.Instr != 15 || a.DMABytes != 300 || a.DMATransfers != 3 || a.BarrierCycles != 6 {
 		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestBarrierWaitCyclesRecorded(t *testing.T) {
+	// Tasklet 1 reaches the rendezvous ~10x earlier than tasklet 0 and
+	// must accumulate the wait in BarrierCycles, in both simulators. It
+	// waits roughly the issue-time difference: ~900 slots * 11 cycles.
+	build := func() *DPURun {
+		r, _ := NewDPURun(2)
+		r.Traces[0].Exec(1000)
+		r.Traces[0].Barrier(1)
+		r.Traces[1].Exec(100)
+		r.Traces[1].Barrier(1)
+		return r
+	}
+	exact, err := ExactSimulate(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := FluidSimulate(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]DPUStats{"exact": exact, "fluid": fluid} {
+		if st.BarrierCycles < 8000 || st.BarrierCycles > 11000 {
+			t.Errorf("%s BarrierCycles = %d, want ~9900", name, st.BarrierCycles)
+		}
+	}
+	// The two models must agree on the wait to within a few percent.
+	diff := math.Abs(float64(exact.BarrierCycles - fluid.BarrierCycles))
+	if diff/float64(exact.BarrierCycles) > 0.05 {
+		t.Errorf("barrier wait disagreement: exact %d vs fluid %d",
+			exact.BarrierCycles, fluid.BarrierCycles)
+	}
+}
+
+func TestSimulatorsPublishMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	r, _ := NewDPURun(1)
+	r.Traces[0].Exec(10)
+	st, err := FluidSimulate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("pim_sim_runs_total").Value(); got != 1 {
+		t.Errorf("pim_sim_runs_total = %d, want 1", got)
+	}
+	if got := reg.Counter("pim_sim_cycles_total").Value(); got != st.Cycles {
+		t.Errorf("pim_sim_cycles_total = %d, want %d", got, st.Cycles)
+	}
+	if got := reg.Counter("pim_sim_instructions_total").Value(); got != st.Instr {
+		t.Errorf("pim_sim_instructions_total = %d, want %d", got, st.Instr)
 	}
 }
 

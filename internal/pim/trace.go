@@ -1,6 +1,10 @@
 package pim
 
-import "fmt"
+import (
+	"fmt"
+
+	"pimnw/internal/obs"
+)
 
 // SegKind is a tasklet trace segment kind.
 type SegKind uint8
@@ -114,12 +118,13 @@ func (r *DPURun) barrierGroups() map[int64][]int {
 
 // DPUStats is the outcome of simulating one DPU's run.
 type DPUStats struct {
-	Cycles       int64 // total execution time in DPU cycles
-	Instr        int64 // instructions issued
-	DMABytes     int64 // bytes moved MRAM<->WRAM
-	DMATransfers int64 // DMA engine transfers (after max-size splitting)
-	DMACycles    int64 // cycles the DMA engine was busy
-	IssueCycles  int64 // cycles an instruction was issued (pipeline busy)
+	Cycles        int64 // total execution time in DPU cycles
+	Instr         int64 // instructions issued
+	DMABytes      int64 // bytes moved MRAM<->WRAM
+	DMATransfers  int64 // DMA engine transfers (after max-size splitting)
+	DMACycles     int64 // cycles the DMA engine was busy
+	IssueCycles   int64 // cycles an instruction was issued (pipeline busy)
+	BarrierCycles int64 // tasklet-cycles spent blocked on pool barriers
 }
 
 // Utilization is the pipeline issue rate, the metric the paper reports as
@@ -139,6 +144,26 @@ func (s *DPUStats) Add(o DPUStats) {
 	s.DMATransfers += o.DMATransfers
 	s.DMACycles += o.DMACycles
 	s.IssueCycles += o.IssueCycles
+	s.BarrierCycles += o.BarrierCycles
+}
+
+// publish feeds one simulated run's stats into the default metrics
+// registry; a no-op (nil registry) when metrics are disabled. Both
+// simulators call it on success, so pim_sim_* counters aggregate every
+// DPU execution of the process regardless of which model priced it.
+func (s DPUStats) publish() {
+	reg := obs.Default()
+	if reg == nil {
+		return
+	}
+	reg.Counter("pim_sim_runs_total").Add(1)
+	reg.Counter("pim_sim_cycles_total").Add(s.Cycles)
+	reg.Counter("pim_sim_instructions_total").Add(s.Instr)
+	reg.Counter("pim_sim_dma_bytes_total").Add(s.DMABytes)
+	reg.Counter("pim_sim_dma_transfers_total").Add(s.DMATransfers)
+	reg.Counter("pim_sim_dma_cycles_total").Add(s.DMACycles)
+	reg.Counter("pim_sim_issue_cycles_total").Add(s.IssueCycles)
+	reg.Counter("pim_sim_barrier_wait_cycles_total").Add(s.BarrierCycles)
 }
 
 // LowerBound is the information-theoretic floor for a run's cycle count:

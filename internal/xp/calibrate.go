@@ -7,6 +7,7 @@ import (
 	"pimnw/internal/datasets"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 )
 
@@ -52,6 +53,10 @@ func calibrate(kcfg kernel.Config, sample []datasets.Pair) (calibration, error) 
 	if len(sample) == 0 {
 		return cal, fmt.Errorf("xp: empty calibration sample")
 	}
+	sp := obs.StartSpan("xp.calibrate")
+	sp.SetAttr("costs", kcfg.Costs.Name)
+	sp.SetAttrInt("sample_pairs", int64(len(sample)))
+	defer sp.End()
 	d := kcfg.PIM.NewDPU(0)
 	kp := make([]kernel.Pair, 0, len(sample))
 	var bases int64

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimnw/internal/datasets"
+	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 )
 
@@ -59,6 +60,9 @@ func TableIDs() []string {
 
 // Table runs one experiment by ID ("1".."8", "utilization", "ablation").
 func (r *Runner) Table(id string) (Table, error) {
+	sp := obs.StartSpan("xp.table")
+	sp.SetAttr("id", id)
+	defer sp.End()
 	switch id {
 	case "1":
 		return r.table1()
