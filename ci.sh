@@ -15,10 +15,13 @@ set -eu
 cd "$(dirname "$0")"
 
 echo "== gofmt =="
-unformatted=$(gofmt -l cmd internal)
+# Check the whole module, not just cmd/ and internal/ — top-level files
+# like bench_test.go and doc.go are covered by the walk from ".".
+unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt: the following files need formatting:" >&2
     echo "$unformatted" >&2
+    gofmt -d $unformatted >&2
     exit 1
 fi
 

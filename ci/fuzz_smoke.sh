@@ -1,0 +1,23 @@
+#!/bin/sh
+# ci/fuzz_smoke.sh — short fuzzing pass over every fuzz target in the
+# repository, run by the CI fuzz job. Each target fuzzes for FUZZTIME
+# (default 30s); any crasher fails the script and leaves its input under
+# the package's testdata/fuzz/ corpus directory for reproduction.
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-30s}"
+
+fuzz() {
+    pkg="$1"
+    target="$2"
+    echo "== fuzz $pkg $target ($FUZZTIME) =="
+    go test "$pkg" -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME"
+}
+
+fuzz ./internal/cigar FuzzParseRoundTrip
+fuzz ./internal/seq FuzzFromStringPackRoundTrip
+fuzz ./internal/core FuzzLinearVsQuadratic
+fuzz ./internal/core FuzzBandedNeverBeatsOptimal
+
+echo "FUZZ SMOKE PASS"

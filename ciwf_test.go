@@ -1,0 +1,274 @@
+package pimnw_test
+
+// Structural lint for the GitHub Actions workflow: the repository has no
+// actionlint binary, so this test enforces the subset of the schema that
+// catches the usual breakages (tab indentation, a job without runs-on or
+// steps, a step that neither runs nor uses, a malformed action ref, a
+// referenced script that does not exist) before a push finds out.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const workflowDir = ".github/workflows"
+
+// actionRef is the owner/repo@ref (optionally owner/repo/path@ref) form
+// every remote `uses:` must take; local actions start with "./".
+var actionRef = regexp.MustCompile(`^([\w.-]+/[\w.-]+(/[\w./-]+)?@[\w./-]+|\./\S+)$`)
+
+func workflowFiles(t *testing.T) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(workflowDir, "*.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := filepath.Glob(filepath.Join(workflowDir, "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches = append(matches, more...)
+	if len(matches) == 0 {
+		t.Fatalf("no workflow files under %s", workflowDir)
+	}
+	return matches
+}
+
+func TestWorkflowStructure(t *testing.T) {
+	for _, path := range workflowFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		lines := strings.Split(text, "\n")
+
+		for i, line := range lines {
+			if strings.Contains(line, "\t") {
+				t.Errorf("%s:%d: tab character (YAML indentation must be spaces)", path, i+1)
+			}
+		}
+		for _, key := range []string{"name:", "on:", "jobs:"} {
+			if !hasTopLevel(lines, key) {
+				t.Errorf("%s: missing top-level %q", path, key)
+			}
+		}
+		if !strings.Contains(text, "push:") || !strings.Contains(text, "pull_request:") {
+			t.Errorf("%s: must trigger on both push and pull_request", path)
+		}
+
+		jobs := parseJobs(lines)
+		if len(jobs) == 0 {
+			t.Fatalf("%s: no jobs parsed", path)
+		}
+		for name, body := range jobs {
+			if !strings.Contains(body, "runs-on:") {
+				t.Errorf("%s: job %q has no runs-on", path, name)
+			}
+			if !strings.Contains(body, "steps:") {
+				t.Errorf("%s: job %q has no steps", path, name)
+				continue
+			}
+			steps := parseSteps(body)
+			if len(steps) == 0 {
+				t.Errorf("%s: job %q has empty steps", path, name)
+			}
+			for si, step := range steps {
+				hasRun := strings.Contains(step, "run:")
+				uses := regexp.MustCompile(`uses:\s*(\S+)`).FindStringSubmatch(step)
+				if !hasRun && uses == nil {
+					t.Errorf("%s: job %q step %d has neither run: nor uses:", path, name, si+1)
+				}
+				if uses != nil && !actionRef.MatchString(uses[1]) {
+					t.Errorf("%s: job %q step %d: malformed action ref %q", path, name, si+1, uses[1])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkflowReferencedScripts checks that every repository script the
+// workflow invokes exists and is executable — a renamed ci script is a
+// broken pipeline.
+func TestWorkflowReferencedScripts(t *testing.T) {
+	script := regexp.MustCompile(`run:.*?(\./[\w./-]+\.sh)`)
+	for _, path := range workflowFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := script.FindAllStringSubmatch(string(raw), -1)
+		if len(refs) == 0 {
+			continue
+		}
+		for _, m := range refs {
+			info, err := os.Stat(m[1])
+			if err != nil {
+				t.Errorf("%s references %s: %v", path, m[1], err)
+				continue
+			}
+			if info.Mode()&0o111 == 0 {
+				t.Errorf("%s references %s, which is not executable", path, m[1])
+			}
+		}
+	}
+}
+
+// TestWorkflowCoversGates pins the pipeline's contract: the tier-1 gate,
+// the benchmark gate (with its committed baseline), and the fuzz smoke
+// must all be wired into the workflow.
+func TestWorkflowCoversGates(t *testing.T) {
+	var all strings.Builder
+	for _, path := range workflowFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(raw)
+	}
+	text := all.String()
+	for _, want := range []string{"./ci.sh", "cmd/benchgate", "fuzz_smoke.sh", "staticcheck"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("workflow does not invoke %s", want)
+		}
+	}
+	if _, err := os.Stat("ci/bench_baseline.json"); err != nil {
+		t.Errorf("benchmark gate has no committed baseline: %v", err)
+	}
+}
+
+// hasTopLevel reports whether a zero-indent line starts with the key.
+func hasTopLevel(lines []string, key string) bool {
+	for _, line := range lines {
+		if strings.HasPrefix(line, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseJobs splits the jobs: block into name -> body using indentation:
+// job names sit at indent 2 under the zero-indent "jobs:" line.
+func parseJobs(lines []string) map[string]string {
+	jobs := map[string]string{}
+	inJobs := false
+	jobName := ""
+	var body []string
+	flush := func() {
+		if jobName != "" {
+			jobs[jobName] = strings.Join(body, "\n")
+		}
+		body = nil
+	}
+	jobKey := regexp.MustCompile(`^  ([\w-]+):\s*$`)
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "jobs:"):
+			inJobs = true
+		case inJobs && len(line) > 0 && line[0] != ' ' && line[0] != '#':
+			flush()
+			inJobs = false
+		case inJobs && jobKey.MatchString(line):
+			flush()
+			jobName = jobKey.FindStringSubmatch(line)[1]
+		case inJobs && jobName != "":
+			body = append(body, line)
+		}
+	}
+	flush()
+	return jobs
+}
+
+// parseSteps splits a job body into its "- " list items under steps:.
+func parseSteps(body string) []string {
+	lines := strings.Split(body, "\n")
+	var steps []string
+	var cur []string
+	inSteps := false
+	itemIndent := -1
+	flush := func() {
+		if len(cur) > 0 {
+			steps = append(steps, strings.Join(cur, "\n"))
+		}
+		cur = nil
+	}
+	for _, line := range lines {
+		trimmed := strings.TrimLeft(line, " ")
+		indent := len(line) - len(trimmed)
+		if strings.HasPrefix(trimmed, "steps:") {
+			inSteps = true
+			continue
+		}
+		if !inSteps || trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "- ") {
+			if itemIndent == -1 {
+				itemIndent = indent
+			}
+			if indent == itemIndent {
+				flush()
+				cur = []string{trimmed[2:]}
+				continue
+			}
+		}
+		if itemIndent != -1 && indent <= itemIndent && !strings.HasPrefix(trimmed, "- ") {
+			// Left the steps list (a sibling key of steps:).
+			flush()
+			inSteps = false
+			continue
+		}
+		if cur != nil {
+			cur = append(cur, trimmed)
+		}
+	}
+	flush()
+	return steps
+}
+
+// TestWorkflowLintCatchesBreakage feeds the parsers a deliberately broken
+// workflow to prove the lint is not vacuous.
+func TestWorkflowLintCatchesBreakage(t *testing.T) {
+	broken := strings.Split(`name: x
+on:
+  push:
+jobs:
+  good:
+    runs-on: ubuntu-latest
+    steps:
+      - run: echo ok
+  bad:
+    steps:
+      - name: does nothing
+`, "\n")
+	jobs := parseJobs(broken)
+	if len(jobs) != 2 {
+		t.Fatalf("parsed %d jobs, want 2: %v", len(jobs), jobs)
+	}
+	if !strings.Contains(jobs["good"], "runs-on:") {
+		t.Error("good job lost its runs-on")
+	}
+	if strings.Contains(jobs["bad"], "runs-on:") {
+		t.Error("bad job gained a runs-on")
+	}
+	steps := parseSteps(jobs["bad"])
+	if len(steps) != 1 {
+		t.Fatalf("parsed %d steps in bad job, want 1", len(steps))
+	}
+	if strings.Contains(steps[0], "run:") || strings.Contains(steps[0], "uses:") {
+		t.Error("the do-nothing step looks valid to the lint")
+	}
+	for _, ref := range []string{"actions/checkout@v4", "./local/action", "owner/repo/sub@v1.2.3"} {
+		if !actionRef.MatchString(ref) {
+			t.Errorf("valid action ref %q rejected", ref)
+		}
+	}
+	for _, ref := range []string{"actions/checkout", "checkout@v4", "just-words"} {
+		if actionRef.MatchString(ref) {
+			t.Errorf("malformed action ref %q accepted", ref)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Command benchgate is the benchmark-regression gate of the CI pipeline:
+// it runs the repository's key hot-path benchmarks (kernel, host, core,
+// simulator), records the measured ns/op under BENCH_<sha>.json, and
+// fails when any gated benchmark regresses more than -tolerance against
+// the committed baseline (ci/bench_baseline.json).
+//
+// Usage:
+//
+//	benchgate [-baseline ci/bench_baseline.json] [-tolerance 0.20]
+//	          [-count 3] [-benchtime 1s] [-out FILE] [-update]
+//
+// Each benchmark runs -count times and the fastest run is compared, which
+// filters scheduler noise; -update rewrites the baseline from the current
+// measurements (run it on the reference machine after intentional
+// performance changes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gated lists the benchmarks the gate watches: the kernel/host hot paths
+// whose regressions matter most to the simulated pipeline (the full suite
+// still smoke-runs in ci.sh).
+var gated = []string{
+	"AdaptiveBandScore10k",
+	"AdaptiveBandAlign10k",
+	"DPUKernelBatch",
+	"HostAlignPairs",
+	"FluidSimulator",
+}
+
+// baselineFile is the committed reference measurement set.
+type baselineFile struct {
+	SHA        string             `json:"sha"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op (best of -count)
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "ci/bench_baseline.json", "committed baseline to gate against")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
+		count     = flag.Int("count", 3, "runs per benchmark; the fastest is kept")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime per run")
+		out       = flag.String("out", "", "result file (default BENCH_<sha>.json)")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run's measurements")
+	)
+	flag.Parse()
+	if err := run(*baseline, *tolerance, *count, *benchtime, *out, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, tolerance float64, count int, benchtime, outPath string, update bool) error {
+	sha := headSHA()
+	pattern := "^Benchmark(" + strings.Join(gated, "|") + ")$"
+	args := []string{"test", "-run=^$", "-bench=" + pattern,
+		"-benchtime=" + benchtime, "-count=" + strconv.Itoa(count), "."}
+	fmt.Fprintf(os.Stderr, "benchgate: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("benchmarks failed: %w", err)
+	}
+	measured := parseBench(string(raw))
+	for _, name := range gated {
+		if _, ok := measured[name]; !ok {
+			return fmt.Errorf("gated benchmark %s produced no measurement", name)
+		}
+	}
+
+	result := baselineFile{
+		SHA: sha, GoVersion: runtime.Version(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Benchmarks: measured,
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + sha + ".json"
+	}
+	if err := writeJSON(outPath, result); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: results written to %s\n", outPath)
+
+	if update {
+		if err := writeJSON(baselinePath, result); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s updated\n", baselinePath)
+		return nil
+	}
+
+	base, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	report, failed := compare(base.Benchmarks, measured, tolerance)
+	fmt.Print(report)
+	if failed {
+		return fmt.Errorf("benchmark regression beyond %.0f%% tolerance (baseline %s@%s; "+
+			"if intentional, regenerate with -update on the reference machine)",
+			100*tolerance, base.SHA, base.GOARCH)
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkHostAlignPairs-8   12   98765432 ns/op   ...".
+var benchLine = regexp.MustCompile(`(?m)^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts the fastest ns/op per benchmark name from go test
+// -bench output (repeated -count runs collapse to their minimum).
+func parseBench(out string) map[string]float64 {
+	best := map[string]float64{}
+	for _, m := range benchLine.FindAllStringSubmatch(out, -1) {
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := best[name]; !ok || ns < prev {
+			best[name] = ns
+		}
+	}
+	return best
+}
+
+// compare renders the gate table and reports whether any gated benchmark
+// regressed beyond the tolerance. Benchmarks missing from the baseline
+// are reported but never fail the gate (they gate once committed).
+func compare(base, measured map[string]float64, tolerance float64) (string, bool) {
+	var sb strings.Builder
+	failed := false
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ns := measured[name]
+		ref, ok := base[name]
+		if !ok || ref <= 0 {
+			fmt.Fprintf(&sb, "NEW   %-24s %14.0f ns/op (no baseline)\n", name, ns)
+			continue
+		}
+		delta := ns/ref - 1
+		verdict := "OK   "
+		if delta > tolerance {
+			verdict = "FAIL "
+			failed = true
+		}
+		fmt.Fprintf(&sb, "%s %-24s %14.0f ns/op  baseline %14.0f  (%+.1f%%)\n",
+			verdict, name, ns, ref, 100*delta)
+	}
+	return sb.String(), failed
+}
+
+func readBaseline(path string) (baselineFile, error) {
+	var b baselineFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, fmt.Errorf("reading baseline (generate with -update): %w", err)
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// headSHA resolves the commit being measured: GITHUB_SHA in CI, git
+// locally, "unknown" as the last resort.
+func headSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

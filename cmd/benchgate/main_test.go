@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: pimnw
+BenchmarkHostAlignPairs-8   	      12	  98765432 ns/op	 1234 B/op
+BenchmarkHostAlignPairs-8   	      14	  87654321 ns/op	 1200 B/op
+BenchmarkFluidSimulator-8   	    1000	      1234.5 ns/op
+BenchmarkDPUKernelBatch     	       5	 200000000 ns/op
+PASS
+ok  	pimnw	12.3s
+`
+	got := parseBench(out)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
+	}
+	// Repeated runs collapse to the fastest.
+	if got["HostAlignPairs"] != 87654321 {
+		t.Errorf("HostAlignPairs = %v, want fastest run 87654321", got["HostAlignPairs"])
+	}
+	// Fractional ns/op and missing -N suffix both parse.
+	if got["FluidSimulator"] != 1234.5 {
+		t.Errorf("FluidSimulator = %v", got["FluidSimulator"])
+	}
+	if got["DPUKernelBatch"] != 200000000 {
+		t.Errorf("DPUKernelBatch = %v", got["DPUKernelBatch"])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 100, "c": 100}
+	measured := map[string]float64{
+		"a": 110, // +10%: within tolerance
+		"b": 130, // +30%: regression
+		"d": 50,  // not in baseline: reported, never fails
+	}
+	report, failed := compare(base, measured, 0.20)
+	if !failed {
+		t.Error("30% regression passed the gate")
+	}
+	for _, want := range []string{"OK    a", "FAIL  b", "NEW   d"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	report, failed = compare(base, map[string]float64{"a": 119, "b": 90, "c": 100}, 0.20)
+	if failed {
+		t.Errorf("all within tolerance but gate failed:\n%s", report)
+	}
+	// Improvements show a negative delta.
+	if !strings.Contains(report, "-10.0%") {
+		t.Errorf("improvement not reported:\n%s", report)
+	}
+}

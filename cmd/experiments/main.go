@@ -6,6 +6,8 @@
 //	experiments [-table 1|2|...|8|utilization|ablation|all] [-quick]
 //	            [-samples N] [-seed S] [-format text|markdown] [-v]
 //	            [-metrics FILE] [-trace-out FILE] [-report-json FILE]
+//	            [-fault-rate P] [-fault-seed N] [-max-retries N]
+//	            [-batch-deadline SEC]
 //
 // Accuracy numbers come from running the real aligners on sampled pairs;
 // runtime numbers come from scaled simulated runs calibrated and projected
@@ -42,6 +44,10 @@ func main() {
 	metrics := flag.String("metrics", "", "write a Prometheus-text metrics snapshot to FILE (\"-\" = stdout)")
 	traceOut := flag.String("trace-out", "", "write the harness spans as Chrome trace-event JSON to FILE")
 	reportJSON := flag.String("report-json", "", "write the generated tables as JSON to FILE")
+	faultRate := flag.Float64("fault-rate", 0, "inject per-DPU faults at this probability into the simulated batch runs (0 = perfect fabric)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injection seed")
+	maxRetries := flag.Int("max-retries", 3, "recovery attempts per batch beyond the first launch")
+	batchDeadline := flag.Float64("batch-deadline", 0, "modelled per-attempt deadline in seconds (0 = none)")
 	flag.Parse()
 	if *verbose {
 		obs.SetVerbosity(1)
@@ -53,7 +59,11 @@ func main() {
 		obs.SetDefaultTracer(obs.NewTracer())
 	}
 
-	runner := xp.NewRunner(xp.Options{Quick: *quick, Samples: *samples, Seed: *seed})
+	runner := xp.NewRunner(xp.Options{
+		Quick: *quick, Samples: *samples, Seed: *seed,
+		FaultRate: *faultRate, FaultSeed: *faultSeed,
+		MaxRetries: *maxRetries, BatchDeadlineSec: *batchDeadline,
+	})
 	ids := []string{*table}
 	if *table == "all" {
 		ids = xp.TableIDs()

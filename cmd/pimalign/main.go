@@ -11,6 +11,8 @@
 //	pimalign -a queries.fa -b targets.fa [-engine pim|cpu] [-band 128]
 //	         [-static] [-ranks 40] [-score-only] [-threads N] [-v]
 //	         [-metrics FILE] [-trace-out FILE] [-report-json FILE]
+//	         [-fault-rate P] [-fault-seed N] [-max-retries N]
+//	         [-batch-deadline SEC]
 //
 // Observability (pim engine): -metrics dumps a Prometheus-text snapshot
 // of the run's counters/histograms, -trace-out writes a Chrome
@@ -18,6 +20,13 @@
 // the modelled rank timeline with the host's wall-clock pipeline spans,
 // and -report-json writes the machine-readable run report. "-" writes to
 // stdout.
+//
+// Fault injection (pim engine, pairs mode): -fault-rate injects
+// deterministic per-DPU faults (stalls, slowdowns, crashes, transfer
+// corruptions) at the given probability, seeded by -fault-seed; the host
+// recovers by redispatching failed DPUs' pairs onto survivors, up to
+// -max-retries attempts per batch. -batch-deadline bounds each attempt in
+// modelled seconds so stalled DPUs are detected rather than waited out.
 package main
 
 import (
@@ -67,6 +76,11 @@ func run() error {
 		metrics    = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to FILE (\"-\" = stdout; pim engine)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file to FILE for Perfetto (pim engine)")
 		reportJSON = flag.String("report-json", "", "write the machine-readable run report to FILE (pim engine)")
+
+		faultRate     = flag.Float64("fault-rate", 0, "per-DPU fault injection probability in [0,1] (pim engine, pairs mode; 0 = perfect fabric)")
+		faultSeed     = flag.Int64("fault-seed", 1, "fault injection seed (deterministic per seed)")
+		maxRetries    = flag.Int("max-retries", 3, "recovery attempts per batch beyond the first launch")
+		batchDeadline = flag.Float64("batch-deadline", 0, "modelled per-attempt deadline in seconds; 0 = none (stalled DPUs are waited out)")
 	)
 	flag.Parse()
 	if *verbose {
@@ -89,7 +103,12 @@ func run() error {
 	}
 	obs.Debugf("read %d query records from %s", len(queries), *aPath)
 
+	faults := faultOpts{rate: *faultRate, seed: *faultSeed,
+		retries: *maxRetries, deadline: *batchDeadline}
 	if *mode == "allpairs" {
+		if faults.rate > 0 {
+			obs.Logf("note: -fault-rate applies to the batch pipeline (pairs mode) only")
+		}
 		return runAllPairs(queries, *band, *ranks, art)
 	}
 	if *bPath == "" {
@@ -107,10 +126,13 @@ func run() error {
 
 	switch *engine {
 	case "pim":
-		return runPiM(queries, targets, *band, *ranks, !*scoreOnly, *timeline, art)
+		return runPiM(queries, targets, *band, *ranks, !*scoreOnly, *timeline, art, faults)
 	case "cpu":
 		if art.any() {
 			obs.Logf("note: -metrics/-trace-out/-report-json apply to the pim engine only")
+		}
+		if faults.rate > 0 {
+			obs.Logf("note: -fault-rate applies to the pim engine only")
 		}
 		return runCPU(queries, targets, *band, *static, *threads, !*scoreOnly)
 	default:
@@ -207,7 +229,15 @@ func readFasta(path string) ([]seq.Record, error) {
 	return seq.ReadFASTA(f, nil)
 }
 
-func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline bool, art artifacts) error {
+// faultOpts carries the fault-injection flags into the pim pipeline.
+type faultOpts struct {
+	rate     float64
+	seed     int64
+	retries  int
+	deadline float64
+}
+
+func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline bool, art artifacts, faults faultOpts) error {
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
@@ -220,6 +250,10 @@ func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline 
 			Traceback: traceback,
 			PIM:       pimCfg,
 		},
+		Faults:           pim.FaultConfig{Rate: faults.rate, Seed: faults.seed},
+		MaxRetries:       faults.retries,
+		BatchDeadlineSec: faults.deadline,
+		RetryBackoffSec:  1e-3,
 	}
 	pairs := make([]host.Pair, len(queries))
 	for i := range queries {
@@ -237,6 +271,10 @@ func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline 
 		rep.Alignments, ranks, rep.MakespanSec, 100*rep.HostOverheadFraction(), 100*rep.UtilizationMin)
 	obs.Debugf("%d batches, %d cells, %d instructions, %d B in / %d B out",
 		rep.Batches, rep.TotalCells, rep.TotalInstr, rep.BytesIn, rep.BytesOut)
+	if cfg.Faults.Enabled() {
+		obs.Logf("fault recovery: %d detected, %d retries, %d redispatches, %d pairs abandoned (%.3fs retry time)",
+			rep.FaultsDetected, rep.Retries, rep.Redispatches, rep.AbandonedPairs, rep.RetrySec)
+	}
 	if timeline {
 		fmt.Fprint(os.Stderr, rep.Timeline(72))
 	}

@@ -38,6 +38,9 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 	if cfg.Kernel.Traceback {
 		return nil, nil, fmt.Errorf("host: all-against-all mode is score-only (§5.3); disable Traceback")
 	}
+	if cfg.Faults.Enabled() {
+		return nil, nil, fmt.Errorf("host: fault injection applies to the batch pipeline only; disable Faults for all-against-all mode")
+	}
 	rep := &Report{UtilizationMin: 1}
 	if len(seqs) < 2 {
 		return rep, nil, nil

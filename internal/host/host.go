@@ -41,6 +41,28 @@ type Config struct {
 	// Workers bounds the simulation's host-side parallelism (not part of
 	// the modelled timing). Zero means GOMAXPROCS.
 	Workers int
+	// Faults configures the simulated fabric's fault injection; the zero
+	// value is a perfect fabric (no stalls, crashes, corruptions or rank
+	// dropouts).
+	Faults pim.FaultConfig
+	// MaxRetries bounds the recovery attempts per batch beyond the first
+	// launch. When a batch still has failed pairs after MaxRetries
+	// redispatches, those pairs are abandoned and reported, and the run
+	// degrades gracefully instead of erroring.
+	MaxRetries int
+	// BatchDeadlineSec is the modelled per-attempt deadline: a DPU that
+	// has not delivered results by then is declared failed (this is how
+	// stalled DPUs are detected) and its pairs are redispatched. Zero
+	// means no deadline — stalled DPUs are waited out.
+	BatchDeadlineSec float64
+	// RetryBackoffSec is the modelled base delay before a retry; attempt
+	// k waits RetryBackoffSec * 2^k, plus up to 50 % deterministic
+	// jitter. Zero means immediate retries.
+	RetryBackoffSec float64
+
+	// faults is the model built from Faults by AlignPairs (nil = perfect
+	// fabric); carried here so every runBatch shares one instance.
+	faults *pim.FaultModel
 }
 
 // Validate checks cross-package consistency.
@@ -53,6 +75,15 @@ func (c Config) Validate() error {
 	}
 	if c.GroupPairs < 0 || c.Workers < 0 {
 		return fmt.Errorf("host: negative GroupPairs/Workers")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("host: negative MaxRetries")
+	}
+	if c.BatchDeadlineSec < 0 || c.RetryBackoffSec < 0 {
+		return fmt.Errorf("host: negative BatchDeadlineSec/RetryBackoffSec")
 	}
 	return nil
 }
@@ -70,20 +101,37 @@ type Result struct {
 	Rank, DPU int // where it executed
 }
 
+// FaultEvent records one injected fault as the host experienced it.
+// AtSec is batch-relative while the batch executes and rebased to the
+// absolute simulated timeline when the batch is scheduled.
+type FaultEvent struct {
+	Batch   int     `json:"batch"`
+	Attempt int     `json:"attempt"`
+	DPU     int     `json:"dpu"` // rank-relative DPU index; -1 for rank-level faults
+	Kind    string  `json:"kind"`
+	AtSec   float64 `json:"at_sec"`
+}
+
 // RankStats aggregates one rank execution (one batch).
 type RankStats struct {
 	Rank           int
 	Batch          int
 	StartSec       float64 // simulated timeline
 	TransferInSec  float64
-	KernelSec      float64 // slowest DPU of the rank
+	KernelSec      float64 // kernel window: slowest DPU, plus recovery attempts
 	FastestDPUSec  float64 // fastest *loaded* DPU: the balance gap metric
 	TransferOutSec float64
 	EndSec         float64
 	BytesIn        int64
 	BytesOut       int64
-	DPUStats       pim.DPUStats // summed over the rank's DPUs
+	DPUStats       pim.DPUStats // summed over the rank's accepted DPU launches
 	LoadedDPUs     int
+	// Recovery outcome of the batch: launch attempts (1 = clean run),
+	// modelled seconds spent on failed attempts and backoff waits, and
+	// the faults injected while it executed.
+	Attempts int
+	RetrySec float64
+	Faults   []FaultEvent `json:",omitempty"`
 }
 
 // Report is the run-level outcome the experiments consume.
@@ -101,6 +149,22 @@ type Report struct {
 	Ranks           []RankStats
 	UtilizationMin  float64
 	UtilizationMean float64
+	// Recovery outcome of the run (all zero on a perfect fabric):
+	// Retries counts batch re-launches beyond each batch's first attempt,
+	// Redispatches counts pair executions moved onto surviving DPUs,
+	// FaultsDetected counts the injected faults the host noticed (crashed
+	// launches, checksum mismatches, deadline timeouts, rank dropouts —
+	// a slowdown that stays under the deadline is invisible),
+	// AbandonedPairs (with their IDs) are the pairs dropped after retries
+	// were exhausted, and RetrySec is the modelled time spent beyond each
+	// batch's first launch window: retry attempts, backoff waits and
+	// failure detection.
+	Retries        int
+	Redispatches   int
+	FaultsDetected int
+	AbandonedPairs int
+	AbandonedIDs   []int
+	RetrySec       float64
 }
 
 // HostOverheadFraction is the share of the makespan not covered by DPU

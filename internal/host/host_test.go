@@ -3,6 +3,7 @@ package host
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -290,5 +291,55 @@ func TestParallelForSequentialFallback(t *testing.T) {
 	})
 	if err != nil || len(order) != 5 {
 		t.Fatalf("sequential: %v %v", order, err)
+	}
+}
+
+func TestParallelForPanicRecovered(t *testing.T) {
+	// Parallel path: a panicking worker surfaces as an error, not a crash.
+	err := parallelFor(4, 50, func(i int) error {
+		if i == 7 {
+			panic("kernel bug")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "worker panic") ||
+		!strings.Contains(err.Error(), "kernel bug") {
+		t.Errorf("parallel panic not converted to an error: %v", err)
+	}
+	// Sequential path recovers too.
+	err = parallelFor(1, 3, func(i int) error {
+		if i == 1 {
+			panic(42)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "item 1") {
+		t.Errorf("sequential panic not converted to an error: %v", err)
+	}
+}
+
+func TestParallelForEarlyCancel(t *testing.T) {
+	// After the first error, remaining items must not be dispatched: with
+	// every call failing instantly, at most one item per worker runs.
+	const workers, n = 4, 10000
+	var started int32
+	err := parallelFor(workers, n, func(i int) error {
+		atomic.AddInt32(&started, 1)
+		return errors.New("fail fast")
+	})
+	if err == nil {
+		t.Fatal("no error propagated")
+	}
+	if got := atomic.LoadInt32(&started); got > workers {
+		t.Errorf("%d items ran after cancellation (max %d)", got, workers)
+	}
+	// Sequential path stops at the first failure.
+	var seq int32
+	_ = parallelFor(1, 100, func(i int) error {
+		seq++
+		return errors.New("stop")
+	})
+	if seq != 1 {
+		t.Errorf("sequential ran %d items after an error", seq)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sync"
 
-	"pimnw/internal/kernel"
 	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 )
@@ -17,18 +16,25 @@ const pairDescriptorBytes = 24
 // resultHeaderBytes models the fixed part of one result record.
 const resultHeaderBytes = 16
 
-// batchExec is the outcome of executing one rank-sized batch.
+// batchExec is the outcome of executing one rank-sized batch, recovery
+// included.
 type batchExec struct {
 	results    []Result
 	bytesIn    int64
 	bytesOut   int64
-	maxDPUSec  float64
-	minDPUSec  float64 // fastest loaded DPU
+	kernelSec  float64 // kernel window: every attempt's slowest DPU plus backoffs
+	minDPUSec  float64 // fastest accepted DPU launch
 	stats      pim.DPUStats
 	loadedDPUs int
 	utilMin    float64
 	utilSum    float64
 	cells      int64
+	// Recovery outcome.
+	attempts     int
+	retrySec     float64
+	redispatches int
+	abandoned    []int // pair IDs dropped after retries were exhausted
+	faults       []FaultEvent
 }
 
 // AlignPairs runs the paper's main-loop workflow (§4.1) over independent
@@ -42,6 +48,11 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	if len(pairs) == 0 {
 		return rep, nil, nil
 	}
+	model, err := pim.NewFaultModel(cfg.Faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.faults = model
 	sp := obs.StartSpan("host.align_pairs")
 	sp.SetAttrInt("pairs", int64(len(pairs)))
 	defer sp.End()
@@ -81,7 +92,7 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 		bs := obs.StartSpan("host.batch")
 		bs.SetAttrInt("batch", int64(bi))
 		defer bs.End()
-		ex, err := runBatch(cfg, batches[bi], bs)
+		ex, err := runBatch(cfg, batches[bi], bi, bs)
 		if err != nil {
 			return err
 		}
@@ -128,91 +139,11 @@ func (r *Report) publishMetrics() {
 	reg.Gauge("host_overhead_fraction").Set(r.HostOverheadFraction())
 	reg.Gauge("host_utilization_min").Set(r.UtilizationMin)
 	reg.Gauge("host_utilization_mean").Set(r.UtilizationMean)
-}
-
-// runBatch balances one batch over the 64 DPUs of a rank and executes the
-// kernel on each loaded DPU. sp is the batch's trace span (nil when
-// tracing is off).
-func runBatch(cfg Config, pairs []Pair, sp *obs.Span) (batchExec, error) {
-	ex := batchExec{minDPUSec: math.Inf(1), utilMin: 1}
-	lsp := sp.Child("host.balance_rank")
-	loads := make([]int64, len(pairs))
-	for i, p := range pairs {
-		loads[i] = p.Workload(cfg.Kernel.Band)
-	}
-	buckets := cfg.Balance.assign(loads, pim.DPUsPerRank, int64(len(pairs)))
-	lsp.End()
-
-	type dpuOut struct {
-		out   kernel.DPUOutcome
-		bytes int64
-		dpu   int
-		used  bool
-	}
-	outs := make([]dpuOut, pim.DPUsPerRank)
-	err := parallelFor(cfg.workers(), pim.DPUsPerRank, func(di int) error {
-		if len(buckets[di]) == 0 {
-			return nil
-		}
-		d := cfg.PIM.NewDPU(di)
-		esp := sp.Child("host.encode")
-		esp.SetAttrInt("dpu", int64(di))
-		kp := make([]kernel.Pair, 0, len(buckets[di]))
-		var bytesIn int64
-		for _, idx := range buckets[di] {
-			p := pairs[idx]
-			staged, err := kernel.StagePair(d, p.ID, p.A, p.B)
-			if err != nil {
-				return fmt.Errorf("host: staging pair %d on DPU %d: %w", p.ID, di, err)
-			}
-			bytesIn += int64((len(p.A)+3)/4+(len(p.B)+3)/4) + pairDescriptorBytes
-			kp = append(kp, staged)
-		}
-		esp.End()
-		ksp := sp.Child("host.kernel")
-		ksp.SetAttrInt("dpu", int64(di))
-		out, err := kernel.Run(d, cfg.Kernel, kp)
-		ksp.End()
-		if err != nil {
-			return fmt.Errorf("host: DPU %d: %w", di, err)
-		}
-		outs[di] = dpuOut{out: out, bytes: bytesIn, dpu: di, used: true}
-		return nil
-	})
-	if err != nil {
-		return ex, err
-	}
-
-	for di := range outs {
-		o := &outs[di]
-		if !o.used {
-			continue
-		}
-		ex.loadedDPUs++
-		ex.bytesIn += o.bytes
-		sec := cfg.PIM.CyclesToSeconds(o.out.Stats.Cycles)
-		if sec > ex.maxDPUSec {
-			ex.maxDPUSec = sec
-		}
-		if sec < ex.minDPUSec {
-			ex.minDPUSec = sec
-		}
-		u := o.out.Stats.Utilization()
-		ex.utilSum += u
-		if u < ex.utilMin {
-			ex.utilMin = u
-		}
-		ex.stats.Add(o.out.Stats)
-		for _, r := range o.out.Results {
-			ex.bytesOut += resultHeaderBytes + int64(len(r.Cigar))
-			ex.cells += r.Cells
-			ex.results = append(ex.results, Result{PairResult: r, DPU: o.dpu})
-		}
-	}
-	if math.IsInf(ex.minDPUSec, 1) {
-		ex.minDPUSec = 0
-	}
-	return ex, nil
+	reg.Counter("host_retries_total").Add(int64(r.Retries))
+	reg.Counter("host_redispatches_total").Add(int64(r.Redispatches))
+	reg.Counter("host_faults_detected_total").Add(int64(r.FaultsDetected))
+	reg.Counter("host_abandoned_pairs_total").Add(int64(r.AbandonedPairs))
+	reg.Gauge("host_retry_seconds").Set(r.RetrySec)
 }
 
 // scheduleTimeline lays executed batches onto the simulated clock: a FIFO
@@ -239,7 +170,7 @@ func scheduleTimeline(cfg Config, execs []batchExec, rep *Report) {
 		inDur := cfg.PIM.HostTransferSeconds(ex.bytesIn)
 		busInFree = start + inDur
 		kStart := start + inDur + launch
-		kEnd := kStart + ex.maxDPUSec
+		kEnd := kStart + ex.kernelSec
 		outStart := math.Max(kEnd, busOutFree)
 		outDur := cfg.PIM.HostTransferSeconds(ex.bytesOut)
 		busOutFree = outStart + outDur
@@ -248,18 +179,37 @@ func scheduleTimeline(cfg Config, execs []batchExec, rep *Report) {
 			makespan = rankFree[r]
 		}
 
+		// Rebase the batch-relative fault timestamps onto the run
+		// timeline now that the batch has a slot on it.
+		var faults []FaultEvent
+		if len(ex.faults) > 0 {
+			faults = make([]FaultEvent, len(ex.faults))
+			for i, f := range ex.faults {
+				f.AtSec += kStart
+				faults[i] = f
+			}
+		}
 		rep.Ranks = append(rep.Ranks, RankStats{
 			Rank: r, Batch: bi, StartSec: start,
-			TransferInSec: inDur, KernelSec: ex.maxDPUSec,
+			TransferInSec: inDur, KernelSec: ex.kernelSec,
 			FastestDPUSec: ex.minDPUSec, TransferOutSec: outDur,
 			EndSec: rankFree[r], BytesIn: ex.bytesIn, BytesOut: ex.bytesOut,
 			DPUStats: ex.stats, LoadedDPUs: ex.loadedDPUs,
+			Attempts: ex.attempts, RetrySec: ex.retrySec, Faults: faults,
 		})
 		rep.TransferInSec += inDur
 		rep.TransferOutSec += outDur
-		rep.KernelSecSum += ex.maxDPUSec
+		rep.KernelSecSum += ex.kernelSec
 		rep.BytesIn += ex.bytesIn
 		rep.BytesOut += ex.bytesOut
+		rep.Retries += ex.attempts - 1
+		rep.Redispatches += ex.redispatches
+		rep.FaultsDetected += len(ex.faults)
+		rep.RetrySec += ex.retrySec
+		if len(ex.abandoned) > 0 {
+			rep.AbandonedPairs += len(ex.abandoned)
+			rep.AbandonedIDs = append(rep.AbandonedIDs, ex.abandoned...)
+		}
 		if ex.loadedDPUs > 0 {
 			if ex.utilMin < rep.UtilizationMin {
 				rep.UtilizationMin = ex.utilMin
@@ -274,14 +224,24 @@ func scheduleTimeline(cfg Config, execs []batchExec, rep *Report) {
 }
 
 // parallelFor runs fn(0..n-1) on up to workers goroutines, returning the
-// first error.
+// first error. A panicking worker is recovered into an error instead of
+// tearing the process down, so one poisoned batch cannot kill a serving
+// host.
 func parallelFor(workers, n int, fn func(int) error) error {
+	run := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("host: worker panic on item %d: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -319,7 +279,7 @@ func parallelFor(workers, n int, fn func(int) error) error {
 				if i < 0 {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := run(i); err != nil {
 					fail(err)
 					return
 				}

@@ -22,10 +22,11 @@ func Project(cfg Config, batches []SyntheticBatch) *Report {
 		execs[i] = batchExec{
 			bytesIn:    b.BytesIn,
 			bytesOut:   b.BytesOut,
-			maxDPUSec:  b.KernelSec,
+			kernelSec:  b.KernelSec,
 			minDPUSec:  b.KernelSec,
 			loadedDPUs: b.LoadedDPUs,
 			utilMin:    1,
+			attempts:   1,
 		}
 	}
 	scheduleTimeline(cfg, execs, rep)

@@ -1,0 +1,248 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+)
+
+// maxBackoffShift caps the exponential backoff doubling so the modelled
+// wait never overflows (2^20 base intervals is already hours).
+const maxBackoffShift = 20
+
+// dpuAttempt is the outcome of one DPU launch within a batch attempt.
+type dpuAttempt struct {
+	out     kernel.DPUOutcome
+	bytesIn int64
+	sec     float64 // modelled execution time of this launch
+	dpu     int     // rank-relative DPU index
+	used    bool
+	fail    pim.FaultKind // FaultNone = accepted
+}
+
+// runBatch executes one rank-sized batch with the host's recovery
+// protocol (the fault-tolerant extension of §4.1's dispatch loop):
+//
+//  1. Balance the pending pairs over the rank's surviving DPUs (LPT by
+//     default) and launch the kernel on each loaded DPU.
+//  2. Detect failures when the rank barrier resolves: crashed launches
+//     (the SDK call errored), corrupted result transfers (per-batch
+//     checksum mismatch), and DPUs still running at the batch deadline
+//     (stalls and severe slowdowns).
+//  3. Accept every healthy DPU's results; collect the failed DPUs' pairs
+//     as residual work. Crashed and timed-out DPUs are taken out of
+//     rotation for the rest of the batch; a corrupted transfer leaves the
+//     DPU in play (the fault was on the bus, not the compute).
+//  4. Back off (exponential, deterministic jitter), re-run the balance
+//     over the residual pairs, and redispatch — up to cfg.MaxRetries
+//     times, after which the remaining pairs are abandoned and reported.
+//
+// The batch's modelled kernel window stretches accordingly: every
+// attempt contributes its slowest DPU (capped at the deadline), plus the
+// backoff waits between attempts. Because the kernel is deterministic,
+// a pair redispatched onto any DPU reproduces the exact scores and
+// CIGARs of a fault-free run — the invariant the recovery tests assert.
+func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, error) {
+	ex := batchExec{minDPUSec: math.Inf(1), utilMin: 1}
+	deadline := cfg.BatchDeadlineSec
+	if deadline <= 0 {
+		deadline = math.Inf(1)
+	}
+	launch := cfg.PIM.RankLaunchOverheadUS * 1e-6
+
+	pending := pairs
+	alive := make([]int, pim.DPUsPerRank)
+	for i := range alive {
+		alive[i] = i
+	}
+
+	for attempt := 0; len(pending) > 0; attempt++ {
+		ex.attempts++
+		asp := sp.Child("host.attempt")
+		asp.SetAttrInt("attempt", int64(attempt))
+		asp.SetAttrInt("pairs", int64(len(pending)))
+
+		var attemptSec float64
+		var failed []Pair
+		if cfg.faults.DrawRankDrop(batch, attempt) {
+			// The whole rank fell off the bus; the launch call fails
+			// fast, so detection only costs the launch overhead.
+			ex.faults = append(ex.faults, FaultEvent{
+				Batch: batch, Attempt: attempt, DPU: -1,
+				Kind: pim.FaultRankDrop.String(), AtSec: ex.kernelSec,
+			})
+			attemptSec = launch
+			failed = pending
+			asp.SetAttr("outcome", "rank_drop")
+		} else {
+			var err error
+			attemptSec, failed, err = ex.runAttempt(cfg, pending, batch, attempt, deadline, &alive, asp)
+			if err != nil {
+				asp.End()
+				return ex, err
+			}
+		}
+		asp.End()
+
+		ex.kernelSec += attemptSec
+		if attempt > 0 || len(failed) == len(pending) {
+			// Time past the first launch window, or a first launch that
+			// produced nothing, is recovery cost.
+			ex.retrySec += attemptSec
+		}
+		pending = failed
+		if len(pending) == 0 {
+			break
+		}
+		if attempt >= cfg.MaxRetries || len(alive) == 0 {
+			for _, p := range pending {
+				ex.abandoned = append(ex.abandoned, p.ID)
+			}
+			obs.Logf("batch %d: abandoning %d pairs after %d attempts (%d DPUs surviving)",
+				batch, len(pending), ex.attempts, len(alive))
+			break
+		}
+		shift := attempt
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+		backoff := cfg.RetryBackoffSec * float64(int64(1)<<shift) *
+			(1 + 0.5*cfg.faults.Jitter(batch, attempt))
+		ex.kernelSec += backoff
+		ex.retrySec += backoff
+		ex.redispatches += len(pending)
+	}
+	if math.IsInf(ex.minDPUSec, 1) {
+		ex.minDPUSec = 0
+	}
+	return ex, nil
+}
+
+// runAttempt stages and launches the pending pairs over the surviving
+// DPUs, verifies what comes back, and returns the attempt's modelled wall
+// time plus the pairs that must be redispatched. Hard-failed DPUs
+// (crash, timeout) are removed from alive in place.
+func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
+	deadline float64, alive *[]int, sp *obs.Span) (float64, []Pair, error) {
+
+	lsp := sp.Child("host.balance_rank")
+	loads := make([]int64, len(pending))
+	for i, p := range pending {
+		loads[i] = p.Workload(cfg.Kernel.Band)
+	}
+	buckets := cfg.Balance.assign(loads, len(*alive), int64(len(pending)))
+	lsp.End()
+
+	outs := make([]dpuAttempt, len(*alive))
+	err := parallelFor(cfg.workers(), len(*alive), func(ai int) error {
+		if len(buckets[ai]) == 0 {
+			return nil
+		}
+		di := (*alive)[ai]
+		d := cfg.PIM.NewDPU(di)
+		d.Fault = cfg.faults.Draw(batch, attempt, di)
+		esp := sp.Child("host.encode")
+		esp.SetAttrInt("dpu", int64(di))
+		kp := make([]kernel.Pair, 0, len(buckets[ai]))
+		var bytesIn int64
+		for _, idx := range buckets[ai] {
+			p := pending[idx]
+			staged, err := kernel.StagePair(d, p.ID, p.A, p.B)
+			if err != nil {
+				return fmt.Errorf("host: staging pair %d on DPU %d: %w", p.ID, di, err)
+			}
+			bytesIn += int64((len(p.A)+3)/4+(len(p.B)+3)/4) + pairDescriptorBytes
+			kp = append(kp, staged)
+		}
+		esp.End()
+		ksp := sp.Child("host.kernel")
+		ksp.SetAttrInt("dpu", int64(di))
+		out, err := kernel.Run(d, cfg.Kernel, kp)
+		ksp.End()
+		if err != nil {
+			var fe *pim.FaultError
+			if errors.As(err, &fe) {
+				// An injected crash: recoverable, handled by redispatch.
+				outs[ai] = dpuAttempt{bytesIn: bytesIn, dpu: di, used: true, fail: fe.Kind}
+				return nil
+			}
+			return fmt.Errorf("host: DPU %d: %w", di, err)
+		}
+		da := dpuAttempt{out: out, bytesIn: bytesIn, dpu: di, used: true,
+			sec: cfg.PIM.CyclesToSeconds(out.Stats.Cycles)}
+		if da.sec > deadline {
+			da.fail = pim.FaultStall
+		} else if kernel.ChecksumResults(out.Results) != out.Checksum {
+			da.fail = pim.FaultCorrupt
+		}
+		outs[ai] = da
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+
+	var attemptSec float64
+	var failed []Pair
+	survivors := (*alive)[:0]
+	for ai := range outs {
+		o := &outs[ai]
+		if !o.used {
+			survivors = append(survivors, (*alive)[ai])
+			continue
+		}
+		ex.bytesIn += o.bytesIn // retransfers on retry attempts cost bus time too
+		sec := o.sec
+		if sec > deadline {
+			sec = deadline // the host gives up on the DPU at the deadline
+		}
+		if sec > attemptSec {
+			attemptSec = sec
+		}
+		if o.fail == pim.FaultNone {
+			ex.accept(o)
+			survivors = append(survivors, o.dpu)
+			continue
+		}
+		// Detection moment: a crash surfaces when the launch call
+		// returns, a timeout at the deadline, a corruption when the
+		// checksum is verified at collection.
+		at := ex.kernelSec + sec
+		ex.faults = append(ex.faults, FaultEvent{
+			Batch: batch, Attempt: attempt, DPU: o.dpu,
+			Kind: o.fail.String(), AtSec: at,
+		})
+		for _, idx := range buckets[ai] {
+			failed = append(failed, pending[idx])
+		}
+		if o.fail == pim.FaultCorrupt {
+			// Transient bus fault: the DPU itself stays in rotation.
+			survivors = append(survivors, o.dpu)
+		}
+	}
+	*alive = survivors
+	return attemptSec, failed, nil
+}
+
+// accept merges one healthy DPU launch into the batch outcome.
+func (ex *batchExec) accept(o *dpuAttempt) {
+	ex.loadedDPUs++
+	if o.sec < ex.minDPUSec {
+		ex.minDPUSec = o.sec
+	}
+	u := o.out.Stats.Utilization()
+	ex.utilSum += u
+	if u < ex.utilMin {
+		ex.utilMin = u
+	}
+	ex.stats.Add(o.out.Stats)
+	for _, r := range o.out.Results {
+		ex.bytesOut += resultHeaderBytes + int64(len(r.Cigar))
+		ex.cells += r.Cells
+		ex.results = append(ex.results, Result{PairResult: r, DPU: o.dpu})
+	}
+}

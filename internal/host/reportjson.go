@@ -22,6 +22,12 @@ type reportJSON struct {
 	Batches              int         `json:"batches"`
 	UtilizationMin       float64     `json:"utilization_min"`
 	UtilizationMean      float64     `json:"utilization_mean"`
+	Retries              int         `json:"retries"`
+	Redispatches         int         `json:"redispatches"`
+	FaultsDetected       int         `json:"faults_detected"`
+	AbandonedPairs       int         `json:"abandoned_pairs"`
+	AbandonedIDs         []int       `json:"abandoned_ids,omitempty"`
+	RetrySec             float64     `json:"retry_sec"`
 	Ranks                []RankStats `json:"ranks"`
 }
 
@@ -42,6 +48,12 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Batches:              r.Batches,
 		UtilizationMin:       r.UtilizationMin,
 		UtilizationMean:      r.UtilizationMean,
+		Retries:              r.Retries,
+		Redispatches:         r.Redispatches,
+		FaultsDetected:       r.FaultsDetected,
+		AbandonedPairs:       r.AbandonedPairs,
+		AbandonedIDs:         r.AbandonedIDs,
+		RetrySec:             r.RetrySec,
 		Ranks:                r.Ranks,
 	}
 	if out.Ranks == nil {

@@ -13,10 +13,13 @@ import (
 // wall-clock spans), with three thread lanes showing the §4.1 pipeline —
 // the input transfer serialising on the DDR bus, the rank-concurrent
 // kernel execution, and the barrier-gated result collection.
+// A fourth lane appears only on ranks that ran recovery: fault-detection
+// instants (ph "i") and the stretch of the kernel window spent retrying.
 const (
 	tidTransferIn  = 0
 	tidKernel      = 1
 	tidTransferOut = 2
+	tidRecovery    = 3
 )
 
 // ChromeTraceEvents converts the simulated timeline into Chrome
@@ -29,6 +32,7 @@ const (
 func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 	var events []obs.TraceEvent
 	seen := map[int]bool{}
+	recoveryLanes := map[int]bool{}
 	for _, rs := range r.Ranks {
 		pid := rs.Rank + 1
 		if !seen[pid] {
@@ -69,6 +73,29 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 				Pid: pid, Tid: tidTransferOut,
 				Args: map[string]any{"batch": rs.Batch, "bytes": rs.BytesOut},
 			})
+		if rs.RetrySec > 0 || len(rs.Faults) > 0 {
+			if !recoveryLanes[pid] {
+				recoveryLanes[pid] = true
+				events = append(events, obs.ThreadName(pid, tidRecovery, "recovery"))
+			}
+			if rs.RetrySec > 0 {
+				// Recovery time is the tail of the kernel window: every
+				// attempt past the first, plus the backoff waits.
+				events = append(events, obs.TraceEvent{
+					Name: "recovery", Ph: "X",
+					Ts:  (kStart + rs.KernelSec - rs.RetrySec) * 1e6,
+					Dur: rs.RetrySec * 1e6,
+					Pid: pid, Tid: tidRecovery,
+					Args: map[string]any{"batch": rs.Batch, "attempts": rs.Attempts},
+				})
+			}
+			for _, f := range rs.Faults {
+				events = append(events, obs.Instant("fault:"+f.Kind, f.AtSec*1e6,
+					pid, tidRecovery, map[string]any{
+						"batch": f.Batch, "attempt": f.Attempt, "dpu": f.DPU,
+					}))
+			}
+		}
 	}
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].Pid != events[j].Pid {

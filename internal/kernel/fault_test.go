@@ -1,0 +1,132 @@
+package kernel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+)
+
+func faultTestSetup(t *testing.T, n int) (*pim.DPU, Config, []Pair) {
+	t.Helper()
+	cfg := Config{
+		Geometry:  DefaultGeometry(),
+		Band:      64,
+		Params:    core.DefaultParams(),
+		Costs:     pim.Asm,
+		Traceback: true,
+		PIM:       pim.DefaultConfig(),
+	}
+	d := cfg.PIM.NewDPU(0)
+	rng := rand.New(rand.NewSource(11))
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		a := seq.Random(rng, 300)
+		b := seq.UniformErrors(0.08).Apply(rng, a)
+		sp, err := StagePair(d, i, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = sp
+	}
+	return d, cfg, pairs
+}
+
+func TestRunCrashFault(t *testing.T) {
+	d, cfg, pairs := faultTestSetup(t, 4)
+	d.Fault = pim.Fault{Kind: pim.FaultCrash}
+	_, err := Run(d, cfg, pairs)
+	var fe *pim.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("crash fault returned %v, want FaultError", err)
+	}
+	if fe.Kind != pim.FaultCrash {
+		t.Errorf("fault kind %v", fe.Kind)
+	}
+}
+
+func TestRunSlowdownFaults(t *testing.T) {
+	d, cfg, pairs := faultTestSetup(t, 4)
+	healthy, err := Run(d, cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []pim.Fault{
+		{Kind: pim.FaultSlow, Factor: 8},
+		{Kind: pim.FaultStall, Factor: 512},
+	} {
+		d2, cfg2, pairs2 := faultTestSetup(t, 4)
+		d2.Fault = f
+		out, err := Run(d2, cfg2, pairs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(float64(healthy.Stats.Cycles) * f.Factor)
+		if out.Stats.Cycles != want {
+			t.Errorf("%v: cycles %d, want %d", f.Kind, out.Stats.Cycles, want)
+		}
+		// Slowness must not change the results.
+		if ChecksumResults(out.Results) != out.Checksum {
+			t.Errorf("%v: checksum mismatch on an uncorrupted run", f.Kind)
+		}
+		if out.Checksum != healthy.Checksum {
+			t.Errorf("%v: results differ from the healthy run", f.Kind)
+		}
+	}
+}
+
+func TestRunCorruptFaultDetectedByChecksum(t *testing.T) {
+	d, cfg, pairs := faultTestSetup(t, 4)
+	d.Fault = pim.Fault{Kind: pim.FaultCorrupt}
+	out, err := Run(d, cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ChecksumResults(out.Results) == out.Checksum {
+		t.Fatal("corrupted transfer passed checksum verification")
+	}
+}
+
+func TestRunHealthyChecksumVerifies(t *testing.T) {
+	d, cfg, pairs := faultTestSetup(t, 6)
+	out, err := Run(d, cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ChecksumResults(out.Results) != out.Checksum {
+		t.Fatal("healthy run failed checksum verification")
+	}
+}
+
+func TestChecksumResultsSensitivity(t *testing.T) {
+	rs := []PairResult{
+		{ID: 1, Score: 10, InBand: true, Cigar: []byte("5M"), Cells: 50, Steps: 9},
+		{ID: 2, Score: -3, InBand: true, Cigar: []byte("2M1I2M"), Cells: 40, Steps: 8},
+	}
+	base := ChecksumResults(rs)
+	mutations := []func([]PairResult){
+		func(rs []PairResult) { rs[0].Score++ },
+		func(rs []PairResult) { rs[1].ID = 7 },
+		func(rs []PairResult) { rs[0].InBand = false },
+		func(rs []PairResult) { rs[1].Cigar[0] ^= 1 },
+		func(rs []PairResult) { rs[0].Cells++ },
+		func(rs []PairResult) { rs[1].Steps-- },
+	}
+	for i, mut := range mutations {
+		cp := make([]PairResult, len(rs))
+		for j := range rs {
+			cp[j] = rs[j]
+			cp[j].Cigar = append([]byte(nil), rs[j].Cigar...)
+		}
+		mut(cp)
+		if ChecksumResults(cp) == base {
+			t.Errorf("mutation %d not detected", i)
+		}
+	}
+	if ChecksumResults(nil) != ChecksumResults([]PairResult{}) {
+		t.Error("nil vs empty result lists hash differently")
+	}
+}

@@ -25,6 +25,47 @@ type DPUOutcome struct {
 	// MRAMPeak is the modelled peak MRAM consumption: staged sequences
 	// plus the concurrent per-pool BT scratch regions.
 	MRAMPeak int
+	// Checksum covers the result payload as it left the DPU. The host
+	// recomputes it with ChecksumResults over the results it received; a
+	// mismatch means the MRAM->host transfer was corrupted and the
+	// batch's pairs must be redispatched.
+	Checksum uint64
+}
+
+// ChecksumResults hashes a result list (FNV-1a over every field of every
+// result) — the per-batch transfer checksum of the host's recovery
+// protocol. Both sides of the simulated bus call it: the kernel to stamp
+// DPUOutcome.Checksum, the host to verify what it collected.
+func ChecksumResults(rs []PairResult) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte8 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, r := range rs {
+		byte8(uint64(r.ID))
+		byte8(uint64(uint32(r.Score)))
+		if r.InBand {
+			byte8(1)
+		} else {
+			byte8(0)
+		}
+		byte8(uint64(r.Cells))
+		byte8(uint64(r.Steps))
+		byte8(uint64(len(r.Cigar)))
+		for _, b := range r.Cigar {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // Run executes the kernel on one DPU: the pairs staged in the DPU's MRAM
@@ -37,6 +78,11 @@ func Run(d *pim.DPU, cfg Config, pairs []Pair) (DPUOutcome, error) {
 	var out DPUOutcome
 	if err := cfg.Validate(); err != nil {
 		return out, err
+	}
+	// An injected crash aborts the launch before any work: the host's SDK
+	// call returns an error instead of results.
+	if d.Fault.Kind == pim.FaultCrash {
+		return out, &pim.FaultError{DPU: d.ID, Kind: pim.FaultCrash}
 	}
 	g := cfg.Geometry
 	run, err := pim.NewDPURun(g.Tasklets())
@@ -103,7 +149,23 @@ func Run(d *pim.DPU, cfg Config, pairs []Pair) (DPUOutcome, error) {
 	if err != nil {
 		return out, err
 	}
+	// Stall/slowdown faults inflate the modelled execution time: the DPU
+	// still produces correct results, just (much) later — it is the host's
+	// batch deadline that turns a stall into a failure.
+	if k := d.Fault.Kind; (k == pim.FaultStall || k == pim.FaultSlow) && d.Fault.Factor > 1 {
+		stats.Cycles = int64(float64(stats.Cycles) * d.Fault.Factor)
+	}
 	out.Stats = stats
+	// Stamp the transfer checksum over the true results, then apply any
+	// injected transfer corruption so the host's verification catches it.
+	out.Checksum = ChecksumResults(out.Results)
+	if d.Fault.Kind == pim.FaultCorrupt && len(out.Results) > 0 {
+		r := &out.Results[len(out.Results)/2]
+		r.Score ^= 1 << 30
+		if len(r.Cigar) > 0 {
+			r.Cigar[len(r.Cigar)/2] ^= 0xff
+		}
+	}
 	if reg := obs.Default(); reg != nil {
 		reg.Counter("pim_dpu_runs_total").Add(1)
 		reg.Histogram("pim_dpu_utilization", utilizationBuckets).Observe(stats.Utilization())

@@ -8,7 +8,8 @@ import (
 // TraceEvent is one entry of the Chrome trace-event JSON array format, the
 // input Perfetto and chrome://tracing load directly. Ts and Dur are in
 // microseconds. Ph "X" is a complete slice; ph "M" is metadata (process
-// and thread names).
+// and thread names); ph "i" is an instant event whose S field scopes the
+// marker ("t" thread, "p" process, "g" global).
 type TraceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
@@ -16,7 +17,15 @@ type TraceEvent struct {
 	Dur  float64        `json:"dur"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// Instant builds a ph "i" thread-scoped instant event (a point marker on
+// a lane), ts in microseconds.
+func Instant(name string, ts float64, pid, tid int, args map[string]any) TraceEvent {
+	return TraceEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid,
+		S: "t", Args: args}
 }
 
 // ProcessName builds the ph "M" metadata event naming a pid's track.

@@ -120,6 +120,10 @@ func (w *WRAM) Free() int { return w.capacity - w.used }
 type DPU struct {
 	ID   int // global DPU index: rank*64 + member
 	MRAM *MRAM
+	// Fault is the fault injected into this DPU's next kernel launch
+	// (FaultNone on a healthy fabric). The host stamps it from a
+	// FaultModel before launching; the kernel applies it.
+	Fault Fault
 }
 
 // NewDPU builds a DPU with an MRAM bank per the configuration.

@@ -59,6 +59,7 @@ func (r *Runner) balanceTable() (Table, error) {
 			Balance: pc.pol,
 			Workers: r.Opts.Workers,
 		}
+		r.Opts.applyFaults(&cfg)
 		rep, _, err := host.AlignPairs(cfg, pairs)
 		if err != nil {
 			return t, err

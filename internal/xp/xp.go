@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"pimnw/internal/host"
+	"pimnw/internal/pim"
 )
 
 // Options tunes every experiment runner.
@@ -26,6 +29,27 @@ type Options struct {
 	Workers int
 	// Seed offsets every generator seed, for variance studies.
 	Seed int64
+	// FaultRate injects deterministic per-DPU faults at this probability
+	// into the simulated runs that use the batch pipeline, exercising the
+	// host's retry/redispatch recovery under the experiment workloads
+	// (0 = perfect fabric). FaultSeed seeds the injection; MaxRetries and
+	// BatchDeadlineSec bound the recovery (see host.Config).
+	FaultRate        float64
+	FaultSeed        int64
+	MaxRetries       int
+	BatchDeadlineSec float64
+}
+
+// faultConfig translates the fault options into the host configuration
+// fields; a zero FaultRate leaves the fabric perfect.
+func (o Options) applyFaults(cfg *host.Config) {
+	if o.FaultRate <= 0 {
+		return
+	}
+	cfg.Faults = pim.FaultConfig{Rate: o.FaultRate, Seed: o.FaultSeed}
+	cfg.MaxRetries = o.MaxRetries
+	cfg.BatchDeadlineSec = o.BatchDeadlineSec
+	cfg.RetryBackoffSec = 1e-3
 }
 
 // Table is a rendered experiment outcome.
