@@ -10,13 +10,16 @@ package pimnw_test
 // table; the kernel benchmarks report cell throughput.
 
 import (
+	"io"
 	"math/rand"
+	"os"
 	"testing"
 
 	"pimnw/internal/baseline"
 	"pimnw/internal/core"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 	"pimnw/internal/seq"
 	"pimnw/internal/xp"
@@ -195,6 +198,54 @@ func BenchmarkHostAlignPairs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := host.AlignPairs(cfg, pairs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostEscalation prices the result-integrity fallback loop: an
+// indel-heavy pair set at a deliberately narrow initial band, so the run
+// exercises clip detection, several ladder rounds and host-side CIGAR
+// validation rather than the happy path.
+func BenchmarkHostEscalation(b *testing.B) {
+	// go test folds the binary's stderr into the bench output stream; the
+	// ladder's per-round progress lines would split the result line that
+	// cmd/benchgate parses.
+	obs.SetLogOutput(io.Discard)
+	defer obs.SetLogOutput(os.Stderr)
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = 2
+	cfg := host.Config{
+		PIM: pimCfg,
+		Kernel: kernel.Config{
+			Geometry:  kernel.DefaultGeometry(),
+			Band:      16,
+			Params:    core.DefaultParams(),
+			Costs:     pim.Asm,
+			Traceback: true,
+			PIM:       pimCfg,
+		},
+		Escalate: true,
+		MaxBand:  256,
+		Verify:   true,
+	}
+	rng := rand.New(rand.NewSource(8))
+	mut := seq.Mutator{
+		SubRate: 0.02, InsRate: 0.03, DelRate: 0.03, IndelExt: 0.6,
+		BigGapRate: 0.004, BigGapMin: 16, BigGapMax: 48,
+	}
+	pairs := make([]host.Pair, 32)
+	for i := range pairs {
+		a := seq.Random(rng, 500)
+		pairs[i] = host.Pair{ID: i, A: a, B: mut.Apply(rng, a)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _, err := host.AlignPairs(cfg, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.EscalationRounds == 0 {
+			b.Fatal("escalation benchmark never escalated")
 		}
 	}
 }

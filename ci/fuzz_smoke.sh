@@ -16,6 +16,7 @@ fuzz() {
 }
 
 fuzz ./internal/cigar FuzzParseRoundTrip
+fuzz ./internal/cigar FuzzValidate
 fuzz ./internal/seq FuzzFromStringPackRoundTrip
 fuzz ./internal/core FuzzLinearVsQuadratic
 fuzz ./internal/core FuzzBandedNeverBeatsOptimal

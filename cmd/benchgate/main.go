@@ -36,6 +36,7 @@ var gated = []string{
 	"AdaptiveBandAlign10k",
 	"DPUKernelBatch",
 	"HostAlignPairs",
+	"HostEscalation",
 	"FluidSimulator",
 }
 

@@ -7,7 +7,7 @@
 //	            [-samples N] [-seed S] [-format text|markdown] [-v]
 //	            [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //	            [-fault-rate P] [-fault-seed N] [-max-retries N]
-//	            [-batch-deadline SEC]
+//	            [-batch-deadline SEC] [-escalation] [-max-band W] [-verify]
 //
 // Accuracy numbers come from running the real aligners on sampled pairs;
 // runtime numbers come from scaled simulated runs calibrated and projected
@@ -48,6 +48,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault injection seed")
 	maxRetries := flag.Int("max-retries", 3, "recovery attempts per batch beyond the first launch")
 	batchDeadline := flag.Float64("batch-deadline", 0, "modelled per-attempt deadline in seconds (0 = none)")
+	escalation := flag.Bool("escalation", false, "enable the result-integrity band-escalation ladder in the simulated batch runs")
+	maxBand := flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
+	verify := flag.Bool("verify", false, "re-derive traceback results' scores from their CIGARs in the simulated batch runs")
 	flag.Parse()
 	if *verbose {
 		obs.SetVerbosity(1)
@@ -63,6 +66,7 @@ func main() {
 		Quick: *quick, Samples: *samples, Seed: *seed,
 		FaultRate: *faultRate, FaultSeed: *faultSeed,
 		MaxRetries: *maxRetries, BatchDeadlineSec: *batchDeadline,
+		Escalate: *escalation, MaxBand: *maxBand, Verify: *verify,
 	})
 	ids := []string{*table}
 	if *table == "all" {

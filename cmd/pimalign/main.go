@@ -10,6 +10,7 @@
 //
 //	pimalign -a queries.fa -b targets.fa [-engine pim|cpu] [-band 128]
 //	         [-static] [-ranks 40] [-score-only] [-threads N] [-v]
+//	         [-escalation] [-max-band W] [-verify]
 //	         [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //	         [-fault-rate P] [-fault-seed N] [-max-retries N]
 //	         [-batch-deadline SEC]
@@ -20,6 +21,14 @@
 // the modelled rank timeline with the host's wall-clock pipeline spans,
 // and -report-json writes the machine-readable run report. "-" writes to
 // stdout.
+//
+// Result integrity (pim engine, pairs mode): -escalation re-dispatches
+// clipped or out-of-band pairs at doubled band widths up to -max-band,
+// degrading to score-only kernels and finally the exact CPU baseline, so
+// every pair returns a trusted score with a provenance label. -verify
+// re-derives each traceback result's score from its CIGAR on the host and
+// treats mismatches as detected corruption (redispatched like a transfer
+// fault).
 //
 // Fault injection (pim engine, pairs mode): -fault-rate injects
 // deterministic per-DPU faults (stalls, slowdowns, crashes, transfer
@@ -35,6 +44,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"pimnw/internal/baseline"
 	"pimnw/internal/core"
@@ -77,6 +87,10 @@ func run() error {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file to FILE for Perfetto (pim engine)")
 		reportJSON = flag.String("report-json", "", "write the machine-readable run report to FILE (pim engine)")
 
+		escalation = flag.Bool("escalation", false, "re-dispatch clipped/out-of-band pairs at wider bands, degrading to score-only then the exact CPU baseline (pim engine, pairs mode)")
+		maxBand    = flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
+		verify     = flag.Bool("verify", false, "re-derive every traceback result's score from its CIGAR on the host; mismatches are treated as corruption (pim engine, pairs mode)")
+
 		faultRate     = flag.Float64("fault-rate", 0, "per-DPU fault injection probability in [0,1] (pim engine, pairs mode; 0 = perfect fabric)")
 		faultSeed     = flag.Int64("fault-seed", 1, "fault injection seed (deterministic per seed)")
 		maxRetries    = flag.Int("max-retries", 3, "recovery attempts per batch beyond the first launch")
@@ -105,9 +119,13 @@ func run() error {
 
 	faults := faultOpts{rate: *faultRate, seed: *faultSeed,
 		retries: *maxRetries, deadline: *batchDeadline}
+	integrity := integrityOpts{escalate: *escalation, maxBand: *maxBand, verify: *verify}
 	if *mode == "allpairs" {
 		if faults.rate > 0 {
 			obs.Logf("note: -fault-rate applies to the batch pipeline (pairs mode) only")
+		}
+		if integrity.escalate || integrity.verify {
+			obs.Logf("note: -escalation/-verify apply to the batch pipeline (pairs mode) only")
 		}
 		return runAllPairs(queries, *band, *ranks, art)
 	}
@@ -126,13 +144,16 @@ func run() error {
 
 	switch *engine {
 	case "pim":
-		return runPiM(queries, targets, *band, *ranks, !*scoreOnly, *timeline, art, faults)
+		return runPiM(queries, targets, *band, *ranks, !*scoreOnly, *timeline, art, faults, integrity)
 	case "cpu":
 		if art.any() {
 			obs.Logf("note: -metrics/-trace-out/-report-json apply to the pim engine only")
 		}
 		if faults.rate > 0 {
 			obs.Logf("note: -fault-rate applies to the pim engine only")
+		}
+		if integrity.escalate || integrity.verify {
+			obs.Logf("note: -escalation/-verify apply to the pim engine only")
 		}
 		return runCPU(queries, targets, *band, *static, *threads, !*scoreOnly)
 	default:
@@ -213,7 +234,7 @@ func runAllPairs(recs []seq.Record, band, ranks int, art artifacts) error {
 	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
 	for _, r := range results {
 		pi := indices[r.ID]
-		printResult(recs[pi.I].Name, recs[pi.J].Name, r.Score, r.InBand, "")
+		printResult(recs[pi.I].Name, recs[pi.J].Name, r)
 	}
 	obs.Logf("%d all-against-all scores on %d simulated ranks: %.3fs modelled (broadcast %.3fs)",
 		rep.Alignments, ranks, rep.MakespanSec, rep.TransferInSec)
@@ -237,7 +258,14 @@ type faultOpts struct {
 	deadline float64
 }
 
-func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline bool, art artifacts, faults faultOpts) error {
+// integrityOpts carries the result-integrity flags into the pim pipeline.
+type integrityOpts struct {
+	escalate bool
+	maxBand  int
+	verify   bool
+}
+
+func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline bool, art artifacts, faults faultOpts, integrity integrityOpts) error {
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
@@ -254,6 +282,12 @@ func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline 
 		MaxRetries:       faults.retries,
 		BatchDeadlineSec: faults.deadline,
 		RetryBackoffSec:  1e-3,
+		Escalate:         integrity.escalate,
+		MaxBand:          integrity.maxBand,
+		Verify:           integrity.verify && traceback,
+	}
+	if integrity.verify && !traceback {
+		obs.Logf("note: -verify needs CIGARs; ignored with -score-only")
 	}
 	pairs := make([]host.Pair, len(queries))
 	for i := range queries {
@@ -265,7 +299,7 @@ func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline 
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
 	for _, r := range results {
-		printResult(queries[r.ID].Name, targets[r.ID].Name, r.Score, r.InBand, string(r.Cigar))
+		printResult(queries[r.ID].Name, targets[r.ID].Name, r)
 	}
 	obs.Logf("%d alignments on %d simulated ranks: %.3fs modelled (%.1f%% host overhead, %.0f%% min pipeline util)",
 		rep.Alignments, ranks, rep.MakespanSec, 100*rep.HostOverheadFraction(), 100*rep.UtilizationMin)
@@ -274,6 +308,14 @@ func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline 
 	if cfg.Faults.Enabled() {
 		obs.Logf("fault recovery: %d detected, %d retries, %d redispatches, %d pairs abandoned (%.3fs retry time)",
 			rep.FaultsDetected, rep.Retries, rep.Redispatches, rep.AbandonedPairs, rep.RetrySec)
+	}
+	if cfg.Escalate {
+		obs.Logf("escalation: %d out-of-band + %d clipped pairs, %d re-dispatches over %d rounds, %d degraded to score-only, %d to cpu-exact (%.3fs cpu fallback)",
+			rep.OutOfBandPairs, rep.ClippedPairs, rep.Escalations, rep.EscalationRounds,
+			rep.DegradedScoreOnly, rep.DegradedCPU, rep.CPUFallbackSec)
+	}
+	if cfg.Verify {
+		obs.Logf("verify: %d results checked, %d mismatches", rep.VerifyChecked, rep.VerifyFailures)
 	}
 	if timeline {
 		fmt.Fprint(os.Stderr, rep.Timeline(72))
@@ -293,7 +335,7 @@ func runCPU(queries, targets []seq.Record, band int, static bool, threads int, t
 			} else {
 				res = core.AdaptiveBandScore(queries[i].Seq, targets[i].Seq, p, band)
 			}
-			printResult(queries[i].Name, targets[i].Name, res.Score, res.InBand, res.Cigar.String())
+			printCPUResult(queries[i].Name, targets[i].Name, res.Score, res.InBand, res.Cigar.String())
 		}
 		return nil
 	}
@@ -307,13 +349,38 @@ func runCPU(queries, targets []seq.Record, band int, static bool, threads int, t
 		return err
 	}
 	for _, r := range out.Results {
-		printResult(queries[r.ID].Name, targets[r.ID].Name, r.Score, r.InBand, r.Cigar.String())
+		printCPUResult(queries[r.ID].Name, targets[r.ID].Name, r.Score, r.InBand, r.Cigar.String())
 	}
 	obs.Logf("cpu baseline: %.3fs wall, %d cells", out.WallSeconds, out.Cells)
 	return nil
 }
 
-func printResult(qName, tName string, score int32, inBand bool, cig string) {
+// printResult renders one pim-engine result with its typed status: pairs
+// with no usable score print FAIL plus the status name, untrusted or
+// rescued pairs carry a trailing status/provenance column, and the common
+// ok case stays the plain score[+CIGAR] line.
+func printResult(qName, tName string, r host.Result) {
+	switch r.Status {
+	case host.StatusOutOfBand, host.StatusAbandoned:
+		fmt.Printf("%s\t%s\tFAIL\t%s\n", qName, tName, r.Status)
+		return
+	}
+	cols := []string{qName, tName, fmt.Sprint(r.Score)}
+	if len(r.Cigar) > 0 {
+		cols = append(cols, string(r.Cigar))
+	}
+	if r.Status != host.StatusOK {
+		note := r.Status.String()
+		if r.Status.Trusted() && r.Provenance != "" {
+			note = r.Provenance
+		}
+		cols = append(cols, note)
+	}
+	fmt.Println(strings.Join(cols, "\t"))
+}
+
+// printCPUResult renders one cpu-engine result (no typed status there).
+func printCPUResult(qName, tName string, score int32, inBand bool, cig string) {
 	if !inBand {
 		fmt.Printf("%s\t%s\tFAIL\tout-of-band\n", qName, tName)
 		return

@@ -34,6 +34,11 @@ type Options struct {
 	Threads int
 	// Traceback selects CIGAR production.
 	Traceback bool
+	// Exact switches the engine from the static band to the full-matrix
+	// Gotoh aligner (core.Full): O(m·n) work, guaranteed-optimal results.
+	// Band is ignored. This is the last rung of the host's degradation
+	// ladder — the answer of record when no feasible band fits a pair.
+	Exact bool
 }
 
 func (o Options) threads() int {
@@ -48,7 +53,7 @@ func (o Options) Validate() error {
 	if err := o.Params.Validate(); err != nil {
 		return err
 	}
-	if o.Band < 2 {
+	if !o.Exact && o.Band < 2 {
 		return fmt.Errorf("baseline: band %d too small", o.Band)
 	}
 	if o.Threads < 0 {
@@ -108,6 +113,15 @@ func Run(opts Options, pairs []Pair) (Outcome, error) {
 }
 
 func alignOne(opts Options, p Pair) Result {
+	if opts.Exact {
+		var res core.Result
+		if opts.Traceback {
+			res = core.GotohAlign(p.A, p.B, opts.Params)
+		} else {
+			res = core.GotohScore(p.A, p.B, opts.Params)
+		}
+		return Result{ID: p.ID, Score: res.Score, InBand: true, Cigar: res.Cigar, Cells: res.Cells}
+	}
 	if opts.Traceback {
 		res := core.StaticBandAlign(p.A, p.B, opts.Params, opts.Band)
 		return Result{ID: p.ID, Score: res.Score, InBand: res.InBand, Cigar: res.Cigar, Cells: res.Cells}

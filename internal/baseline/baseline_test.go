@@ -193,3 +193,31 @@ func BenchmarkFastKernelVsReference(b *testing.B) {
 		}
 	})
 }
+
+func TestExactModeMatchesCoreFull(t *testing.T) {
+	p := core.DefaultParams()
+	rng := rand.New(rand.NewSource(21))
+	mut := seq.UniformErrors(0.15)
+	var pairs []Pair
+	for i := 0; i < 10; i++ {
+		a := seq.Random(rng, 120+rng.Intn(180))
+		pairs = append(pairs, Pair{ID: i, A: a, B: mut.Apply(rng, a)})
+	}
+	out, err := Run(Options{Params: p, Exact: true, Traceback: true, Threads: 2}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Results {
+		want := core.GotohAlign(pairs[r.ID].A, pairs[r.ID].B, p)
+		if r.Score != want.Score || !r.InBand {
+			t.Fatalf("pair %d: exact mode score %d (InBand=%v), core.Full %d", r.ID, r.Score, r.InBand, want.Score)
+		}
+		if r.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("pair %d: exact mode CIGAR diverges from core.Full", r.ID)
+		}
+	}
+	// Band is ignored in exact mode: a zero band must validate.
+	if _, err := Run(Options{Params: p, Exact: true}, pairs[:1]); err != nil {
+		t.Fatalf("exact mode rejected zero band: %v", err)
+	}
+}

@@ -157,6 +157,46 @@ func (c Cigar) TargetLen() int {
 	return n
 }
 
+// Validate structurally checks c against the given sequence lengths alone:
+// every op must have a positive length and a known kind, adjacent ops must
+// have distinct kinds (canonical run-length encoding, what every aligner in
+// this repository emits), and the ops must consume exactly qlen query bases
+// and tlen target bases. It is the cheap first line of the result-integrity
+// pipeline — the method (Cigar).Validate additionally checks '='/'X'
+// columns against the concrete sequences.
+func Validate(c Cigar, qlen, tlen int) error {
+	qi, ti := 0, 0
+	for opIdx, op := range c {
+		if op.Len <= 0 {
+			return fmt.Errorf("cigar: op %d has non-positive length %d", opIdx, op.Len)
+		}
+		if op.Kind >= numKinds {
+			return fmt.Errorf("cigar: op %d has unknown kind %d", opIdx, op.Kind)
+		}
+		if opIdx > 0 && c[opIdx-1].Kind == op.Kind {
+			return fmt.Errorf("cigar: ops %d and %d have the same kind %v (non-canonical RLE)",
+				opIdx-1, opIdx, op.Kind)
+		}
+		if op.Kind.ConsumesQuery() {
+			qi += op.Len
+		}
+		if op.Kind.ConsumesTarget() {
+			ti += op.Len
+		}
+		if qi > qlen || ti > tlen {
+			return fmt.Errorf("cigar: op %d overruns the sequences (%d/%d query, %d/%d target)",
+				opIdx, qi, qlen, ti, tlen)
+		}
+	}
+	if qi != qlen {
+		return fmt.Errorf("cigar: consumed %d of %d query bases", qi, qlen)
+	}
+	if ti != tlen {
+		return fmt.Errorf("cigar: consumed %d of %d target bases", ti, tlen)
+	}
+	return nil
+}
+
 // Stats summarises an alignment.
 type Stats struct {
 	Matches    int

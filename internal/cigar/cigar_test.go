@@ -229,3 +229,29 @@ func TestPrettyWrap(t *testing.T) {
 		t.Errorf("wrapped Pretty:\n%q\nwant\n%q", got, want)
 	}
 }
+
+func TestValidateLengths(t *testing.T) {
+	ok, _ := Parse("3=1X2I4D")
+	cases := []struct {
+		name    string
+		c       Cigar
+		q, tg   int
+		wantErr bool
+	}{
+		{"exact", ok, 6, 8, false},
+		{"empty", nil, 0, 0, false},
+		{"short-query", ok, 7, 8, true},
+		{"short-target", ok, 6, 9, true},
+		{"overrun", ok, 5, 8, true},
+		{"zero-len-op", Cigar{{Kind: Match, Len: 0}}, 0, 0, true},
+		{"negative-len-op", Cigar{{Kind: Del, Len: -2}}, 0, 0, true},
+		{"unknown-kind", Cigar{{Kind: numKinds, Len: 1}}, 1, 1, true},
+		{"non-canonical", Cigar{{Kind: Match, Len: 1}, {Kind: Match, Len: 1}}, 2, 2, true},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.c, tc.q, tc.tg)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}

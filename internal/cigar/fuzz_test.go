@@ -2,6 +2,36 @@ package cigar
 
 import "testing"
 
+func FuzzValidate(f *testing.F) {
+	f.Add("12=1X3I500=2D", 516, 515)
+	f.Add("1=", 1, 1)
+	f.Add("", 0, 0)
+	f.Add("3I", 0, 3)
+	f.Add("5D2X", 2, 7)
+	f.Fuzz(func(t *testing.T, s string, qlen, tlen int) {
+		c, err := Parse(s)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		q, tg := c.QueryLen(), c.TargetLen()
+		if q < 0 || tg < 0 || q > 1<<40 || tg > 1<<40 {
+			return // absurd totals (overflow territory) are out of scope
+		}
+		// A parsed cigar is canonical; Validate must accept it against its
+		// own consumption counts...
+		if err := Validate(c, q, tg); err != nil {
+			t.Fatalf("Validate rejected self-consistent cigar %q: %v", s, err)
+		}
+		// ...and must reject any other claimed lengths.
+		if qlen != q || tlen != tg {
+			if err := Validate(c, qlen, tlen); err == nil {
+				t.Fatalf("Validate accepted %q against wrong lengths (%d,%d) != (%d,%d)",
+					s, qlen, tlen, q, tg)
+			}
+		}
+	})
+}
+
 func FuzzParseRoundTrip(f *testing.F) {
 	f.Add("12=1X3I500=2D")
 	f.Add("1=")

@@ -99,6 +99,7 @@ func adaptiveBand(a, b seq.Seq, p Params, w int, traceback bool, variant Adaptiv
 
 	openCost := p.GapOpen + p.GapExt
 	dPrevShift := int32(0) // d′: shift taken from t-1 to t
+	maxPot := NegInf       // best escaping-path bound seen (clip certificate)
 
 	for t := 0; t < m+n; t++ {
 		// Decide the shift from the extremities of the current window.
@@ -119,6 +120,34 @@ func adaptiveBand(a, b seq.Seq, p Params, w int, traceback bool, variant Adaptiv
 		if int(off[t])+int(d) > hiI {
 			d = 0
 		}
+		// Clip certificate: any path that leaves the window does so through
+		// the edge cell the shift abandons (a window cell's in-window
+		// neighbours stay in-window except at the moving edge). Bound every
+		// such path by that cell's score plus the best it could still
+		// collect outside; if no abandoned-edge potential ever beats the
+		// final score, the banded result is provably optimal.
+		{
+			o := int(off[t])
+			if d == 1 {
+				// The top cell (o, t-o) drops out of the window: a path can
+				// leave through it while column t-o+1 ≤ n exists.
+				if j := t - o; j >= 0 && j < n && o <= m && hCur[0] > NegInf/2 {
+					if pot := hCur[0] + escapeBound(p, m-o, n-j); pot > maxPot {
+						maxPot = pot
+					}
+				}
+			} else {
+				// The bottom cell (o+w-1, t-o-w+1) drops out: a path can
+				// leave through it while row o+w ≤ m exists.
+				i := o + w - 1
+				if j := t - i; i >= 0 && i < m && j >= 0 && j <= n && hCur[w-1] > NegInf/2 {
+					if pot := hCur[w-1] + escapeBound(p, m-i, n-j); pot > maxPot {
+						maxPot = pot
+					}
+				}
+			}
+		}
+
 		newOff := off[t] + d
 		off[t+1] = newOff
 
@@ -215,6 +244,7 @@ func adaptiveBand(a, b seq.Seq, p Params, w int, traceback bool, variant Adaptiv
 	}
 	res.InBand = true
 	res.Score = hCur[pFinal]
+	res.Clipped = maxPot > res.Score
 	if traceback {
 		res.Cigar = walkBT(m, n, func(i, j int) uint8 {
 			t := i + j

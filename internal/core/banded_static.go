@@ -79,6 +79,20 @@ func staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
 	}
 	openCost := p.GapOpen + p.GapExt
 
+	// Clip certificate: paths leave the |i−j| ≤ h corridor only through an
+	// edge cell — horizontally off the upper edge (i, i+h), vertically (or
+	// diagonally) off the lower edge (i, i−h). Bound every such path by
+	// the edge cell's score plus the best it could still collect outside;
+	// if no edge potential ever beats the final score, the banded result
+	// is provably optimal.
+	maxPot := NegInf
+	if h+1 <= n {
+		// Row 0's upper edge (0, h) is exit-capable too.
+		if pot := hrow[h] + escapeBound(p, m, n-h); pot > maxPot {
+			maxPot = pot
+		}
+	}
+
 	for i := 1; i <= m; i++ {
 		jlo := i - h
 		if jlo < 1 {
@@ -133,6 +147,17 @@ func staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
 			hleft = best
 		}
 		res.Cells += int64(jhi - jlo + 1)
+		// Edge potentials of row i (see the certificate above).
+		if j := i + h; j+1 <= n && hrow[j] > NegInf/2 {
+			if pot := hrow[j] + escapeBound(p, m-i, n-j); pot > maxPot {
+				maxPot = pot
+			}
+		}
+		if j := i - h; j >= 0 && i+1 <= m && hrow[j] > NegInf/2 {
+			if pot := hrow[j] + escapeBound(p, m-i, n-j); pot > maxPot {
+				maxPot = pot
+			}
+		}
 	}
 	res.Score = hrow[n]
 	if res.Score <= NegInf/2 {
@@ -141,8 +166,11 @@ func staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
 		res.Score = NegInf
 		return res
 	}
+	res.Clipped = maxPot > res.Score
 	if traceback {
-		res.Cigar = walkBT(m, n, func(i, j int) uint8 { return bt[i*width+j-i+h] })
+		res.Cigar = walkBT(m, n, func(i, j int) uint8 {
+			return bt[i*width+j-i+h]
+		})
 	}
 	return res
 }

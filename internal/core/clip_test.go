@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimnw/internal/seq"
+)
+
+// indelHeavyPairs generates pairs whose optimal paths wander far off the
+// main diagonal: frequent short indels plus structural gaps. Under a small
+// band these always stress the clip detector.
+func indelHeavyPairs(seed int64, count, length int) [][2]seq.Seq {
+	rng := rand.New(rand.NewSource(seed))
+	mut := seq.Mutator{
+		SubRate: 0.02, InsRate: 0.03, DelRate: 0.03, IndelExt: 0.6,
+		BigGapRate: 0.004, BigGapMin: 16, BigGapMax: 48,
+	}
+	out := make([][2]seq.Seq, count)
+	for i := range out {
+		a := seq.Random(rng, length)
+		out[i] = [2]seq.Seq{a, mut.Apply(rng, a)}
+	}
+	return out
+}
+
+// TestClippedSoundness is the property the escalation ladder relies on:
+// whenever a banded aligner returns an in-band score that differs from the
+// exact optimum, the result must carry the Clipped flag (otherwise the
+// ladder would trust a silently wrong score). It also checks the detector
+// actually fires on the adversarial set (no vacuous pass).
+func TestClippedSoundness(t *testing.T) {
+	p := DefaultParams()
+	const w = 8
+	aligners := []struct {
+		name string
+		run  func(a, b seq.Seq) Result
+	}{
+		{"adaptive-align", func(a, b seq.Seq) Result { return AdaptiveBandAlign(a, b, p, w) }},
+		{"adaptive-score", func(a, b seq.Seq) Result { return AdaptiveBandScore(a, b, p, w) }},
+		{"static-align", func(a, b seq.Seq) Result { return StaticBandAlign(a, b, p, w) }},
+		{"static-score", func(a, b seq.Seq) Result { return StaticBandScore(a, b, p, w) }},
+	}
+	pairs := indelHeavyPairs(7, 40, 300)
+	for _, al := range aligners {
+		t.Run(al.name, func(t *testing.T) {
+			flagged := 0
+			for i, pr := range pairs {
+				exact := GotohScore(pr[0], pr[1], p)
+				got := al.run(pr[0], pr[1])
+				if got.Clipped {
+					flagged++
+				}
+				if got.InBand && got.Score != exact.Score && !got.Clipped {
+					t.Errorf("pair %d: banded score %d != exact %d but Clipped=false",
+						i, got.Score, exact.Score)
+				}
+			}
+			if flagged == 0 {
+				t.Error("no pair flagged Clipped on the adversarial set")
+			}
+		})
+	}
+}
+
+// TestNotClippedOnEasyPairs checks the detector does not fire spuriously:
+// low-divergence pairs under a generous band align exactly and unclipped.
+func TestNotClippedOnEasyPairs(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(11))
+	mut := seq.UniformErrors(0.01)
+	const w = 128
+	for i := 0; i < 20; i++ {
+		a := seq.Random(rng, 600)
+		b := mut.Apply(rng, a)
+		exact := GotohScore(a, b, p)
+		for _, got := range []Result{
+			AdaptiveBandAlign(a, b, p, w),
+			AdaptiveBandScore(a, b, p, w),
+			StaticBandAlign(a, b, p, w),
+			StaticBandScore(a, b, p, w),
+		} {
+			if !got.InBand {
+				t.Fatalf("pair %d: easy pair out of band", i)
+			}
+			if got.Score != exact.Score {
+				t.Fatalf("pair %d: easy pair score %d != exact %d", i, got.Score, exact.Score)
+			}
+			if got.Clipped {
+				t.Errorf("pair %d: easy pair spuriously Clipped", i)
+			}
+		}
+	}
+}
+
+// TestFullNeverClipped: the exact aligners have no band to clip against.
+func TestFullNeverClipped(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		a := seq.Random(rng, 200)
+		b := seq.Random(rng, 180)
+		if res := GotohAlign(a, b, p); res.Clipped || !res.InBand {
+			t.Fatalf("pair %d: full alignment reported Clipped=%v InBand=%v", i, res.Clipped, res.InBand)
+		}
+		if res := GotohScore(a, b, p); res.Clipped {
+			t.Fatalf("pair %d: full score reported Clipped", i)
+		}
+	}
+}

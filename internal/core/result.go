@@ -22,6 +22,18 @@ type Result struct {
 	// InBand reports whether the terminal cell (m,n) was inside the band.
 	// Full-matrix alignments always set it.
 	InBand bool
+	// Clipped reports that the banded result is not certified optimal.
+	// The banded aligners bound every path that could escape the band
+	// (band-edge cell score plus an admissible estimate of what remains,
+	// escapeBound); Clipped is set when some escaping path could in
+	// principle outscore the result. The certificate is sound — a banded
+	// score below the exact optimum is always flagged — but conservative:
+	// a near-miss potential may flag a result that is in fact optimal.
+	// A clipped result is still self-consistent (its CIGAR reproduces its
+	// score); the host's escalation ladder re-aligns clipped pairs at
+	// wider bands until the flag clears. Full-matrix alignments never
+	// set it.
+	Clipped bool
 }
 
 // Aligner is the common interface over the four DP formulations; the CPU

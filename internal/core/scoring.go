@@ -68,6 +68,28 @@ func (p Params) GapCost(k int) int32 {
 	return p.GapOpen + int32(k)*p.GapExt
 }
 
+// escapeBound is an admissible upper bound on the score any alignment
+// path can still collect between a cell with ri×rj remaining bases and
+// the terminal corner: every paired base a match, charged only the one
+// unavoidable gap for the length difference. The banded aligners add it
+// to the band-edge cell scores to bound every path that escapes the band
+// — if no escaping path can beat the banded score, the result is
+// certified optimal and Clipped stays false.
+func escapeBound(p Params, ri, rj int) int32 {
+	mn, d := ri, ri-rj
+	if rj < ri {
+		mn = rj
+	}
+	if d < 0 {
+		d = -d
+	}
+	var gap int32
+	if d > 0 {
+		gap = p.GapCost(d)
+	}
+	return int32(mn)*p.Match - gap
+}
+
 // max2 and max3 are branch-simple helpers kept out of the hot loops' way.
 func max2(a, b int32) int32 {
 	if a >= b {

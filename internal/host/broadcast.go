@@ -41,6 +41,12 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 	if cfg.Faults.Enabled() {
 		return nil, nil, fmt.Errorf("host: fault injection applies to the batch pipeline only; disable Faults for all-against-all mode")
 	}
+	if cfg.Escalate {
+		return nil, nil, fmt.Errorf("host: the escalation ladder applies to the batch pipeline only; disable Escalate for all-against-all mode")
+	}
+	if cfg.Verify {
+		return nil, nil, fmt.Errorf("host: result validation needs CIGARs and all-against-all mode is score-only; disable Verify")
+	}
 	rep := &Report{UtilizationMin: 1}
 	if len(seqs) < 2 {
 		return rep, nil, nil
@@ -194,6 +200,7 @@ func AlignAllPairs(cfg Config, seqs []seq.Seq) (*Report, []Result, error) {
 	rep.MakespanSec = makespan
 	rep.Alignments = len(results)
 	rep.Batches = 1
+	annotateResults(cfg.Kernel, rep, results)
 	rep.publishMetrics()
 	return rep, results, nil
 }

@@ -1,0 +1,289 @@
+package host
+
+import (
+	"fmt"
+
+	"pimnw/internal/baseline"
+	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+	"pimnw/internal/verify"
+)
+
+// rung is one DPU step of the degradation ladder: a band width and the
+// geometry that admits it (kernel.FitGeometry trades pools for WRAM as
+// the band doubles).
+type rung struct {
+	band      int
+	geom      kernel.Geometry
+	traceback bool
+}
+
+func (r rung) provenance() string {
+	if r.traceback {
+		return fmt.Sprintf("dpu-banded@%d", r.band)
+	}
+	return fmt.Sprintf("dpu-score-only@%d", r.band)
+}
+
+// buildLadder enumerates the DPU rungs below the configured kernel:
+// doubled bands in the requested mode while any geometry admits them,
+// then — for traceback runs — one score-only rung at the widest feasible
+// band, strictly wider than the deepest traceback rung (a same-width
+// score-only kernel would reproduce the same clip). The exact CPU
+// baseline is the implicit final rung and is not listed here.
+func buildLadder(cfg Config) []rung {
+	var rungs []rung
+	maxBand := cfg.maxBand()
+	for b := cfg.Kernel.Band * 2; b <= maxBand; b *= 2 {
+		g, ok := kernel.FitGeometry(cfg.Kernel, b, cfg.Kernel.Traceback)
+		if !ok {
+			break // the working set grows with the band: wider cannot fit either
+		}
+		rungs = append(rungs, rung{band: b, geom: g, traceback: cfg.Kernel.Traceback})
+	}
+	if cfg.Kernel.Traceback {
+		floor := cfg.Kernel.Band
+		if len(rungs) > 0 {
+			floor = rungs[len(rungs)-1].band
+		}
+		for b := maxBand; b > floor; b /= 2 {
+			if g, ok := kernel.FitGeometry(cfg.Kernel, b, false); ok {
+				rungs = append(rungs, rung{band: b, geom: g, traceback: false})
+				break
+			}
+		}
+	}
+	return rungs
+}
+
+// escalate walks every out-of-band or clipped pair of the first round
+// down the degradation ladder until it has a trusted answer:
+//
+//	dpu-banded@2w, dpu-banded@4w, ...   (pools traded for WRAM)
+//	dpu-score-only@<widest feasible>    (traceback runs only)
+//	cpu-exact                           (full-matrix Gotoh, always feasible)
+//
+// Pairs whose sequences cannot fit a rung's MRAM footprint skip it
+// (FitsMRAM); pairs a round abandons under injected faults are rescued by
+// the CPU rung, so with escalation on nothing is ever dropped. Escalation
+// rounds run sequentially after the first round on the simulated
+// timeline; the CPU rung is host-side work and is accounted separately in
+// Report.CPUFallbackSec. Results come back in input order, each stamped
+// with its Status and the Provenance of the engine that answered it.
+func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Span) ([]Result, error) {
+	byID := make(map[int]Pair, len(pairs))
+	for _, p := range pairs {
+		if _, dup := byID[p.ID]; dup {
+			return nil, fmt.Errorf("host: escalation requires unique pair IDs; ID %d repeats", p.ID)
+		}
+		byID[p.ID] = p
+	}
+
+	final := make(map[int]Result, len(pairs))
+	baseProv := kernelProvenance(cfg.Kernel)
+	var pending []int
+	for _, r := range first {
+		switch {
+		case !r.InBand:
+			rep.OutOfBandPairs++
+			pending = append(pending, r.ID)
+		case r.Clipped:
+			rep.ClippedPairs++
+			pending = append(pending, r.ID)
+		default:
+			r.Status = StatusOK
+			r.Provenance = baseProv
+			final[r.ID] = r
+		}
+	}
+	// Pairs the first round abandoned (retries exhausted under faults) are
+	// rescued by the CPU rung rather than dropped: with escalation on,
+	// nothing is ever abandoned.
+	cpuIDs := append([]int(nil), rep.AbandonedIDs...)
+	rep.AbandonedPairs, rep.AbandonedIDs = 0, nil
+
+	round := 0
+	for _, rg := range buildLadder(cfg) {
+		if len(pending) == 0 {
+			break
+		}
+		// Per-pair MRAM admission: band width only grows down the ladder,
+		// so a pair that cannot fit this rung's footprint waits for the
+		// score-only rung (no BT scratch) or the CPU.
+		var runnable, skipped []int
+		for _, id := range pending {
+			p := byID[id]
+			if kernel.FitsMRAM(cfg.PIM, len(p.A), len(p.B), rg.band, rg.traceback) {
+				runnable = append(runnable, id)
+			} else {
+				skipped = append(skipped, id)
+			}
+		}
+		if len(runnable) == 0 {
+			pending = skipped
+			continue
+		}
+		round++
+
+		roundCfg := cfg
+		roundCfg.Kernel.Band = rg.band
+		roundCfg.Kernel.Geometry = rg.geom
+		roundCfg.Kernel.Traceback = rg.traceback
+		// Decorrelate this round's injected faults from the earlier
+		// rounds': the (batch, attempt, dpu) draw coordinates recur every
+		// round, and reusing the seed would make the same fault chase the
+		// same pairs all the way down the ladder.
+		roundCfg.Faults.Seed = cfg.Faults.Seed + int64(round)*1000003
+		model, err := pim.NewFaultModel(roundCfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		roundCfg.faults = model
+
+		rp := make([]Pair, len(runnable))
+		for i, id := range runnable {
+			rp[i] = byID[id]
+		}
+		esp := sp.Child("host.escalate")
+		esp.SetAttrInt("round", int64(round))
+		esp.SetAttrInt("band", int64(rg.band))
+		esp.SetAttrInt("pairs", int64(len(rp)))
+		sub, subResults, err := alignPairsRound(roundCfg, rp, esp)
+		esp.End()
+		if err != nil {
+			return nil, err
+		}
+		start := rep.MakespanSec
+		cpuIDs = append(cpuIDs, sub.AbandonedIDs...)
+		mergeRound(rep, sub)
+		rep.EscalationRounds++
+		rep.Escalations += len(runnable)
+		rep.Escalation = append(rep.Escalation, EscalationRound{
+			Round: round, Band: rg.band, Provenance: rg.provenance(),
+			Pairs: len(runnable), StartSec: start, EndSec: rep.MakespanSec,
+		})
+		obs.Logf("escalation round %d: %d pairs redispatched at %s", round, len(runnable), rg.provenance())
+
+		next := skipped
+		for _, r := range subResults {
+			if !r.InBand || r.Clipped {
+				next = append(next, r.ID)
+				continue
+			}
+			if rg.traceback == cfg.Kernel.Traceback {
+				r.Status = StatusEscalated
+			} else {
+				r.Status = StatusDegradedScoreOnly
+				rep.DegradedScoreOnly++
+			}
+			r.Provenance = rg.provenance()
+			final[r.ID] = r
+		}
+		pending = next
+	}
+
+	// The last rung: everything still unresolved gets the exact
+	// full-matrix answer on the host CPU.
+	cpuIDs = append(cpuIDs, pending...)
+	if len(cpuIDs) > 0 {
+		opts := baseline.Options{
+			Params:    cfg.Kernel.Params,
+			Threads:   cfg.Workers,
+			Traceback: cfg.Kernel.Traceback,
+			Exact:     true,
+		}
+		bp := make([]baseline.Pair, len(cpuIDs))
+		for i, id := range cpuIDs {
+			p := byID[id]
+			bp[i] = baseline.Pair{ID: id, A: p.A, B: p.B}
+		}
+		csp := sp.Child("host.cpu_rescue")
+		csp.SetAttrInt("pairs", int64(len(bp)))
+		out, err := baseline.Run(opts, bp)
+		csp.End()
+		if err != nil {
+			return nil, err
+		}
+		rep.CPUFallbackSec += out.WallSeconds
+		rep.DegradedCPU += len(cpuIDs)
+		obs.Logf("cpu rescue: %d pairs aligned exactly in %.3fs host time", len(cpuIDs), out.WallSeconds)
+		for _, br := range out.Results {
+			pr := kernel.PairResult{ID: br.ID, Score: br.Score, InBand: true, Cells: br.Cells}
+			if br.Cigar != nil {
+				pr.Cigar = []byte(br.Cigar.String())
+			}
+			if cfg.Verify && cfg.Kernel.Traceback {
+				rep.VerifyChecked++
+				p := byID[br.ID]
+				if err := verify.CheckPair(p.A, p.B, cfg.Kernel.Params, br.Score, string(pr.Cigar)); err != nil {
+					rep.VerifyFailures++
+					obs.Logf("verify: cpu-exact pair %d: %v", br.ID, err)
+				}
+			}
+			final[br.ID] = Result{PairResult: pr, Rank: -1, DPU: -1,
+				Status: StatusDegradedCPU, Provenance: "cpu-exact"}
+		}
+	}
+
+	// Emit in input order; every pair must have resolved on some rung.
+	results := make([]Result, 0, len(pairs))
+	for _, p := range pairs {
+		r, ok := final[p.ID]
+		if !ok {
+			return nil, fmt.Errorf("host: pair %d fell through the degradation ladder", p.ID)
+		}
+		results = append(results, r)
+		rep.countProvenance(r.Provenance)
+		switch r.Status {
+		case StatusDegradedScoreOnly, StatusDegradedCPU:
+			rep.addIssue(PairIssue{ID: r.ID, Status: r.Status, Provenance: r.Provenance})
+		}
+	}
+	rep.Alignments = len(results)
+	return results, nil
+}
+
+// mergeRound appends one escalation round's report onto the parent
+// timeline. The fabric is reused sequentially — the round starts when the
+// parent's makespan ends — so every rank slot and fault timestamp is
+// rebased by the current makespan, and batch numbers continue past the
+// parent's. Abandoned-pair bookkeeping is deliberately not merged: the
+// caller rescues those pairs on the CPU rung.
+func mergeRound(dst, src *Report) {
+	offset := dst.MakespanSec
+	batchBase := dst.Batches
+	for _, rs := range src.Ranks {
+		rs.StartSec += offset
+		rs.EndSec += offset
+		rs.Batch += batchBase
+		for i := range rs.Faults {
+			rs.Faults[i].AtSec += offset
+			rs.Faults[i].Batch += batchBase
+		}
+		dst.Ranks = append(dst.Ranks, rs)
+	}
+	dst.MakespanSec = offset + src.MakespanSec
+	dst.TransferInSec += src.TransferInSec
+	dst.TransferOutSec += src.TransferOutSec
+	dst.KernelSecSum += src.KernelSecSum
+	dst.BytesIn += src.BytesIn
+	dst.BytesOut += src.BytesOut
+	dst.TotalCells += src.TotalCells
+	dst.TotalInstr += src.TotalInstr
+	dst.Retries += src.Retries
+	dst.Redispatches += src.Redispatches
+	dst.FaultsDetected += src.FaultsDetected
+	dst.RetrySec += src.RetrySec
+	dst.VerifyChecked += src.VerifyChecked
+	dst.VerifyFailures += src.VerifyFailures
+	if src.Batches > 0 {
+		total := dst.Batches + src.Batches
+		dst.UtilizationMean = (dst.UtilizationMean*float64(dst.Batches) +
+			src.UtilizationMean*float64(src.Batches)) / float64(total)
+		dst.Batches = total
+	}
+	if src.UtilizationMin < dst.UtilizationMin {
+		dst.UtilizationMin = src.UtilizationMin
+	}
+}

@@ -10,6 +10,7 @@
 package host
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 
@@ -59,10 +60,38 @@ type Config struct {
 	// k waits RetryBackoffSec * 2^k, plus up to 50 % deterministic
 	// jitter. Zero means immediate retries.
 	RetryBackoffSec float64
+	// Escalate turns on the degradation ladder: pairs whose result is
+	// out-of-band or band-edge-clipped are re-dispatched at doubled band
+	// widths (trading kernel pools for WRAM via kernel.FitGeometry), then
+	// degraded to the score-only kernel at the widest feasible band, and
+	// finally to the exact CPU baseline — so every pair gets a correct
+	// answer, with provenance recording which rung produced it.
+	Escalate bool
+	// MaxBand caps the ladder's band doubling; zero means DefaultMaxBand.
+	// Ignored unless Escalate is set.
+	MaxBand int
+	// Verify re-derives every in-band traceback result from its CIGAR and
+	// the cost table (internal/verify) before accepting it; a DPU launch
+	// with any invalid result is treated exactly like a corrupted transfer
+	// (results dropped, pairs redispatched, DPU kept in rotation).
+	// Score-only results carry no CIGAR to re-derive, so Verify is a
+	// no-op for score-only kernels.
+	Verify bool
 
 	// faults is the model built from Faults by AlignPairs (nil = perfect
 	// fabric); carried here so every runBatch shares one instance.
 	faults *pim.FaultModel
+}
+
+// DefaultMaxBand is the escalation ladder's band cap when Config.MaxBand
+// is zero: wide enough that only pathological pairs reach the CPU rung.
+const DefaultMaxBand = 2048
+
+func (c Config) maxBand() int {
+	if c.MaxBand > 0 {
+		return c.MaxBand
+	}
+	return DefaultMaxBand
 }
 
 // Validate checks cross-package consistency.
@@ -85,6 +114,12 @@ func (c Config) Validate() error {
 	if c.BatchDeadlineSec < 0 || c.RetryBackoffSec < 0 {
 		return fmt.Errorf("host: negative BatchDeadlineSec/RetryBackoffSec")
 	}
+	if c.MaxBand < 0 {
+		return fmt.Errorf("host: negative MaxBand")
+	}
+	if c.Escalate && c.MaxBand > 0 && c.MaxBand < c.Kernel.Band {
+		return fmt.Errorf("host: MaxBand %d below the kernel band %d", c.MaxBand, c.Kernel.Band)
+	}
 	return nil
 }
 
@@ -95,10 +130,93 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PairStatus is the typed per-pair outcome the report and exports carry —
+// the replacement for sniffing the core.NegInf score sentinel to tell a
+// failed alignment from a real one.
+type PairStatus int
+
+const (
+	// StatusOK: the banded result is trusted as-is (in band, no clip).
+	StatusOK PairStatus = iota
+	// StatusClipped: the traceback touched the band edge; the score is a
+	// lower bound, not a certificate. Final only when escalation is off.
+	StatusClipped
+	// StatusOutOfBand: (m,n) fell outside the band; the score is the
+	// sentinel, not an alignment. Final only when escalation is off.
+	StatusOutOfBand
+	// StatusEscalated: resolved by a wider-band traceback re-dispatch.
+	StatusEscalated
+	// StatusDegradedScoreOnly: resolved by the score-only kernel at a wide
+	// band — the score is trusted but no CIGAR was produced.
+	StatusDegradedScoreOnly
+	// StatusDegradedCPU: resolved by the exact full-matrix CPU baseline.
+	StatusDegradedCPU
+	// StatusAbandoned: no answer — retries exhausted with escalation off.
+	StatusAbandoned
+)
+
+var pairStatusNames = [...]string{
+	StatusOK:                "ok",
+	StatusClipped:           "clipped",
+	StatusOutOfBand:         "out-of-band",
+	StatusEscalated:         "escalated",
+	StatusDegradedScoreOnly: "degraded-score-only",
+	StatusDegradedCPU:       "degraded-cpu",
+	StatusAbandoned:         "abandoned",
+}
+
+func (s PairStatus) String() string {
+	if s < 0 || int(s) >= len(pairStatusNames) {
+		return "unknown"
+	}
+	return pairStatusNames[s]
+}
+
+// MarshalJSON emits the status name, so reports read "clipped" rather
+// than an enum ordinal that shifts when a status is added.
+func (s PairStatus) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Trusted reports whether the pair's score is an exact answer for its
+// provenance engine (everything but clipped/out-of-band/abandoned).
+func (s PairStatus) Trusted() bool {
+	switch s {
+	case StatusOK, StatusEscalated, StatusDegradedScoreOnly, StatusDegradedCPU:
+		return true
+	}
+	return false
+}
+
 // Result is one completed alignment.
 type Result struct {
 	kernel.PairResult
-	Rank, DPU int // where it executed
+	Rank, DPU int // where it executed; -1/-1 for the CPU rung
+	// Status classifies the outcome; Provenance names the engine that
+	// produced the answer of record: "dpu-banded@<w>", "dpu-score-only@<w>"
+	// or "cpu-exact".
+	Status     PairStatus
+	Provenance string
+}
+
+// PairIssue is one pair that did not resolve cleanly on the first rung:
+// degraded, clipped, out-of-band or abandoned, with the provenance of
+// whatever answer (if any) it ended up with.
+type PairIssue struct {
+	ID         int        `json:"id"`
+	Status     PairStatus `json:"status"`
+	Provenance string     `json:"provenance,omitempty"`
+}
+
+// EscalationRound records one executed rung of the degradation ladder on
+// the simulated timeline.
+type EscalationRound struct {
+	Round      int     `json:"round"`
+	Band       int     `json:"band"`
+	Provenance string  `json:"provenance"`
+	Pairs      int     `json:"pairs"`
+	StartSec   float64 `json:"start_sec"`
+	EndSec     float64 `json:"end_sec"`
 }
 
 // FaultEvent records one injected fault as the host experienced it.
@@ -165,6 +283,47 @@ type Report struct {
 	AbandonedPairs int
 	AbandonedIDs   []int
 	RetrySec       float64
+	// Integrity outcome of the run. OutOfBandPairs and ClippedPairs count
+	// band failures as first observed (before any escalation resolved
+	// them); Escalations counts pair re-dispatches onto wider-band DPU
+	// rungs over EscalationRounds executed rungs; DegradedScoreOnly and
+	// DegradedCPU count pairs whose answer of record came from a lower
+	// rung than requested; VerifyChecked/VerifyFailures count the CIGAR
+	// re-derivation checks (Config.Verify); CPUFallbackSec is measured
+	// host wall-clock spent on the CPU rung — host-side work, deliberately
+	// NOT folded into the modelled MakespanSec.
+	OutOfBandPairs    int
+	ClippedPairs      int
+	Escalations       int
+	EscalationRounds  int
+	DegradedScoreOnly int
+	DegradedCPU       int
+	VerifyChecked     int
+	VerifyFailures    int
+	CPUFallbackSec    float64
+	// Provenance counts final answers by producing engine; Escalation
+	// records the executed ladder rungs; Issues lists every pair that did
+	// not resolve cleanly on the first rung (capped at maxReportIssues).
+	Provenance map[string]int
+	Escalation []EscalationRound
+	Issues     []PairIssue
+}
+
+// maxReportIssues caps Report.Issues so a run where every pair degrades
+// still produces a bounded report; the counters stay exact.
+const maxReportIssues = 10000
+
+func (r *Report) addIssue(is PairIssue) {
+	if len(r.Issues) < maxReportIssues {
+		r.Issues = append(r.Issues, is)
+	}
+}
+
+func (r *Report) countProvenance(p string) {
+	if r.Provenance == nil {
+		r.Provenance = make(map[string]int)
+	}
+	r.Provenance[p]++
 }
 
 // HostOverheadFraction is the share of the makespan not covered by DPU

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"pimnw/internal/kernel"
 	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 )
@@ -35,18 +36,25 @@ type batchExec struct {
 	redispatches int
 	abandoned    []int // pair IDs dropped after retries were exhausted
 	faults       []FaultEvent
+	// Result-validation outcome (Config.Verify): CIGAR re-derivation
+	// checks performed and the failures among them.
+	verifyChecked  int
+	verifyFailures int
 }
 
 // AlignPairs runs the paper's main-loop workflow (§4.1) over independent
 // pairs: group, balance, dispatch, execute, collect. It returns the
-// simulated timeline report and every alignment result.
+// simulated timeline report and every alignment result. With
+// Config.Escalate set, pairs whose banded result is out-of-band or
+// clipped are walked down the degradation ladder (escalate.go) until
+// every pair has a trusted answer; either way each result carries a
+// typed Status and a Provenance label.
 func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	rep := &Report{UtilizationMin: 1}
 	if len(pairs) == 0 {
-		return rep, nil, nil
+		return &Report{UtilizationMin: 1}, nil, nil
 	}
 	model, err := pim.NewFaultModel(cfg.Faults)
 	if err != nil {
@@ -56,6 +64,67 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	sp := obs.StartSpan("host.align_pairs")
 	sp.SetAttrInt("pairs", int64(len(pairs)))
 	defer sp.End()
+
+	rep, results, err := alignPairsRound(cfg, pairs, sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Escalate {
+		results, err = escalate(cfg, pairs, rep, results, sp)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		annotateResults(cfg.Kernel, rep, results)
+	}
+	rep.publishMetrics()
+	return rep, results, nil
+}
+
+// annotateResults stamps Status/Provenance on a round's raw results and
+// folds the band-failure and provenance tallies into the report — the
+// terminal classification when no escalation ladder runs.
+func annotateResults(k kernel.Config, rep *Report, results []Result) {
+	prov := kernelProvenance(k)
+	for i := range results {
+		r := &results[i]
+		r.Provenance = prov
+		switch {
+		case !r.InBand:
+			r.Status = StatusOutOfBand
+			rep.OutOfBandPairs++
+		case r.Clipped:
+			r.Status = StatusClipped
+			rep.ClippedPairs++
+		default:
+			r.Status = StatusOK
+		}
+		rep.countProvenance(prov)
+		if r.Status != StatusOK {
+			rep.addIssue(PairIssue{ID: r.ID, Status: r.Status, Provenance: prov})
+		}
+	}
+	for _, id := range rep.AbandonedIDs {
+		rep.addIssue(PairIssue{ID: id, Status: StatusAbandoned})
+	}
+}
+
+// kernelProvenance names the engine a kernel config stands for.
+func kernelProvenance(k kernel.Config) string {
+	if k.Traceback {
+		return fmt.Sprintf("dpu-banded@%d", k.Band)
+	}
+	return fmt.Sprintf("dpu-score-only@%d", k.Band)
+}
+
+// alignPairsRound executes one dispatch round — the body shared by the
+// plain run and every rung of the escalation ladder. The caller owns
+// validation, fault-model construction and metrics publication.
+func alignPairsRound(cfg Config, pairs []Pair, sp *obs.Span) (*Report, []Result, error) {
+	rep := &Report{UtilizationMin: 1}
+	if len(pairs) == 0 {
+		return rep, nil, nil
+	}
 
 	// Group and split into rank-sized batches, balancing pair workloads
 	// across the batches of a group (the host spreads work over ranks).
@@ -120,7 +189,6 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	csp.End()
 	rep.Alignments = len(results)
 	rep.Batches = len(batches)
-	rep.publishMetrics()
 	return rep, results, nil
 }
 
@@ -144,6 +212,15 @@ func (r *Report) publishMetrics() {
 	reg.Counter("host_faults_detected_total").Add(int64(r.FaultsDetected))
 	reg.Counter("host_abandoned_pairs_total").Add(int64(r.AbandonedPairs))
 	reg.Gauge("host_retry_seconds").Set(r.RetrySec)
+	reg.Counter("host_out_of_band_pairs_total").Add(int64(r.OutOfBandPairs))
+	reg.Counter("host_clipped_pairs_total").Add(int64(r.ClippedPairs))
+	reg.Counter("host_escalations_total").Add(int64(r.Escalations))
+	reg.Counter("host_escalation_rounds_total").Add(int64(r.EscalationRounds))
+	reg.Counter("host_degraded_score_only_total").Add(int64(r.DegradedScoreOnly))
+	reg.Counter("host_degraded_cpu_total").Add(int64(r.DegradedCPU))
+	reg.Counter("host_verify_checked_total").Add(int64(r.VerifyChecked))
+	reg.Counter("host_verify_failures_total").Add(int64(r.VerifyFailures))
+	reg.Gauge("host_cpu_fallback_seconds").Set(r.CPUFallbackSec)
 }
 
 // scheduleTimeline lays executed batches onto the simulated clock: a FIFO
@@ -206,6 +283,8 @@ func scheduleTimeline(cfg Config, execs []batchExec, rep *Report) {
 		rep.Redispatches += ex.redispatches
 		rep.FaultsDetected += len(ex.faults)
 		rep.RetrySec += ex.retrySec
+		rep.VerifyChecked += ex.verifyChecked
+		rep.VerifyFailures += ex.verifyFailures
 		if len(ex.abandoned) > 0 {
 			rep.AbandonedPairs += len(ex.abandoned)
 			rep.AbandonedIDs = append(rep.AbandonedIDs, ex.abandoned...)

@@ -8,6 +8,7 @@ import (
 	"pimnw/internal/kernel"
 	"pimnw/internal/obs"
 	"pimnw/internal/pim"
+	"pimnw/internal/verify"
 )
 
 // maxBackoffShift caps the exponential backoff doubling so the modelled
@@ -22,6 +23,12 @@ type dpuAttempt struct {
 	dpu     int     // rank-relative DPU index
 	used    bool
 	fail    pim.FaultKind // FaultNone = accepted
+	// Result-validation outcome (Config.Verify): checks performed, the
+	// failures among them, and whether the launch must be rejected for
+	// carrying invalid results (handled like a corrupted transfer).
+	verified   int
+	badResults int
+	invalid    bool
 }
 
 // runBatch executes one rank-sized batch with the host's recovery
@@ -178,6 +185,13 @@ func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 			da.fail = pim.FaultStall
 		} else if kernel.ChecksumResults(out.Results) != out.Checksum {
 			da.fail = pim.FaultCorrupt
+		} else if cfg.Verify && cfg.Kernel.Traceback {
+			// Defense in depth past the transfer checksum: re-derive every
+			// in-band score from its CIGAR and the cost table. A launch
+			// with any invalid result is rejected wholesale — detected
+			// corruption, same handling as a checksum mismatch.
+			da.verified, da.badResults = verifyOutcome(cfg, pending, buckets[ai], out.Results)
+			da.invalid = da.badResults > 0
 		}
 		outs[ai] = da
 		return nil
@@ -196,6 +210,8 @@ func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 			continue
 		}
 		ex.bytesIn += o.bytesIn // retransfers on retry attempts cost bus time too
+		ex.verifyChecked += o.verified
+		ex.verifyFailures += o.badResults
 		sec := o.sec
 		if sec > deadline {
 			sec = deadline // the host gives up on the DPU at the deadline
@@ -203,29 +219,64 @@ func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 		if sec > attemptSec {
 			attemptSec = sec
 		}
-		if o.fail == pim.FaultNone {
+		if o.fail == pim.FaultNone && !o.invalid {
 			ex.accept(o)
 			survivors = append(survivors, o.dpu)
 			continue
 		}
 		// Detection moment: a crash surfaces when the launch call
 		// returns, a timeout at the deadline, a corruption when the
-		// checksum is verified at collection.
+		// checksum (or the per-result validation) is verified at
+		// collection.
+		kind := o.fail.String()
+		if o.fail == pim.FaultNone {
+			kind = "validation"
+		}
 		at := ex.kernelSec + sec
 		ex.faults = append(ex.faults, FaultEvent{
 			Batch: batch, Attempt: attempt, DPU: o.dpu,
-			Kind: o.fail.String(), AtSec: at,
+			Kind: kind, AtSec: at,
 		})
 		for _, idx := range buckets[ai] {
 			failed = append(failed, pending[idx])
 		}
-		if o.fail == pim.FaultCorrupt {
-			// Transient bus fault: the DPU itself stays in rotation.
+		if o.fail == pim.FaultCorrupt || o.invalid {
+			// Transient bus (or payload) fault: the DPU stays in rotation.
 			survivors = append(survivors, o.dpu)
 		}
 	}
 	*alive = survivors
 	return attemptSec, failed, nil
+}
+
+// verifyOutcome re-derives every in-band result of one DPU launch from
+// its CIGAR (internal/verify): structural validity, sequence consumption
+// and score reconstruction under the run's cost table. It returns the
+// number of results checked and how many of them failed. Out-of-band
+// results carry the score sentinel and no path, so there is nothing to
+// re-derive; a result whose ID matches no staged pair is itself a failure.
+func verifyOutcome(cfg Config, pending []Pair, bucket []int, results []kernel.PairResult) (checked, bad int) {
+	byID := make(map[int]Pair, len(bucket))
+	for _, idx := range bucket {
+		byID[pending[idx].ID] = pending[idx]
+	}
+	for _, r := range results {
+		if !r.InBand {
+			continue
+		}
+		p, ok := byID[r.ID]
+		if !ok {
+			bad++
+			obs.Logf("verify: result for pair %d, which was never staged on this DPU", r.ID)
+			continue
+		}
+		checked++
+		if err := verify.CheckPair(p.A, p.B, cfg.Kernel.Params, r.Score, string(r.Cigar)); err != nil {
+			bad++
+			obs.Logf("verify: pair %d: %v", r.ID, err)
+		}
+	}
+	return checked, bad
 }
 
 // accept merges one healthy DPU launch into the batch outcome.

@@ -9,26 +9,39 @@ import (
 // the derived host-overhead fraction, so downstream tooling (dashboards,
 // regression checks) never re-implements the derivation.
 type reportJSON struct {
-	MakespanSec          float64     `json:"makespan_sec"`
-	HostOverheadFraction float64     `json:"host_overhead_fraction"`
-	TransferInSec        float64     `json:"transfer_in_sec"`
-	TransferOutSec       float64     `json:"transfer_out_sec"`
-	KernelSecSum         float64     `json:"kernel_sec_sum"`
-	BytesIn              int64       `json:"bytes_in"`
-	BytesOut             int64       `json:"bytes_out"`
-	TotalCells           int64       `json:"total_cells"`
-	TotalInstr           int64       `json:"total_instr"`
-	Alignments           int         `json:"alignments"`
-	Batches              int         `json:"batches"`
-	UtilizationMin       float64     `json:"utilization_min"`
-	UtilizationMean      float64     `json:"utilization_mean"`
-	Retries              int         `json:"retries"`
-	Redispatches         int         `json:"redispatches"`
-	FaultsDetected       int         `json:"faults_detected"`
-	AbandonedPairs       int         `json:"abandoned_pairs"`
-	AbandonedIDs         []int       `json:"abandoned_ids,omitempty"`
-	RetrySec             float64     `json:"retry_sec"`
-	Ranks                []RankStats `json:"ranks"`
+	MakespanSec          float64 `json:"makespan_sec"`
+	HostOverheadFraction float64 `json:"host_overhead_fraction"`
+	TransferInSec        float64 `json:"transfer_in_sec"`
+	TransferOutSec       float64 `json:"transfer_out_sec"`
+	KernelSecSum         float64 `json:"kernel_sec_sum"`
+	BytesIn              int64   `json:"bytes_in"`
+	BytesOut             int64   `json:"bytes_out"`
+	TotalCells           int64   `json:"total_cells"`
+	TotalInstr           int64   `json:"total_instr"`
+	Alignments           int     `json:"alignments"`
+	Batches              int     `json:"batches"`
+	UtilizationMin       float64 `json:"utilization_min"`
+	UtilizationMean      float64 `json:"utilization_mean"`
+	Retries              int     `json:"retries"`
+	Redispatches         int     `json:"redispatches"`
+	FaultsDetected       int     `json:"faults_detected"`
+	AbandonedPairs       int     `json:"abandoned_pairs"`
+	AbandonedIDs         []int   `json:"abandoned_ids,omitempty"`
+	RetrySec             float64 `json:"retry_sec"`
+	OutOfBandPairs       int     `json:"out_of_band_pairs"`
+	ClippedPairs         int     `json:"clipped_pairs"`
+	Escalations          int     `json:"escalations"`
+	EscalationRounds     int     `json:"escalation_rounds"`
+	DegradedScoreOnly    int     `json:"degraded_score_only"`
+	DegradedCPU          int     `json:"degraded_cpu"`
+	VerifyChecked        int     `json:"verify_checked"`
+	VerifyFailures       int     `json:"verify_failures"`
+	CPUFallbackSec       float64 `json:"cpu_fallback_sec"`
+
+	Provenance map[string]int    `json:"provenance,omitempty"`
+	Escalation []EscalationRound `json:"escalation,omitempty"`
+	Issues     []PairIssue       `json:"issues,omitempty"`
+	Ranks      []RankStats       `json:"ranks"`
 }
 
 // WriteJSON writes the run report as indented JSON (the -report-json flag
@@ -54,6 +67,18 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		AbandonedPairs:       r.AbandonedPairs,
 		AbandonedIDs:         r.AbandonedIDs,
 		RetrySec:             r.RetrySec,
+		OutOfBandPairs:       r.OutOfBandPairs,
+		ClippedPairs:         r.ClippedPairs,
+		Escalations:          r.Escalations,
+		EscalationRounds:     r.EscalationRounds,
+		DegradedScoreOnly:    r.DegradedScoreOnly,
+		DegradedCPU:          r.DegradedCPU,
+		VerifyChecked:        r.VerifyChecked,
+		VerifyFailures:       r.VerifyFailures,
+		CPUFallbackSec:       r.CPUFallbackSec,
+		Provenance:           r.Provenance,
+		Escalation:           r.Escalation,
+		Issues:               r.Issues,
 		Ranks:                r.Ranks,
 	}
 	if out.Ranks == nil {

@@ -15,11 +15,16 @@ import (
 // kernel execution, and the barrier-gated result collection.
 // A fourth lane appears only on ranks that ran recovery: fault-detection
 // instants (ph "i") and the stretch of the kernel window spent retrying.
+// Above the rank processes, a run with band failures or a degradation
+// ladder gets one extra "integrity" process (pid = max rank pid + 1): a
+// slice per escalation round laid over the makespan, plus a summary
+// instant carrying the run's integrity counters.
 const (
 	tidTransferIn  = 0
 	tidKernel      = 1
 	tidTransferOut = 2
 	tidRecovery    = 3
+	tidIntegrity   = 0 // only thread of the integrity process
 )
 
 // ChromeTraceEvents converts the simulated timeline into Chrome
@@ -96,6 +101,40 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 					}))
 			}
 		}
+	}
+	if len(r.Escalation) > 0 || r.OutOfBandPairs > 0 || r.ClippedPairs > 0 ||
+		r.DegradedScoreOnly > 0 || r.DegradedCPU > 0 || r.VerifyFailures > 0 {
+		pid := 1 // above every rank lane, even when no rank produced stats
+		for p := range seen {
+			if p >= pid {
+				pid = p + 1
+			}
+		}
+		events = append(events,
+			obs.ProcessName(pid, "integrity (modelled)"),
+			obs.ThreadName(pid, tidIntegrity, "escalation"))
+		for _, er := range r.Escalation {
+			events = append(events, obs.TraceEvent{
+				Name: er.Provenance, Ph: "X",
+				Ts: er.StartSec * 1e6, Dur: (er.EndSec - er.StartSec) * 1e6,
+				Pid: pid, Tid: tidIntegrity,
+				Args: map[string]any{
+					"round": er.Round, "band": er.Band, "pairs": er.Pairs,
+				},
+			})
+		}
+		events = append(events, obs.Instant("integrity", r.MakespanSec*1e6,
+			pid, tidIntegrity, map[string]any{
+				"out_of_band_pairs":   r.OutOfBandPairs,
+				"clipped_pairs":       r.ClippedPairs,
+				"escalations":         r.Escalations,
+				"escalation_rounds":   r.EscalationRounds,
+				"degraded_score_only": r.DegradedScoreOnly,
+				"degraded_cpu":        r.DegradedCPU,
+				"verify_checked":      r.VerifyChecked,
+				"verify_failures":     r.VerifyFailures,
+				"cpu_fallback_sec":    r.CPUFallbackSec,
+			}))
 	}
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].Pid != events[j].Pid {

@@ -111,6 +111,7 @@ func TestChecksumResultsSensitivity(t *testing.T) {
 		func(rs []PairResult) { rs[0].Score++ },
 		func(rs []PairResult) { rs[1].ID = 7 },
 		func(rs []PairResult) { rs[0].InBand = false },
+		func(rs []PairResult) { rs[1].Clipped = true },
 		func(rs []PairResult) { rs[1].Cigar[0] ^= 1 },
 		func(rs []PairResult) { rs[0].Cells++ },
 		func(rs []PairResult) { rs[1].Steps-- },

@@ -136,9 +136,46 @@ type PairResult struct {
 	ID     int
 	Score  int32
 	InBand bool
-	Cigar  []byte // serialized CIGAR text, nil for score-only kernels
-	Cells  int64
-	Steps  int
+	// Clipped reports that the band may have cut the optimal path off
+	// (see core.Result.Clipped); the host's escalation ladder re-dispatches
+	// clipped pairs at a wider band rather than trusting the score.
+	Clipped bool
+	Cigar   []byte // serialized CIGAR text, nil for score-only kernels
+	Cells   int64
+	Steps   int
+}
+
+// FitGeometry shrinks the pool count of cfg's geometry until a kernel at
+// the given band (and traceback mode) passes the WRAM admission check of
+// Config.Validate, trading alignment-level parallelism for band width —
+// the escalation ladder's way of booting wider-band kernels on the same
+// device. The tasklets-per-pool shape is preserved. ok=false means even a
+// single pool cannot hold the band's working set.
+func FitGeometry(cfg Config, band int, traceback bool) (Geometry, bool) {
+	for pools := cfg.Geometry.Pools; pools >= 1; pools-- {
+		c := cfg
+		c.Geometry.Pools = pools
+		c.Band = band
+		c.Traceback = traceback
+		if c.Validate() == nil {
+			return c.Geometry, true
+		}
+	}
+	return Geometry{}, false
+}
+
+// FitsMRAM reports whether a single pair of the given base lengths can run
+// at the given band on one DPU: packed sequences plus (for traceback
+// kernels) the full BT scratch must fit the MRAM bank. It is the per-pair
+// admission check the escalation ladder applies before re-dispatching a
+// pair at a wider band; pairs that fail it skip straight to the next
+// degradation rung.
+func FitsMRAM(p pim.Config, alen, blen, band int, traceback bool) bool {
+	need := seq.PackedSize(alen) + seq.PackedSize(blen)
+	if traceback {
+		need += (alen + blen + 1) * core.NibbleRowSize(band)
+	}
+	return need <= p.MRAM
 }
 
 // StagePair packs two sequences into the DPU's MRAM and returns the pair

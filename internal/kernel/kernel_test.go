@@ -353,3 +353,56 @@ func TestScoreOnlyCheaperThanTraceback(t *testing.T) {
 		t.Errorf("traceback/score cycle ratio %.2f implausible", ratio)
 	}
 }
+
+func TestFitGeometryTradesPoolsForBand(t *testing.T) {
+	cfg := testConfig(true)
+	// The paper geometry admits the default band as-is.
+	if g, ok := FitGeometry(cfg, cfg.Band, true); !ok || g != cfg.Geometry {
+		t.Fatalf("FitGeometry(%d) = %+v, %v; want unchanged %+v", cfg.Band, g, ok, cfg.Geometry)
+	}
+	// Wider bands must shrink the pool count, never the pool shape, and the
+	// result must pass the WRAM admission check it claims to satisfy.
+	prevPools := cfg.Geometry.Pools + 1
+	grew := false
+	for band := cfg.Band * 2; band <= 2048; band *= 2 {
+		g, ok := FitGeometry(cfg, band, true)
+		if !ok {
+			break
+		}
+		grew = true
+		if g.TaskletsPerPool != cfg.Geometry.TaskletsPerPool {
+			t.Fatalf("band %d: pool shape changed to %+v", band, g)
+		}
+		if g.Pools > prevPools {
+			t.Fatalf("band %d: pools grew from %d to %d", band, prevPools, g.Pools)
+		}
+		prevPools = g.Pools
+		c := cfg
+		c.Geometry, c.Band = g, band
+		if err := c.Validate(); err != nil {
+			t.Fatalf("band %d: admitted geometry %+v fails validation: %v", band, g, err)
+		}
+	}
+	if !grew {
+		t.Fatal("no band beyond the default was admissible; ladder would be empty")
+	}
+	// Some band is too wide for even one pool.
+	if _, ok := FitGeometry(cfg, 1<<20, true); ok {
+		t.Fatal("absurd band admitted")
+	}
+}
+
+func TestFitsMRAM(t *testing.T) {
+	p := pim.DefaultConfig()
+	if !FitsMRAM(p, 10000, 10000, 1024, true) {
+		t.Error("routine long-read pair rejected")
+	}
+	// BT scratch dominates: (m+n+1)*band/2 bytes must exceed 64 MB here.
+	if FitsMRAM(p, 80_000_000, 80_000_000, 1024, true) {
+		t.Error("BT scratch beyond the MRAM bank accepted")
+	}
+	// The same monster pair is fine score-only (no BT).
+	if !FitsMRAM(p, 80_000_000, 80_000_000, 1024, false) {
+		t.Error("score-only admission should ignore BT scratch")
+	}
+}

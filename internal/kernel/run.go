@@ -52,11 +52,14 @@ func ChecksumResults(rs []PairResult) uint64 {
 	for _, r := range rs {
 		byte8(uint64(r.ID))
 		byte8(uint64(uint32(r.Score)))
+		flags := uint64(0)
 		if r.InBand {
-			byte8(1)
-		} else {
-			byte8(0)
+			flags |= 1
 		}
+		if r.Clipped {
+			flags |= 2
+		}
+		byte8(flags)
 		byte8(uint64(r.Cells))
 		byte8(uint64(r.Steps))
 		byte8(uint64(len(r.Cigar)))
@@ -188,7 +191,7 @@ func alignOne(d *pim.DPU, cfg Config, pair Pair, rowBytes int,
 	}
 
 	pr := PairResult{ID: pair.ID, Score: res.Score, InBand: res.InBand,
-		Cells: res.Cells, Steps: res.Steps}
+		Clipped: res.Clipped, Cells: res.Cells, Steps: res.Steps}
 	if cfg.Traceback && res.Cigar != nil {
 		pr.Cigar = []byte(res.Cigar.String())
 	}

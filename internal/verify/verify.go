@@ -1,0 +1,54 @@
+// Package verify is the result-validation stage of the host's
+// result-integrity pipeline: it re-derives what a returned alignment
+// *claims* from first principles and rejects anything that does not add
+// up. The checks are the self-checking discipline PiM alignment frameworks
+// apply to bound heuristic and transport error (cf. the WFA-on-PIM line of
+// work): a CIGAR must parse, must consume exactly the query and target it
+// aligns, every '='/'X' column must agree with the actual bases, and the
+// affine-gap score the CIGAR implies must equal the score the kernel
+// reported. A verification failure means the result was corrupted in
+// flight, or the kernel mis-tracebacked — either way the host treats it as
+// detected corruption and feeds the pair back into the recovery loop.
+package verify
+
+import (
+	"fmt"
+
+	"pimnw/internal/cigar"
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+// CheckPair validates one traceback alignment result end to end: the CIGAR
+// text parses, structurally consumes len(a) query and len(b) target bases,
+// matches the concrete bases column by column, and re-derives the reported
+// score under p. A nil error means the result is self-consistent (which
+// says nothing about optimality — band clipping is tracked separately).
+func CheckPair(a, b seq.Seq, p core.Params, score int32, cigarText string) error {
+	c, err := cigar.Parse(cigarText)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	// Structural pass first (lengths only): cheap, and distinguishes a
+	// truncated transfer from a content mismatch in the error text.
+	if err := cigar.Validate(c, len(a), len(b)); err != nil {
+		return fmt.Errorf("verify: structural: %w", err)
+	}
+	// Content pass: '='/'X' columns against the actual bases.
+	if err := c.Validate(a, b); err != nil {
+		return fmt.Errorf("verify: content: %w", err)
+	}
+	if got := core.ScoreFromCigar(c, p); got != score {
+		return fmt.Errorf("verify: CIGAR implies score %d, result reports %d", got, score)
+	}
+	return nil
+}
+
+// CheckResult validates a core.Result produced with traceback against its
+// input pair (test-harness convenience over CheckPair).
+func CheckResult(a, b seq.Seq, p core.Params, res core.Result) error {
+	if res.Cigar == nil {
+		return fmt.Errorf("verify: result has no CIGAR to check")
+	}
+	return CheckPair(a, b, p, res.Score, res.Cigar.String())
+}

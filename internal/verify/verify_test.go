@@ -1,0 +1,68 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+func TestCheckPairAcceptsAllAligners(t *testing.T) {
+	p := core.DefaultParams()
+	rng := rand.New(rand.NewSource(5))
+	mut := seq.UniformErrors(0.08)
+	for i := 0; i < 25; i++ {
+		a := seq.Random(rng, 150+rng.Intn(200))
+		b := mut.Apply(rng, a)
+		for name, res := range map[string]core.Result{
+			"full":     core.GotohAlign(a, b, p),
+			"static":   core.StaticBandAlign(a, b, p, 64),
+			"adaptive": core.AdaptiveBandAlign(a, b, p, 64),
+		} {
+			if !res.InBand {
+				continue
+			}
+			if err := CheckResult(a, b, p, res); err != nil {
+				t.Fatalf("pair %d: %s result failed verification: %v", i, name, err)
+			}
+		}
+	}
+}
+
+func TestCheckPairRejectsCorruption(t *testing.T) {
+	p := core.DefaultParams()
+	rng := rand.New(rand.NewSource(9))
+	a := seq.Random(rng, 300)
+	b := seq.UniformErrors(0.05).Apply(rng, a)
+	res := core.GotohAlign(a, b, p)
+	text := res.Cigar.String()
+
+	cases := map[string]struct {
+		score int32
+		text  string
+	}{
+		"wrong-score":   {res.Score + 1, text},
+		"garbled-text":  {res.Score, "not-a-cigar"},
+		"empty-text":    {res.Score, ""},
+		"truncated":     {res.Score, text[:len(text)/2]},
+		"flipped-op":    {res.Score, strings.Replace(text, "=", "X", 1)},
+		"extended-text": {res.Score, text + "1="},
+	}
+	for name, tc := range cases {
+		if err := CheckPair(a, b, p, tc.score, tc.text); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+func TestCheckResultRequiresCigar(t *testing.T) {
+	p := core.DefaultParams()
+	rng := rand.New(rand.NewSource(2))
+	a := seq.Random(rng, 50)
+	res := core.GotohScore(a, a, p)
+	if err := CheckResult(a, a, p, res); err == nil {
+		t.Fatal("score-only result accepted by CheckResult")
+	}
+}

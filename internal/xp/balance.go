@@ -60,6 +60,7 @@ func (r *Runner) balanceTable() (Table, error) {
 			Workers: r.Opts.Workers,
 		}
 		r.Opts.applyFaults(&cfg)
+		r.Opts.applyIntegrity(&cfg)
 		rep, _, err := host.AlignPairs(cfg, pairs)
 		if err != nil {
 			return t, err

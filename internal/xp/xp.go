@@ -38,6 +38,16 @@ type Options struct {
 	FaultSeed        int64
 	MaxRetries       int
 	BatchDeadlineSec float64
+	// Escalate turns on the host's result-integrity ladder for the
+	// simulated batch runs: clipped or out-of-band pairs are re-dispatched
+	// at doubled band widths up to MaxBand (0 = host.DefaultMaxBand) and
+	// degrade to score-only kernels / the exact CPU baseline, so every
+	// experiment pair carries a trusted score with provenance. Verify
+	// re-derives each traceback result's score from its CIGAR and treats
+	// mismatches as detected corruption.
+	Escalate bool
+	MaxBand  int
+	Verify   bool
 }
 
 // faultConfig translates the fault options into the host configuration
@@ -50,6 +60,14 @@ func (o Options) applyFaults(cfg *host.Config) {
 	cfg.MaxRetries = o.MaxRetries
 	cfg.BatchDeadlineSec = o.BatchDeadlineSec
 	cfg.RetryBackoffSec = 1e-3
+}
+
+// applyIntegrity translates the result-integrity options into the host
+// configuration fields; the zero options leave the pipeline as-is.
+func (o Options) applyIntegrity(cfg *host.Config) {
+	cfg.Escalate = o.Escalate
+	cfg.MaxBand = o.MaxBand
+	cfg.Verify = o.Verify && cfg.Kernel.Traceback
 }
 
 // Table is a rendered experiment outcome.
