@@ -10,6 +10,7 @@ package pimnw_test
 // table; the kernel benchmarks report cell throughput.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -96,6 +97,7 @@ func BenchmarkAdaptiveBandScore10k(b *testing.B) {
 	a, q := benchPair(10_000)
 	p := core.DefaultParams()
 	b.SetBytes(int64(len(a) + len(q)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.AdaptiveBandScore(a, q, p, 128)
 	}
@@ -105,10 +107,43 @@ func BenchmarkAdaptiveBandAlign10k(b *testing.B) {
 	a, q := benchPair(10_000)
 	p := core.DefaultParams()
 	b.SetBytes(int64(len(a) + len(q)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.AdaptiveBandAlign(a, q, p, 128)
 	}
 }
+
+// Band sweep of the word-packed engine (ISSUE 4): per-band cell throughput
+// and the zero-allocation steady state, on a held scratch arena as the
+// kernel and baseline workers use it. ns/op scales ~linearly with w; the
+// allocs/op column is the regression tripwire ci.sh gates on.
+func benchAdaptiveSweep(b *testing.B, traceback bool) {
+	a, q := benchPair(4000)
+	p := core.DefaultParams()
+	for _, w := range []int{32, 64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			s := core.NewScratch()
+			if traceback {
+				s.AdaptiveBandAlign(a, q, p, w) // warm the arena
+			} else {
+				s.AdaptiveBandScore(a, q, p, w)
+			}
+			b.SetBytes(int64(len(a) + len(q)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if traceback {
+					s.AdaptiveBandAlign(a, q, p, w)
+				} else {
+					s.AdaptiveBandScore(a, q, p, w)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAdaptiveBandScore(b *testing.B) { benchAdaptiveSweep(b, false) }
+func BenchmarkAdaptiveBandAlign(b *testing.B) { benchAdaptiveSweep(b, true) }
 
 func BenchmarkStaticBandScore10k(b *testing.B) {
 	a, q := benchPair(10_000)

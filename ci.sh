@@ -7,6 +7,8 @@
 #   3. go build ./...
 #   4. go test -race ./...
 #   5. benchmark smoke   (every benchmark compiles and runs once)
+#   6. allocation gate   (core-engine allocs/op must not exceed the
+#                         committed baseline; see cmd/benchgate)
 #
 # Any step failing fails the script. This is a superset of ROADMAP.md's
 # minimal `go build ./... && go test ./...` gate.
@@ -36,5 +38,13 @@ go test -race ./...
 
 echo "== benchmark smoke (-benchtime=1x) =="
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "== allocation gate =="
+# -benchtime=20x amortises the one-time sync.Pool warm-up into the
+# iteration count, so the steady-state allocs/op floor (0 for the score
+# path) is what gets compared. Timing is ignored in -allocs-only mode,
+# so the short benchtime is fine.
+go run ./cmd/benchgate -allocs-only -count=1 -benchtime=20x \
+    -out "${TMPDIR:-/tmp}/bench_allocs.json"
 
 echo "CI PASS"

@@ -20,5 +20,6 @@ fuzz ./internal/cigar FuzzValidate
 fuzz ./internal/seq FuzzFromStringPackRoundTrip
 fuzz ./internal/core FuzzLinearVsQuadratic
 fuzz ./internal/core FuzzBandedNeverBeatsOptimal
+fuzz ./internal/core FuzzEngineEquivalence
 
 echo "FUZZ SMOKE PASS"

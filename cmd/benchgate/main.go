@@ -1,18 +1,24 @@
 // Command benchgate is the benchmark-regression gate of the CI pipeline:
 // it runs the repository's key hot-path benchmarks (kernel, host, core,
-// simulator), records the measured ns/op under BENCH_<sha>.json, and
-// fails when any gated benchmark regresses more than -tolerance against
-// the committed baseline (ci/bench_baseline.json).
+// simulator), records the measured ns/op and allocs/op under
+// BENCH_<sha>.json, and fails when any gated benchmark regresses more than
+// -tolerance against the committed baseline (ci/bench_baseline.json) — or,
+// for the deterministic core-engine benchmarks, when allocs/op exceeds the
+// baseline at all (the zero-allocation steady state of the scratch-arena
+// engine is a hard property, not a tolerance band).
 //
 // Usage:
 //
 //	benchgate [-baseline ci/bench_baseline.json] [-tolerance 0.20]
 //	          [-count 3] [-benchtime 1s] [-out FILE] [-update]
+//	          [-allocs-only]
 //
-// Each benchmark runs -count times and the fastest run is compared, which
-// filters scheduler noise; -update rewrites the baseline from the current
-// measurements (run it on the reference machine after intentional
-// performance changes).
+// Each benchmark runs -count times; the fastest ns/op and smallest
+// allocs/op are compared, which filters scheduler noise and sync.Pool
+// warm-up. -update rewrites the baseline from the current measurements
+// (run it on the reference machine after intentional performance changes).
+// -allocs-only runs just the alloc-gated benchmarks and checks only the
+// allocation columns — a cheap CI step that needs no timing stability.
 package main
 
 import (
@@ -30,14 +36,29 @@ import (
 
 // gated lists the benchmarks the gate watches: the kernel/host hot paths
 // whose regressions matter most to the simulated pipeline (the full suite
-// still smoke-runs in ci.sh).
+// still smoke-runs in ci.sh). Names may be sub-benchmarks ("parent/sub").
 var gated = []string{
 	"AdaptiveBandScore10k",
 	"AdaptiveBandAlign10k",
+	"AdaptiveBandScore/w64",
+	"AdaptiveBandScore/w256",
+	"AdaptiveBandAlign/w128",
 	"DPUKernelBatch",
 	"HostAlignPairs",
 	"HostEscalation",
 	"FluidSimulator",
+}
+
+// allocGated is the subset whose allocs/op must never exceed the baseline:
+// the deterministic single-goroutine core-engine benchmarks. Host/kernel
+// benchmarks are excluded — goroutine scheduling and GC timing make their
+// counts noisy by a few objects either way.
+var allocGated = []string{
+	"AdaptiveBandScore10k",
+	"AdaptiveBandAlign10k",
+	"AdaptiveBandScore/w64",
+	"AdaptiveBandScore/w256",
+	"AdaptiveBandAlign/w128",
 }
 
 // baselineFile is the committed reference measurement set.
@@ -47,28 +68,53 @@ type baselineFile struct {
 	GOOS       string             `json:"goos"`
 	GOARCH     string             `json:"goarch"`
 	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op (best of -count)
+	// AllocsPerOp records allocs/op (smallest of -count) for every
+	// measured benchmark; the allocGated subset is gated on it.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "ci/bench_baseline.json", "committed baseline to gate against")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
-		count     = flag.Int("count", 3, "runs per benchmark; the fastest is kept")
-		benchtime = flag.String("benchtime", "1s", "go test -benchtime per run")
-		out       = flag.String("out", "", "result file (default BENCH_<sha>.json)")
-		update    = flag.Bool("update", false, "rewrite the baseline from this run's measurements")
+		baseline   = flag.String("baseline", "ci/bench_baseline.json", "committed baseline to gate against")
+		tolerance  = flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing (0.20 = +20%)")
+		count      = flag.Int("count", 3, "runs per benchmark; the fastest is kept")
+		benchtime  = flag.String("benchtime", "1s", "go test -benchtime per run")
+		out        = flag.String("out", "", "result file (default BENCH_<sha>.json)")
+		update     = flag.Bool("update", false, "rewrite the baseline from this run's measurements")
+		allocsOnly = flag.Bool("allocs-only", false, "run only the alloc-gated benchmarks and check only allocs/op")
 	)
 	flag.Parse()
-	if err := run(*baseline, *tolerance, *count, *benchtime, *out, *update); err != nil {
+	if err := run(*baseline, *tolerance, *count, *benchtime, *out, *update, *allocsOnly); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath string, tolerance float64, count int, benchtime, outPath string, update bool) error {
+// benchPattern builds the -bench regex for a gated-name list. go test
+// treats "/" in the pattern as a sub-benchmark level separator, so the
+// pattern is built from the unique first segments; every sub-benchmark of
+// a matched parent runs (and is recorded), which is what we want for the
+// band sweeps.
+func benchPattern(names []string) string {
+	seen := map[string]bool{}
+	var firsts []string
+	for _, g := range names {
+		f, _, _ := strings.Cut(g, "/")
+		if !seen[f] {
+			seen[f] = true
+			firsts = append(firsts, f)
+		}
+	}
+	return "^Benchmark(" + strings.Join(firsts, "|") + ")$"
+}
+
+func run(baselinePath string, tolerance float64, count int, benchtime, outPath string, update, allocsOnly bool) error {
 	sha := headSHA()
-	pattern := "^Benchmark(" + strings.Join(gated, "|") + ")$"
-	args := []string{"test", "-run=^$", "-bench=" + pattern,
+	watch := gated
+	if allocsOnly {
+		watch = allocGated
+	}
+	args := []string{"test", "-run=^$", "-bench=" + benchPattern(watch), "-benchmem",
 		"-benchtime=" + benchtime, "-count=" + strconv.Itoa(count), "."}
 	fmt.Fprintf(os.Stderr, "benchgate: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
@@ -77,8 +123,8 @@ func run(baselinePath string, tolerance float64, count int, benchtime, outPath s
 	if err != nil {
 		return fmt.Errorf("benchmarks failed: %w", err)
 	}
-	measured := parseBench(string(raw))
-	for _, name := range gated {
+	measured, allocs := parseBench(string(raw))
+	for _, name := range watch {
 		if _, ok := measured[name]; !ok {
 			return fmt.Errorf("gated benchmark %s produced no measurement", name)
 		}
@@ -87,7 +133,7 @@ func run(baselinePath string, tolerance float64, count int, benchtime, outPath s
 	result := baselineFile{
 		SHA: sha, GoVersion: runtime.Version(),
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		Benchmarks: measured,
+		Benchmarks: measured, AllocsPerOp: allocs,
 	}
 	if outPath == "" {
 		outPath = "BENCH_" + sha + ".json"
@@ -98,6 +144,9 @@ func run(baselinePath string, tolerance float64, count int, benchtime, outPath s
 	fmt.Fprintf(os.Stderr, "benchgate: results written to %s\n", outPath)
 
 	if update {
+		if allocsOnly {
+			return fmt.Errorf("-update needs the full benchmark set; drop -allocs-only")
+		}
 		if err := writeJSON(baselinePath, result); err != nil {
 			return err
 		}
@@ -109,24 +158,33 @@ func run(baselinePath string, tolerance float64, count int, benchtime, outPath s
 	if err != nil {
 		return err
 	}
-	report, failed := compare(base.Benchmarks, measured, tolerance)
-	fmt.Print(report)
-	if failed {
-		return fmt.Errorf("benchmark regression beyond %.0f%% tolerance (baseline %s@%s; "+
+	failed := false
+	if !allocsOnly {
+		report, nsFailed := compare(base.Benchmarks, measured, tolerance)
+		fmt.Print(report)
+		failed = nsFailed
+	}
+	allocReport, allocFailed := compareAllocs(base.AllocsPerOp, allocs)
+	fmt.Print(allocReport)
+	if failed || allocFailed {
+		return fmt.Errorf("benchmark regression (baseline %s@%s; "+
 			"if intentional, regenerate with -update on the reference machine)",
-			100*tolerance, base.SHA, base.GOARCH)
+			base.SHA, base.GOARCH)
 	}
 	return nil
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
-// "BenchmarkHostAlignPairs-8   12   98765432 ns/op   ...".
-var benchLine = regexp.MustCompile(`(?m)^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// "BenchmarkHostAlignPairs-8  12  98765432 ns/op  1.2 MB/s  80 B/op  2 allocs/op".
+// The MB/s and memory columns are optional.
+var benchLine = regexp.MustCompile(`(?m)^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+[0-9]+ B/op\s+([0-9]+) allocs/op)?`)
 
-// parseBench extracts the fastest ns/op per benchmark name from go test
-// -bench output (repeated -count runs collapse to their minimum).
-func parseBench(out string) map[string]float64 {
-	best := map[string]float64{}
+// parseBench extracts the fastest ns/op and the smallest allocs/op per
+// benchmark name from go test -bench output (repeated -count runs collapse
+// to their minimum; the allocs minimum discards sync.Pool warm-up misses).
+func parseBench(out string) (best, allocs map[string]float64) {
+	best = map[string]float64{}
+	allocs = map[string]float64{}
 	for _, m := range benchLine.FindAllStringSubmatch(out, -1) {
 		name := m[1]
 		ns, err := strconv.ParseFloat(m[2], 64)
@@ -136,8 +194,16 @@ func parseBench(out string) map[string]float64 {
 		if prev, ok := best[name]; !ok || ns < prev {
 			best[name] = ns
 		}
+		if m[3] != "" {
+			a, err := strconv.ParseFloat(m[3], 64)
+			if err == nil {
+				if prev, ok := allocs[name]; !ok || a < prev {
+					allocs[name] = a
+				}
+			}
+		}
 	}
-	return best
+	return best, allocs
 }
 
 // compare renders the gate table and reports whether any gated benchmark
@@ -166,6 +232,33 @@ func compare(base, measured map[string]float64, tolerance float64) (string, bool
 		}
 		fmt.Fprintf(&sb, "%s %-24s %14.0f ns/op  baseline %14.0f  (%+.1f%%)\n",
 			verdict, name, ns, ref, 100*delta)
+	}
+	return sb.String(), failed
+}
+
+// compareAllocs gates the allocGated benchmarks on allocs/op: any count
+// above the committed baseline fails (no tolerance — the engine's
+// steady-state allocation profile is deterministic). Benchmarks absent
+// from either side are skipped; they gate once the baseline records them.
+func compareAllocs(base, measured map[string]float64) (string, bool) {
+	var sb strings.Builder
+	failed := false
+	for _, name := range allocGated {
+		a, ok := measured[name]
+		if !ok {
+			continue
+		}
+		ref, ok := base[name]
+		if !ok {
+			fmt.Fprintf(&sb, "NEW   %-24s %14.0f allocs/op (no baseline)\n", name, a)
+			continue
+		}
+		verdict := "OK   "
+		if a > ref {
+			verdict = "FAIL "
+			failed = true
+		}
+		fmt.Fprintf(&sb, "%s %-24s %14.0f allocs/op  baseline %14.0f\n", verdict, name, a, ref)
 	}
 	return sb.String(), failed
 }

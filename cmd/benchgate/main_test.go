@@ -9,20 +9,24 @@ func TestParseBench(t *testing.T) {
 	out := `goos: linux
 goarch: amd64
 pkg: pimnw
-BenchmarkHostAlignPairs-8   	      12	  98765432 ns/op	 1234 B/op
-BenchmarkHostAlignPairs-8   	      14	  87654321 ns/op	 1200 B/op
+BenchmarkHostAlignPairs-8   	      12	  98765432 ns/op	 1234 B/op	      21 allocs/op
+BenchmarkHostAlignPairs-8   	      14	  87654321 ns/op	 1200 B/op	      18 allocs/op
 BenchmarkFluidSimulator-8   	    1000	      1234.5 ns/op
 BenchmarkDPUKernelBatch     	       5	 200000000 ns/op
+BenchmarkAdaptiveBandScore/w64-8 	     100	   1000000 ns/op	   8.00 MB/s	       0 B/op	       0 allocs/op
 PASS
 ok  	pimnw	12.3s
 `
-	got := parseBench(out)
-	if len(got) != 3 {
+	got, allocs := parseBench(out)
+	if len(got) != 4 {
 		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
 	}
-	// Repeated runs collapse to the fastest.
+	// Repeated runs collapse to the fastest ns/op and smallest allocs/op.
 	if got["HostAlignPairs"] != 87654321 {
 		t.Errorf("HostAlignPairs = %v, want fastest run 87654321", got["HostAlignPairs"])
+	}
+	if allocs["HostAlignPairs"] != 18 {
+		t.Errorf("HostAlignPairs allocs = %v, want smallest run 18", allocs["HostAlignPairs"])
 	}
 	// Fractional ns/op and missing -N suffix both parse.
 	if got["FluidSimulator"] != 1234.5 {
@@ -30,6 +34,27 @@ ok  	pimnw	12.3s
 	}
 	if got["DPUKernelBatch"] != 200000000 {
 		t.Errorf("DPUKernelBatch = %v", got["DPUKernelBatch"])
+	}
+	// Lines without memory columns record no allocs entry.
+	if _, ok := allocs["FluidSimulator"]; ok {
+		t.Error("FluidSimulator has an allocs entry despite no -benchmem columns")
+	}
+	// Sub-benchmark names keep their slash, and the MB/s column is skipped.
+	if got["AdaptiveBandScore/w64"] != 1000000 {
+		t.Errorf("AdaptiveBandScore/w64 = %v", got["AdaptiveBandScore/w64"])
+	}
+	if a, ok := allocs["AdaptiveBandScore/w64"]; !ok || a != 0 {
+		t.Errorf("AdaptiveBandScore/w64 allocs = %v (present=%v), want 0", a, ok)
+	}
+}
+
+func TestBenchPattern(t *testing.T) {
+	// Sub-benchmark names collapse to their unique first segments: "/" is a
+	// level separator in -bench patterns, so the full name must not appear.
+	got := benchPattern([]string{"A10k", "A/w64", "A/w256", "B"})
+	want := "^Benchmark(A10k|A|B)$"
+	if got != want {
+		t.Errorf("benchPattern = %q, want %q", got, want)
 	}
 }
 
@@ -57,5 +82,37 @@ func TestCompare(t *testing.T) {
 	// Improvements show a negative delta.
 	if !strings.Contains(report, "-10.0%") {
 		t.Errorf("improvement not reported:\n%s", report)
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	name := allocGated[0]
+	base := map[string]float64{name: 0}
+
+	// At the baseline: passes.
+	report, failed := compareAllocs(base, map[string]float64{name: 0})
+	if failed {
+		t.Errorf("matching allocs failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "OK") {
+		t.Errorf("report missing OK verdict:\n%s", report)
+	}
+
+	// One allocation above the baseline: fails — no tolerance band.
+	report, failed = compareAllocs(base, map[string]float64{name: 1})
+	if !failed {
+		t.Errorf("alloc regression passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Errorf("report missing FAIL verdict:\n%s", report)
+	}
+
+	// Missing from the baseline: reported as NEW, never fails.
+	report, failed = compareAllocs(map[string]float64{}, map[string]float64{name: 5})
+	if failed {
+		t.Errorf("benchmark absent from baseline failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "NEW") {
+		t.Errorf("report missing NEW verdict:\n%s", report)
 	}
 }

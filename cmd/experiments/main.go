@@ -8,6 +8,7 @@
 //	            [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //	            [-fault-rate P] [-fault-seed N] [-max-retries N]
 //	            [-batch-deadline SEC] [-escalation] [-max-band W] [-verify]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Accuracy numbers come from running the real aligners on sampled pairs;
 // runtime numbers come from scaled simulated runs calibrated and projected
@@ -51,10 +52,18 @@ func main() {
 	escalation := flag.Bool("escalation", false, "enable the result-integrity band-escalation ladder in the simulated batch runs")
 	maxBand := flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
 	verify := flag.Bool("verify", false, "re-derive traceback results' scores from their CIGARs in the simulated batch runs")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC snapshot at exit) to FILE")
 	flag.Parse()
 	if *verbose {
 		obs.SetVerbosity(1)
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	if *metrics != "" {
 		obs.SetDefault(obs.NewRegistry())
 	}
@@ -78,6 +87,7 @@ func main() {
 		t, err := runner.Table(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: table %s: %v\n", id, err)
+			stopProfiles() // deferred calls do not survive os.Exit
 			os.Exit(1)
 		}
 		tables = append(tables, t)
@@ -90,6 +100,7 @@ func main() {
 	}
 	if err := writeArtifacts(tables, *metrics, *traceOut, *reportJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 }

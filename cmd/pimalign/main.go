@@ -13,7 +13,11 @@
 //	         [-escalation] [-max-band W] [-verify]
 //	         [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //	         [-fault-rate P] [-fault-seed N] [-max-retries N]
-//	         [-batch-deadline SEC]
+//	         [-batch-deadline SEC] [-cpuprofile FILE] [-memprofile FILE]
+//
+// Profiling: -cpuprofile writes a pprof CPU profile covering the whole
+// run; -memprofile writes a heap profile snapshotted (post-GC) at exit.
+// Inspect with `go tool pprof`.
 //
 // Observability (pim engine): -metrics dumps a Prometheus-text snapshot
 // of the run's counters/histograms, -trace-out writes a Chrome
@@ -95,11 +99,19 @@ func run() error {
 		faultSeed     = flag.Int64("fault-seed", 1, "fault injection seed (deterministic per seed)")
 		maxRetries    = flag.Int("max-retries", 3, "recovery attempts per batch beyond the first launch")
 		batchDeadline = flag.Float64("batch-deadline", 0, "modelled per-attempt deadline in seconds; 0 = none (stalled DPUs are waited out)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC snapshot at exit) to FILE")
 	)
 	flag.Parse()
 	if *verbose {
 		obs.SetVerbosity(1)
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	art := artifacts{metrics: *metrics, traceOut: *traceOut, reportJSON: *reportJSON}
 	if art.metrics != "" {
 		obs.SetDefault(obs.NewRegistry())

@@ -94,8 +94,12 @@ func Run(opts Options, pairs []Pair) (Outcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch, OpenMP thread-private style: every
+			// alignment after the first reuses the same buffers.
+			ws := &workerScratch{core: core.GetScratch()}
+			defer core.PutScratch(ws.core)
 			for i := range workChan {
-				results[i] = alignOne(opts, pairs[i])
+				results[i] = alignOne(opts, ws, pairs[i])
 			}
 		}()
 	}
@@ -112,21 +116,21 @@ func Run(opts Options, pairs []Pair) (Outcome, error) {
 	return out, nil
 }
 
-func alignOne(opts Options, p Pair) Result {
+func alignOne(opts Options, ws *workerScratch, p Pair) Result {
 	if opts.Exact {
 		var res core.Result
 		if opts.Traceback {
-			res = core.GotohAlign(p.A, p.B, opts.Params)
+			res = ws.core.GotohAlign(p.A, p.B, opts.Params)
 		} else {
-			res = core.GotohScore(p.A, p.B, opts.Params)
+			res = ws.core.GotohScore(p.A, p.B, opts.Params)
 		}
 		return Result{ID: p.ID, Score: res.Score, InBand: true, Cigar: res.Cigar, Cells: res.Cells}
 	}
 	if opts.Traceback {
-		res := core.StaticBandAlign(p.A, p.B, opts.Params, opts.Band)
+		res := ws.core.StaticBandAlign(p.A, p.B, opts.Params, opts.Band)
 		return Result{ID: p.ID, Score: res.Score, InBand: res.InBand, Cigar: res.Cigar, Cells: res.Cells}
 	}
-	score, cells, inBand := fastStaticBandScore(p.A, p.B, opts.Params, opts.Band)
+	score, cells, inBand := fastStaticBandScore(ws, p.A, p.B, opts.Params, opts.Band)
 	return Result{ID: p.ID, Score: score, InBand: inBand, Cells: cells}
 }
 

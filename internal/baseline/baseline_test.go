@@ -53,7 +53,7 @@ func TestFastKernelMatchesReference(t *testing.T) {
 		}
 		for _, w := range []int{4, 16, 64, 256} {
 			want := core.StaticBandScore(a, b, p, w)
-			score, cells, inBand := fastStaticBandScore(a, b, p, w)
+			score, cells, inBand := fastStaticBandScore(nil, a, b, p, w)
 			if inBand != want.InBand {
 				t.Fatalf("w=%d len=%d/%d: inBand %v, want %v", w, len(a), len(b), inBand, want.InBand)
 			}
@@ -69,15 +69,15 @@ func TestFastKernelMatchesReference(t *testing.T) {
 
 func TestFastKernelEdges(t *testing.T) {
 	p := core.DefaultParams()
-	if s, _, ok := fastStaticBandScore(nil, nil, p, 8); !ok || s != 0 {
+	if s, _, ok := fastStaticBandScore(nil, nil, nil, p, 8); !ok || s != 0 {
 		t.Errorf("empty/empty: %d %v", s, ok)
 	}
 	a := seq.MustFromString("ACG")
-	if s, _, ok := fastStaticBandScore(a, nil, p, 8); !ok || s != -p.GapCost(3) {
+	if s, _, ok := fastStaticBandScore(nil, a, nil, p, 8); !ok || s != -p.GapCost(3) {
 		t.Errorf("vs empty: %d %v", s, ok)
 	}
 	long := seq.MustFromString("ACGTACGTACGTACGT")
-	if _, _, ok := fastStaticBandScore(long, a, p, 8); ok {
+	if _, _, ok := fastStaticBandScore(nil, long, a, p, 8); ok {
 		t.Error("skew 13 > half-band 4 accepted")
 	}
 }
@@ -184,7 +184,7 @@ func BenchmarkFastKernelVsReference(b *testing.B) {
 	p := core.DefaultParams()
 	b.Run("query-profile", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			fastStaticBandScore(a, bb, p, 128)
+			fastStaticBandScore(nil, a, bb, p, 128)
 		}
 	})
 	b.Run("reference", func(b *testing.B) {

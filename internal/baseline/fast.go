@@ -5,6 +5,22 @@ import (
 	"pimnw/internal/seq"
 )
 
+// workerScratch is one worker goroutine's private reusable state: the
+// shared core engine arena plus this kernel's profile and row buffers.
+// Buffers grow monotonically, so a worker's steady state allocates nothing.
+type workerScratch struct {
+	core             *core.Scratch
+	prof, hrow, icol []int32
+}
+
+// grow resizes buf to n int32s, reusing the backing array when it fits.
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
 // fastStaticBandScore is the optimised CPU inner kernel: static-banded
 // Gotoh with a query-sequence profile, the scalar analogue of KSW2's
 // branchless SSE formulation (the paper credits minimap2's speed to the
@@ -12,8 +28,12 @@ import (
 // prof[v][j] = sub(v, b[j]) removes the base comparison from the critical
 // loop; the row loop then runs branch-free except for the band bounds.
 // It returns exactly the scores of core.StaticBandScore (enforced by the
-// package tests); only the constant factor differs.
-func fastStaticBandScore(a, b seq.Seq, p core.Params, band int) (score int32, cells int64, inBand bool) {
+// package tests); only the constant factor differs. ws may be nil (the
+// buffers are then allocated per call).
+func fastStaticBandScore(ws *workerScratch, a, b seq.Seq, p core.Params, band int) (score int32, cells int64, inBand bool) {
+	if ws == nil {
+		ws = new(workerScratch)
+	}
 	m, n := len(a), len(b)
 	h := band / 2
 	if h < 1 {
@@ -32,7 +52,8 @@ func fastStaticBandScore(a, b seq.Seq, p core.Params, band int) (score int32, ce
 	// Target profile: prof[v][j-1] is the substitution score of aligning
 	// base value v against b[j-1].
 	var prof [seq.NumBases][]int32
-	flat := make([]int32, seq.NumBases*n)
+	ws.prof = grow(ws.prof, seq.NumBases*n)
+	flat := ws.prof
 	for v := 0; v < seq.NumBases; v++ {
 		prof[v] = flat[v*n : (v+1)*n]
 	}
@@ -46,8 +67,10 @@ func fastStaticBandScore(a, b seq.Seq, p core.Params, band int) (score int32, ce
 		}
 	}
 
-	hrow := make([]int32, n+1)
-	icol := make([]int32, n+1)
+	ws.hrow = grow(ws.hrow, n+1)
+	ws.icol = grow(ws.icol, n+1)
+	hrow := ws.hrow
+	icol := ws.icol
 	for j := range hrow {
 		hrow[j] = core.NegInf
 		icol[j] = core.NegInf

@@ -23,16 +23,34 @@ func staticHalf(w int) int {
 // cell lies outside the band (||m|−|n|| > w/2) the alignment fails:
 // InBand=false and Score=NegInf.
 func StaticBandScore(a, b seq.Seq, p Params, w int) Result {
-	return staticBand(a, b, p, w, false)
+	s := GetScratch()
+	res := s.staticBand(a, b, p, w, false)
+	PutScratch(s)
+	return res
 }
 
 // StaticBandAlign additionally performs the traceback; memory is
 // O(m·w) traceback bytes.
 func StaticBandAlign(a, b seq.Seq, p Params, w int) Result {
-	return staticBand(a, b, p, w, true)
+	s := GetScratch()
+	res := s.staticBand(a, b, p, w, true)
+	PutScratch(s)
+	return res
 }
 
-func staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
+// StaticBandScore is the explicit-scratch form: zero engine allocations
+// once s has warmed to the row width.
+func (s *Scratch) StaticBandScore(a, b seq.Seq, p Params, w int) Result {
+	return s.staticBand(a, b, p, w, false)
+}
+
+// StaticBandAlign is the explicit-scratch traceback form; only the
+// returned CIGAR is allocated.
+func (s *Scratch) StaticBandAlign(a, b seq.Seq, p Params, w int) Result {
+	return s.staticBand(a, b, p, w, true)
+}
+
+func (s *Scratch) staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
 	m, n := len(a), len(b)
 	h := staticHalf(w)
 	res := Result{Steps: m}
@@ -58,7 +76,7 @@ func staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
 	width := 2*h + 1 // traceback row width: band index k = j - i + h
 	var bt []uint8
 	if traceback {
-		bt = make([]uint8, (m+1)*width)
+		bt = s.btBuf((m + 1) * width)
 		for j := 1; j <= h && j <= n; j++ {
 			bt[j+h] = MakeBTNibble(btFromD, false, j > 1)
 		}
@@ -67,8 +85,10 @@ func staticBand(a, b seq.Seq, p Params, w int, traceback bool) Result {
 		}
 	}
 
-	hrow := make([]int32, n+1)
-	icol := make([]int32, n+1)
+	s.hrow = growI32(s.hrow, n+1)
+	s.icol = growI32(s.icol, n+1)
+	hrow := s.hrow
+	icol := s.icol
 	for j := range hrow {
 		hrow[j] = NegInf
 		icol[j] = NegInf

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"pimnw/internal/seq"
+)
+
+// This file preserves the original portable scalar formulation of the
+// adaptive-banded engine, verbatim, as adaptiveBandRef. It is NOT on any
+// production path: the differential tests and FuzzEngineEquivalence run it
+// against the word-packed engine in banded_adaptive.go and require
+// bit-identical Results (score, cells, clip certificate, CIGAR). Any change
+// to the production engine's semantics must be made here too — or, if it is
+// a deliberate semantic change, the tests will say so loudly.
+
+// adaptiveBandRef is the pre-optimisation scalar engine: one base
+// comparison per cell, guarded neighbour loads, a per-cell traceback
+// branch, and fresh allocations per call.
+func adaptiveBandRef(a, b seq.Seq, p Params, w int, traceback bool, variant AdaptiveVariant) (Result, []int32) {
+	m, n := len(a), len(b)
+	if w < 2 {
+		w = 2
+	}
+	res := Result{Steps: m + n}
+	if m == 0 && n == 0 {
+		res.InBand = true
+		return res, []int32{0}
+	}
+
+	nDiag := m + n + 1
+	off := make([]int32, nDiag)
+	hPrev := make([]int32, w) // anti-diagonal t-1
+	hCur := make([]int32, w)  // anti-diagonal t
+	hNext := make([]int32, w) // anti-diagonal t+1 under construction
+	iCur := make([]int32, w)
+	dCur := make([]int32, w)
+	iNext := make([]int32, w)
+	dNext := make([]int32, w)
+	for p := 0; p < w; p++ {
+		hPrev[p], hCur[p], iCur[p], dCur[p] = NegInf, NegInf, NegInf, NegInf
+	}
+	hCur[0] = 0 // cell (0,0): off[0] = 0
+	res.Cells = 1
+
+	var bt []byte
+	rowBytes := NibbleRowSize(w)
+	if traceback {
+		bt = make([]byte, nDiag*rowBytes)
+	}
+
+	openCost := p.GapOpen + p.GapExt
+	dPrevShift := int32(0) // d′: shift taken from t-1 to t
+	maxPot := NegInf       // best escaping-path bound seen (clip certificate)
+
+	for t := 0; t < m+n; t++ {
+		// Decide the shift from the extremities of the current window.
+		d := chooseShiftRef(hCur, off[t], t, m, n, w, variant)
+		// Clamp so the window keeps intersecting the valid cell range of
+		// anti-diagonal t+1: i ∈ [loI, hiI].
+		loI := t + 1 - n
+		if loI < 0 {
+			loI = 0
+		}
+		hiI := t + 1
+		if hiI > m {
+			hiI = m
+		}
+		if int(off[t])+int(d)+w-1 < loI {
+			d = 1
+		}
+		if int(off[t])+int(d) > hiI {
+			d = 0
+		}
+		// Clip certificate: any path that leaves the window does so through
+		// the edge cell the shift abandons (a window cell's in-window
+		// neighbours stay in-window except at the moving edge). Bound every
+		// such path by that cell's score plus the best it could still
+		// collect outside; if no abandoned-edge potential ever beats the
+		// final score, the banded result is provably optimal.
+		{
+			o := int(off[t])
+			if d == 1 {
+				// The top cell (o, t-o) drops out of the window: a path can
+				// leave through it while column t-o+1 ≤ n exists.
+				if j := t - o; j >= 0 && j < n && o <= m && hCur[0] > NegInf/2 {
+					if pot := hCur[0] + escapeBound(p, m-o, n-j); pot > maxPot {
+						maxPot = pot
+					}
+				}
+			} else {
+				// The bottom cell (o+w-1, t-o-w+1) drops out: a path can
+				// leave through it while row o+w ≤ m exists.
+				i := o + w - 1
+				if j := t - i; i >= 0 && i < m && j >= 0 && j <= n && hCur[w-1] > NegInf/2 {
+					if pot := hCur[w-1] + escapeBound(p, m-i, n-j); pot > maxPot {
+						maxPot = pot
+					}
+				}
+			}
+		}
+
+		newOff := off[t] + d
+		off[t+1] = newOff
+
+		var btRow NibbleRow
+		if traceback {
+			btRow = bt[(t+1)*rowBytes : (t+2)*rowBytes]
+		}
+
+		for pIdx := 0; pIdx < w; pIdx++ {
+			i := int(newOff) + pIdx
+			j := t + 1 - i
+			if i < 0 || i > m || j < 0 || j > n {
+				hNext[pIdx], iNext[pIdx], dNext[pIdx] = NegInf, NegInf, NegInf
+				continue
+			}
+			res.Cells++
+			// Matrix boundaries (equations 3–5, base cases).
+			if i == 0 {
+				hNext[pIdx] = -p.GapCost(j)
+				dNext[pIdx] = hNext[pIdx]
+				iNext[pIdx] = NegInf
+				if traceback {
+					btRow.Set(pIdx, MakeBTNibble(btFromD, false, j > 1))
+				}
+				continue
+			}
+			if j == 0 {
+				hNext[pIdx] = -p.GapCost(i)
+				iNext[pIdx] = hNext[pIdx]
+				dNext[pIdx] = NegInf
+				if traceback {
+					btRow.Set(pIdx, MakeBTNibble(btFromI, i > 1, false))
+				}
+				continue
+			}
+
+			up := pIdx + int(d) - 1 // (i-1, j) on anti-diagonal t
+			left := pIdx + int(d)   // (i, j-1) on anti-diagonal t
+			dg := pIdx + int(d+dPrevShift) - 1
+
+			hUp, iUp := NegInf, NegInf
+			if up >= 0 && up < w {
+				hUp, iUp = hCur[up], iCur[up]
+			}
+			hLeft, dLeft := NegInf, NegInf
+			if left < w { // left = p+d ≥ 0 always
+				hLeft, dLeft = hCur[left], dCur[left]
+			}
+			hDiag := NegInf
+			if dg >= 0 && dg < w {
+				hDiag = hPrev[dg]
+			}
+
+			iOpen := hUp - openCost
+			iExt := iUp-p.GapExt >= iOpen
+			iv := max2(iUp-p.GapExt, iOpen)
+
+			dOpen := hLeft - openCost
+			dExt := dLeft-p.GapExt >= dOpen
+			dv := max2(dLeft-p.GapExt, dOpen)
+
+			sub := p.Sub(a[i-1], b[j-1])
+			origin := btDiagMismatch
+			if sub == p.Match {
+				origin = btDiagMatch
+			}
+			best := hDiag + sub
+			if iv > best {
+				best = iv
+				origin = btFromI
+			}
+			if dv > best {
+				best = dv
+				origin = btFromD
+			}
+			hNext[pIdx] = best
+			iNext[pIdx] = iv
+			dNext[pIdx] = dv
+			if traceback {
+				btRow.Set(pIdx, MakeBTNibble(origin, iExt, dExt))
+			}
+		}
+
+		hPrev, hCur, hNext = hCur, hNext, hPrev
+		iCur, iNext = iNext, iCur
+		dCur, dNext = dNext, dCur
+		dPrevShift = d
+	}
+
+	pFinal := m - int(off[m+n])
+	if pFinal < 0 || pFinal >= w || hCur[pFinal] <= NegInf/2 {
+		res.Score = NegInf
+		return res, off
+	}
+	res.InBand = true
+	res.Score = hCur[pFinal]
+	res.Clipped = maxPot > res.Score
+	if traceback {
+		res.Cigar = walkBT(m, n, func(i, j int) uint8 {
+			t := i + j
+			return NibbleRow(bt[t*rowBytes : (t+1)*rowBytes]).Get(i - int(off[t]))
+		})
+	}
+	return res, off
+}
+
+// chooseShiftRef is the reference twin of chooseShift, reading the
+// unpadded w-sized lane layout of adaptiveBandRef.
+func chooseShiftRef(hCur []int32, off int32, t, m, n, w int, v AdaptiveVariant) int32 {
+	top, bot := NegInf, NegInf
+	iTop := int(off)
+	if jTop := t - iTop; iTop >= 0 && iTop <= m && jTop >= 0 && jTop <= n {
+		top = hCur[0]
+	}
+	iBot := int(off) + w - 1
+	if jBot := t - iBot; iBot >= 0 && iBot <= m && jBot >= 0 && jBot <= n {
+		bot = hCur[w-1]
+	}
+	switch {
+	case bot > top:
+		return 1
+	case top > bot:
+		return 0
+	case !v.SteerTies:
+		return 0
+	default:
+		iC := int(off) + w/2
+		jC := t - iC
+		if iC-jC < m-n {
+			return 1
+		}
+		return 0
+	}
+}

@@ -42,6 +42,45 @@ func FuzzLinearVsQuadratic(f *testing.F) {
 	})
 }
 
+// FuzzEngineEquivalence pins the word-packed engine to the preserved
+// scalar reference (engine_ref.go) bit for bit: score, in-band flag, clip
+// certificate, cell count, window trajectory and CIGAR must all agree on
+// arbitrary pairs, bands and heuristic variants, in both score-only and
+// traceback modes.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGT"), []byte("ACGAACGT"), uint8(8), true, true)
+	f.Add([]byte(""), []byte("TTTT"), uint8(2), false, false)
+	f.Add([]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"), []byte("AAAA"), uint8(3), true, false)
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 3, 2, 1, 0}, []byte{3, 2, 1, 0}, uint8(63), false, true)
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, wRaw uint8, traceback, steer bool) {
+		a := bytesToSeq(rawA, 96)
+		b := bytesToSeq(rawB, 96)
+		w := 2 + int(wRaw)%96
+		p := DefaultParams()
+		v := AdaptiveVariant{SteerTies: steer}
+		s := NewScratch()
+		got, gotOff := s.adaptiveBand(a, b, p, w, traceback, v)
+		want, wantOff := adaptiveBandRef(a, b, p, w, traceback, v)
+		if got.Score != want.Score || got.InBand != want.InBand || got.Clipped != want.Clipped ||
+			got.Cells != want.Cells || got.Steps != want.Steps {
+			t.Fatalf("packed engine diverged (w=%d tb=%v steer=%v):\n got  %+v\n want %+v\n a=%v\n b=%v",
+				w, traceback, steer, got, want, a, b)
+		}
+		if got.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("cigar diverged (w=%d steer=%v): %q != %q (a=%v b=%v)", w, steer, got.Cigar, want.Cigar, a, b)
+		}
+		if len(gotOff) != len(wantOff) {
+			t.Fatalf("offset vector length %d != %d", len(gotOff), len(wantOff))
+		}
+		for i := range gotOff {
+			if gotOff[i] != wantOff[i] {
+				t.Fatalf("window trajectory diverged at t=%d: %d != %d (w=%d a=%v b=%v)",
+					i, gotOff[i], wantOff[i], w, a, b)
+			}
+		}
+	})
+}
+
 func FuzzBandedNeverBeatsOptimal(f *testing.F) {
 	f.Add([]byte("ACGTACGT"), []byte("ACGAACGT"), uint8(8))
 	f.Add([]byte("AAAA"), []byte("TTTTTTTT"), uint8(4))

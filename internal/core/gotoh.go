@@ -11,6 +11,16 @@ import (
 // (equations 3–5) in O(m·n) time and O(n) space. It is the ground truth the
 // accuracy experiments (Table 1) measure the banded heuristics against.
 func GotohScore(a, b seq.Seq, p Params) Result {
+	s := GetScratch()
+	res := s.GotohScore(a, b, p)
+	PutScratch(s)
+	return res
+}
+
+// GotohScore is the explicit-scratch form of the package-level function:
+// the two O(n) rows come from the arena, so a warmed Scratch scores
+// full-matrix alignments with zero heap allocations.
+func (s *Scratch) GotohScore(a, b seq.Seq, p Params) Result {
 	m, n := len(a), len(b)
 	res := Result{InBand: true, Steps: m}
 	switch {
@@ -25,8 +35,10 @@ func GotohScore(a, b seq.Seq, p Params) Result {
 		return res
 	}
 
-	h := make([]int32, n+1)  // H of the previous row, overwritten in place
-	ic := make([]int32, n+1) // I of the previous row, per column
+	s.hrow = growI32(s.hrow, n+1)
+	s.icol = growI32(s.icol, n+1)
+	h := s.hrow  // H of the previous row, overwritten in place
+	ic := s.icol // I of the previous row, per column
 	h[0] = 0
 	ic[0] = NegInf
 	for j := 1; j <= n; j++ {
@@ -60,8 +72,17 @@ func GotohScore(a, b seq.Seq, p Params) Result {
 // for ground-truth CIGARs on short-to-medium sequences and for validating
 // the banded implementations.
 func GotohAlign(a, b seq.Seq, p Params) Result {
+	s := GetScratch()
+	res := s.GotohAlign(a, b, p)
+	PutScratch(s)
+	return res
+}
+
+// GotohAlign is the explicit-scratch form of the package-level function;
+// the O(m·n) traceback arena is reused across calls.
+func (s *Scratch) GotohAlign(a, b seq.Seq, p Params) Result {
 	m, n := len(a), len(b)
-	res := GotohScore(a, b, p) // cheap second pass keeps this function simple
+	res := s.GotohScore(a, b, p) // cheap second pass keeps this function simple
 	if m == 0 || n == 0 {
 		var c cigar.Cigar
 		c = c.Append(cigar.Ins, m)
@@ -70,7 +91,7 @@ func GotohAlign(a, b seq.Seq, p Params) Result {
 		return res
 	}
 
-	bt := make([]uint8, (m+1)*(n+1))
+	bt := s.btBuf((m + 1) * (n + 1))
 	stride := n + 1
 	for j := 1; j <= n; j++ {
 		bt[j] = MakeBTNibble(btFromD, false, j > 1)
@@ -79,8 +100,8 @@ func GotohAlign(a, b seq.Seq, p Params) Result {
 		bt[i*stride] = MakeBTNibble(btFromI, i > 1, false)
 	}
 
-	h := make([]int32, n+1)
-	ic := make([]int32, n+1)
+	h := s.hrow // already sized by the GotohScore pass above
+	ic := s.icol
 	h[0] = 0
 	ic[0] = NegInf
 	for j := 1; j <= n; j++ {

@@ -119,13 +119,19 @@ func Run(d *pim.DPU, cfg Config, pairs []Pair) (DPUOutcome, error) {
 	seqBytesStaged := d.MRAM.Used()
 	btPeakPerPool := make([]int, g.Pools)
 
+	// One scratch arena serves the whole launch: pools run sequentially in
+	// the simulation, and the arena (the "four integer arrays of size w" in
+	// each pool's WRAM, §4.2.1) makes repeated alignments allocation-free.
+	scratch := core.GetScratch()
+	defer core.PutScratch(scratch)
+
 	for pool := 0; pool < g.Pools; pool++ {
 		base := pool * g.TaskletsPerPool
 		master := run.Traces[base]
 		workers := run.Traces[base : base+g.TaskletsPerPool]
 		group := int64(pool)
 		for _, idx := range poolPairs[pool] {
-			pr, btBytes, err := alignOne(d, cfg, pairs[idx], rowBytes, master, workers, group)
+			pr, btBytes, err := alignOne(d, cfg, scratch, pairs[idx], rowBytes, master, workers, group)
 			if err != nil {
 				return out, err
 			}
@@ -177,7 +183,7 @@ func Run(d *pim.DPU, cfg Config, pairs []Pair) (DPUOutcome, error) {
 }
 
 // alignOne computes one pair on a pool and appends its execution trace.
-func alignOne(d *pim.DPU, cfg Config, pair Pair, rowBytes int,
+func alignOne(d *pim.DPU, cfg Config, scratch *core.Scratch, pair Pair, rowBytes int,
 	master *pim.TaskletTrace, workers []*pim.TaskletTrace, group int64) (PairResult, int, error) {
 
 	a := loadSeq(d, pair.AOff, pair.ALen)
@@ -185,9 +191,9 @@ func alignOne(d *pim.DPU, cfg Config, pair Pair, rowBytes int,
 
 	var res core.Result
 	if cfg.Traceback {
-		res = core.AdaptiveBandAlign(a, b, cfg.Params, cfg.Band)
+		res = scratch.AdaptiveBandAlign(a, b, cfg.Params, cfg.Band)
 	} else {
-		res = core.AdaptiveBandScore(a, b, cfg.Params, cfg.Band)
+		res = scratch.AdaptiveBandScore(a, b, cfg.Params, cfg.Band)
 	}
 
 	pr := PairResult{ID: pair.ID, Score: res.Score, InBand: res.InBand,

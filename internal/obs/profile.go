@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles enables pprof profiling for the life of a command run:
+// cpuPath receives a CPU profile sampled from now until the returned stop
+// function runs, memPath receives an allocation profile snapshotted at
+// stop time (after a final GC, so it reflects live heap plus cumulative
+// allocation counters). Either path may be empty to disable that profile.
+// The stop function is idempotent; commands with os.Exit error paths call
+// it before exiting and also defer it:
+//
+//	stop, err := obs.StartProfiles(*cpuprofile, *memprofile)
+//	if err != nil { return err }
+//	defer stop()
+//
+// These are the measurement hooks behind the hot-path engineering work:
+// `-cpuprofile` shows where the anti-diagonal engine spends its cycles,
+// `-memprofile` proves the scratch arenas hold steady-state allocations
+// at zero.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				Logf("closing CPU profile: %v", err)
+			} else {
+				Logf("CPU profile written to %s", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				Logf("-memprofile: %v", err)
+				return
+			}
+			runtime.GC() // materialise the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				Logf("writing heap profile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				Logf("closing heap profile: %v", err)
+			} else {
+				Logf("heap profile written to %s", memPath)
+			}
+		}
+	}, nil
+}
