@@ -285,6 +285,22 @@ func BenchmarkHostEscalation(b *testing.B) {
 	}
 }
 
+// BenchmarkLPT prices the per-batch assignment step on a full serving
+// micro-batch spread over a rank's 64 DPUs: the heap-based min-scan
+// (ISSUE 5) runs in O(n log d) against the old O(n·d) linear scan.
+func BenchmarkLPT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	loads := make([]int64, 4096)
+	for i := range loads {
+		loads[i] = 1 + rng.Int63n(1_000_000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host.LPTAssign(loads, 64)
+	}
+}
+
 func BenchmarkFluidSimulator(b *testing.B) {
 	run, _ := pim.NewDPURun(24)
 	for _, tr := range run.Traces {

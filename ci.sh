@@ -9,6 +9,9 @@
 #   5. benchmark smoke   (every benchmark compiles and runs once)
 #   6. allocation gate   (core-engine allocs/op must not exceed the
 #                         committed baseline; see cmd/benchgate)
+#   7. alignd smoke      (serve over HTTP, diff against the one-shot
+#                         CLI, graceful SIGTERM drain; see
+#                         ci/alignd_smoke.sh)
 #
 # Any step failing fails the script. This is a superset of ROADMAP.md's
 # minimal `go build ./... && go test ./...` gate.
@@ -46,5 +49,8 @@ echo "== allocation gate =="
 # so the short benchtime is fine.
 go run ./cmd/benchgate -allocs-only -count=1 -benchtime=20x \
     -out "${TMPDIR:-/tmp}/bench_allocs.json"
+
+echo "== alignd smoke =="
+./ci/alignd_smoke.sh
 
 echo "CI PASS"

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"pimnw/internal/seq"
+)
+
+// runClient posts the -a/-b FASTA pairs to a running daemon and prints
+// results in pimalign's output format, so the serving path can be
+// diffed line-for-line against the one-shot CLI.
+func runClient(url, aPath, bPath string) error {
+	if aPath == "" || bPath == "" {
+		return fmt.Errorf("-post needs -a and -b FASTA files")
+	}
+	queries, err := readFasta(aPath)
+	if err != nil {
+		return err
+	}
+	targets, err := readFasta(bPath)
+	if err != nil {
+		return err
+	}
+	if len(queries) != len(targets) {
+		return fmt.Errorf("%d queries vs %d targets", len(queries), len(targets))
+	}
+	pairs := make([]wirePair, len(queries))
+	for i := range queries {
+		pairs[i] = wirePair{ID: i, A: queries[i].Seq.String(), B: targets[i].Seq.String()}
+	}
+	body, err := json.Marshal(pairs)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(url, "/align") {
+		url = strings.TrimSuffix(url, "/") + "/align"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("server at capacity (HTTP 429, Retry-After %s)", resp.Header.Get("Retry-After"))
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	dec := json.NewDecoder(resp.Body)
+	got := 0
+	for {
+		var r wireResult
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding results: %w", err)
+		}
+		if r.Err != "" {
+			return fmt.Errorf("server: %s", r.Err)
+		}
+		if r.ID < 0 || r.ID >= len(queries) {
+			return fmt.Errorf("result for unknown pair %d", r.ID)
+		}
+		printWireResult(out, queries[r.ID].Name, targets[r.ID].Name, r)
+		got++
+	}
+	if got != len(pairs) {
+		return fmt.Errorf("%d results for %d pairs", got, len(pairs))
+	}
+	return nil
+}
+
+func readFasta(path string) ([]seq.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return seq.ReadFASTA(f, nil)
+}
+
+// printWireResult mirrors pimalign's printResult rendering so outputs
+// diff cleanly: FAIL lines for pairs with no usable score, a trailing
+// status/provenance column for untrusted or rescued pairs, and the
+// plain score[+CIGAR] line otherwise.
+func printWireResult(w io.Writer, qName, tName string, r wireResult) {
+	switch r.Status {
+	case "out-of-band", "abandoned":
+		fmt.Fprintf(w, "%s\t%s\tFAIL\t%s\n", qName, tName, r.Status)
+		return
+	}
+	cols := []string{qName, tName, fmt.Sprint(r.Score)}
+	if r.Cigar != "" {
+		cols = append(cols, r.Cigar)
+	}
+	if r.Status != "ok" {
+		note := r.Status
+		if r.Trusted && r.Provenance != "" {
+			note = r.Provenance
+		}
+		cols = append(cols, note)
+	}
+	fmt.Fprintln(w, strings.Join(cols, "\t"))
+}

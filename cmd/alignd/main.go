@@ -1,0 +1,180 @@
+// Command alignd serves the simulated PiM aligner over HTTP, backed by
+// the host package's streaming dispatch sessions: each POST /align
+// request admits its pairs incrementally into a session, which
+// accumulates rank-sized micro-batches (flushing on size or on the
+// linger deadline) and streams results back in submission order as
+// NDJSON while later pairs are still being admitted.
+//
+// Endpoints:
+//
+//	POST /align    body: JSON array of pairs, or NDJSON (one pair object
+//	               per line): {"id":0,"a":"ACGT...","b":"ACGT..."}.
+//	               Response: NDJSON, one result per pair in submission
+//	               order. 429 + Retry-After when at capacity.
+//	GET  /metrics  Prometheus-text serving metrics (queue depth,
+//	               micro-batch occupancy, admission rejects, latency).
+//	GET  /healthz  liveness probe.
+//
+// SIGTERM/SIGINT drains in-flight requests, logs the latency summary
+// and exits 0.
+//
+// Usage:
+//
+//	alignd [-addr 127.0.0.1:7433] [-addr-file FILE] [-max-requests N]
+//	       [-band 128] [-ranks 40] [-score-only]
+//	       [-batch-pairs N] [-linger DUR] [-queue-limit N] [-max-concurrent N]
+//	       [-escalation] [-max-band W] [-verify]
+//	       [-fault-rate P] [-fault-seed N] [-max-retries N] [-batch-deadline SEC]
+//	       [-v]
+//
+// Client mode: alignd -post URL -a queries.fa -b targets.fa sends the
+// FASTA pairs to a running daemon and prints results in pimalign's
+// output format (for diffing the serving path against the one-shot CLI).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pimnw/internal/core"
+	"pimnw/internal/host"
+	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+)
+
+func main() {
+	obs.SetLogPrefix("alignd")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alignd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7433", "listen address (host:port; port 0 picks a free port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to FILE once listening (for scripts using port 0)")
+		maxRequests = flag.Int("max-requests", 4, "align requests served concurrently; beyond this POST /align returns 429")
+
+		band      = flag.Int("band", 128, "band size (cells per anti-diagonal / row)")
+		ranks     = flag.Int("ranks", 40, "PiM ranks")
+		scoreOnly = flag.Bool("score-only", false, "skip traceback/CIGAR")
+
+		batchPairs    = flag.Int("batch-pairs", 0, "micro-batch size in pairs (0 = 4 per DPU of a rank)")
+		linger        = flag.Duration("linger", 0, "max time a pair may wait for its micro-batch to fill (0 = 2ms)")
+		queueLimit    = flag.Int("queue-limit", 0, "per-request cap on admitted-but-undelivered pairs (0 = 8 micro-batches)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "micro-batches in flight per request (0 = 2)")
+
+		escalation = flag.Bool("escalation", false, "re-dispatch clipped/out-of-band pairs at wider bands, degrading to score-only then the exact CPU baseline")
+		maxBand    = flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
+		verify     = flag.Bool("verify", false, "re-derive traceback scores from CIGARs on the host; mismatches are treated as corruption")
+
+		faultRate     = flag.Float64("fault-rate", 0, "per-DPU fault injection probability in [0,1] (0 = perfect fabric)")
+		faultSeed     = flag.Int64("fault-seed", 1, "fault injection seed")
+		maxRetries    = flag.Int("max-retries", 3, "recovery attempts per batch beyond the first launch")
+		batchDeadline = flag.Float64("batch-deadline", 0, "modelled per-attempt deadline in seconds (0 = none)")
+
+		post    = flag.String("post", "", "client mode: POST the -a/-b FASTA pairs to this daemon URL and print pimalign-style results")
+		aPath   = flag.String("a", "", "FASTA file of query sequences (client mode)")
+		bPath   = flag.String("b", "", "FASTA file of target sequences (client mode)")
+		verbose = flag.Bool("v", false, "verbose (debug) logging")
+	)
+	flag.Parse()
+	if *verbose {
+		obs.SetVerbosity(1)
+	}
+	if *post != "" {
+		return runClient(*post, *aPath, *bPath)
+	}
+
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = *ranks
+	scfg := host.SessionConfig{
+		Host: host.Config{
+			PIM: pimCfg,
+			Kernel: kernel.Config{
+				Geometry:  kernel.DefaultGeometry(),
+				Band:      *band,
+				Params:    core.DefaultParams(),
+				Costs:     pim.Asm,
+				Traceback: !*scoreOnly,
+				PIM:       pimCfg,
+			},
+			Faults:           pim.FaultConfig{Rate: *faultRate, Seed: *faultSeed},
+			MaxRetries:       *maxRetries,
+			BatchDeadlineSec: *batchDeadline,
+			RetryBackoffSec:  1e-3,
+			Escalate:         *escalation,
+			MaxBand:          *maxBand,
+			Verify:           *verify && !*scoreOnly,
+		},
+		MaxBatchPairs:        *batchPairs,
+		MaxLinger:            *linger,
+		QueueLimit:           *queueLimit,
+		MaxConcurrentBatches: *maxConcurrent,
+	}
+	if err := scfg.Host.Validate(); err != nil {
+		return err
+	}
+	obs.SetDefault(obs.NewRegistry())
+
+	sv := newServer(scfg, *maxRequests)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	srv := &http.Server{Handler: sv.mux()}
+	effBatch := scfg.MaxBatchPairs
+	if effBatch == 0 {
+		effBatch = 4 * pim.DPUsPerRank
+	}
+	obs.Logf("serving on http://%s (%d ranks, band %d, micro-batches of %d pairs)",
+		bound, *ranks, *band, effBatch)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		obs.Logf("%s: draining in-flight requests", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logServingSummary()
+	return nil
+}
+
+// logServingSummary reports the session-layer latency distribution at
+// shutdown (p50/p99 via the histogram quantile estimator).
+func logServingSummary() {
+	snap := obs.Default().Snapshot()
+	h, ok := snap.Histograms["session_pair_latency_seconds"]
+	if !ok || h.Count == 0 {
+		obs.Logf("served 0 pairs")
+		return
+	}
+	obs.Logf("served %d pairs: latency p50 %.1fms, p99 %.1fms",
+		h.Count, h.Quantile(0.5)*1e3, h.Quantile(0.99)*1e3)
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/host"
+	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+)
+
+func testSessionConfig(t *testing.T) host.SessionConfig {
+	t.Helper()
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = 1
+	return host.SessionConfig{
+		Host: host.Config{
+			PIM: pimCfg,
+			Kernel: kernel.Config{
+				Geometry:  kernel.DefaultGeometry(),
+				Band:      64,
+				Params:    core.DefaultParams(),
+				Costs:     pim.Asm,
+				Traceback: true,
+				PIM:       pimCfg,
+			},
+			RetryBackoffSec: 1e-3,
+		},
+	}
+}
+
+func testWorkload(t *testing.T, n int) ([]host.Pair, []wirePair) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	hostPairs := make([]host.Pair, n)
+	wires := make([]wirePair, n)
+	for i := 0; i < n; i++ {
+		a := seq.Random(rng, 120+rng.Intn(60))
+		b := seq.UniformErrors(0.08).Apply(rng, a)
+		hostPairs[i] = host.Pair{ID: i, A: a, B: b}
+		wires[i] = wirePair{ID: i, A: a.String(), B: b.String()}
+	}
+	return hostPairs, wires
+}
+
+func postAlign(t *testing.T, ts *httptest.Server, body []byte, contentType string) []wireResult {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/align", contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /align = %d: %s", resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var results []wireResult
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var r wireResult
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if r.Err != "" {
+			t.Fatalf("server error mid-stream: %s", r.Err)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// TestServerBitIdenticalToAlignPairs is the serving acceptance check: the
+// daemon's streamed results must match one-shot host.AlignPairs exactly —
+// scores, CIGARs, statuses, provenance — including under fault injection
+// with recovery, for both request encodings.
+func TestServerBitIdenticalToAlignPairs(t *testing.T) {
+	scfg := testSessionConfig(t)
+	scfg.Host.Faults = pim.FaultConfig{Rate: 0.05, Seed: 1234}
+	scfg.Host.MaxRetries = 8
+	scfg.MaxBatchPairs = 64 // whole workload in one micro-batch: exact AlignPairs replay
+	hostPairs, wires := testWorkload(t, 40)
+
+	rep, want, err := host.AlignPairs(scfg.Host, hostPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsDetected == 0 {
+		t.Fatal("fault injection inert; the test is not exercising recovery")
+	}
+	wantByID := make(map[int]wireResult, len(want))
+	for _, r := range want {
+		wantByID[r.ID] = toWireResult(r)
+	}
+
+	ts := httptest.NewServer(newServer(scfg, 2).mux())
+	defer ts.Close()
+
+	arrayBody, _ := json.Marshal(wires)
+	var ndjson bytes.Buffer
+	enc := json.NewEncoder(&ndjson)
+	for _, p := range wires {
+		enc.Encode(p)
+	}
+	for _, tc := range []struct {
+		name, ct string
+		body     []byte
+	}{
+		{"json array", "application/json", arrayBody},
+		{"ndjson", "application/x-ndjson", ndjson.Bytes()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			results := postAlign(t, ts, tc.body, tc.ct)
+			if len(results) != len(wires) {
+				t.Fatalf("%d results for %d pairs", len(results), len(wires))
+			}
+			for i, r := range results {
+				if r.ID != i {
+					t.Fatalf("result %d carries ID %d; stream must follow submission order", i, r.ID)
+				}
+				if r != wantByID[r.ID] {
+					t.Fatalf("pair %d diverges from one-shot AlignPairs:\n got %+v\nwant %+v", r.ID, r, wantByID[r.ID])
+				}
+			}
+		})
+	}
+}
+
+// TestServerBackpressure429: with the admission gate pre-filled the next
+// align request must bounce with 429 + Retry-After, and succeed again
+// once capacity frees up.
+func TestServerBackpressure429(t *testing.T) {
+	obs.SetDefault(obs.NewRegistry()) // the daemon's run() does this; mirror it for /metrics
+	sv := newServer(testSessionConfig(t), 2)
+	ts := httptest.NewServer(sv.mux())
+	defer ts.Close()
+	_, wires := testWorkload(t, 2)
+	body, _ := json.Marshal(wires)
+
+	sv.active.Add(2) // both slots deterministically busy
+	resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("POST at capacity = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	sv.active.Add(-2)
+	if got := postAlign(t, ts, body, "application/json"); len(got) != len(wires) {
+		t.Fatalf("%d results after capacity freed, want %d", len(got), len(wires))
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "alignd_requests_rejected_total 1") {
+		t.Errorf("metrics missing the admission reject:\n%s", metrics)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	ts := httptest.NewServer(newServer(testSessionConfig(t), 1).mux())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	// GET on /align is not allowed.
+	resp, err = http.Get(ts.URL + "/align")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /align = %d, want 405", resp.StatusCode)
+	}
+
+	// An empty body is an empty result stream, not an error.
+	resp, err = http.Post(ts.URL+"/align", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(bytes.TrimSpace(body)) != 0 {
+		t.Fatalf("empty POST = %d %q, want 200 with no results", resp.StatusCode, body)
+	}
+
+	// A malformed first pair is a 400, not a hung stream.
+	resp, err = http.Post(ts.URL+"/align", "application/json", strings.NewReader(`{"id":0,"a":"XYZ","b":"ACGT"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid sequence POST = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerStreamsManyMicroBatches drives enough pairs through a small
+// micro-batch size to require several flushes, checking order and count.
+func TestServerStreamsManyMicroBatches(t *testing.T) {
+	scfg := testSessionConfig(t)
+	scfg.MaxBatchPairs = 4
+	scfg.MaxConcurrentBatches = 3
+	ts := httptest.NewServer(newServer(scfg, 1).mux())
+	defer ts.Close()
+	_, wires := testWorkload(t, 30)
+	body, _ := json.Marshal(wires)
+	results := postAlign(t, ts, body, "application/json")
+	if len(results) != len(wires) {
+		t.Fatalf("%d results for %d pairs", len(results), len(wires))
+	}
+	for i, r := range results {
+		if r.ID != i {
+			t.Fatalf("result %d carries ID %d; stream must follow submission order", i, r.ID)
+		}
+		if r.Status != "ok" || !r.Trusted {
+			t.Fatalf("pair %d: status %q trusted=%v on a perfect fabric", i, r.Status, r.Trusted)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"pimnw/internal/host"
+	"pimnw/internal/obs"
+	"pimnw/internal/seq"
+)
+
+// wirePair is one alignment request item.
+type wirePair struct {
+	ID int    `json:"id"`
+	A  string `json:"a"`
+	B  string `json:"b"`
+}
+
+// wireResult is one streamed response line. Err is set only on the
+// trailing line of a request that failed mid-stream.
+type wireResult struct {
+	ID         int    `json:"id"`
+	Score      int32  `json:"score"`
+	InBand     bool   `json:"in_band"`
+	Cigar      string `json:"cigar,omitempty"`
+	Status     string `json:"status,omitempty"`
+	Trusted    bool   `json:"trusted"`
+	Provenance string `json:"provenance,omitempty"`
+	Err        string `json:"error,omitempty"`
+}
+
+func toWireResult(r host.Result) wireResult {
+	return wireResult{
+		ID:         r.ID,
+		Score:      r.Score,
+		InBand:     r.InBand,
+		Cigar:      string(r.Cigar),
+		Status:     r.Status.String(),
+		Trusted:    r.Status.Trusted(),
+		Provenance: r.Provenance,
+	}
+}
+
+func toHostPair(p wirePair) (host.Pair, error) {
+	a, err := seq.FromString(p.A, nil)
+	if err != nil {
+		return host.Pair{}, fmt.Errorf("pair %d, sequence a: %w", p.ID, err)
+	}
+	b, err := seq.FromString(p.B, nil)
+	if err != nil {
+		return host.Pair{}, fmt.Errorf("pair %d, sequence b: %w", p.ID, err)
+	}
+	return host.Pair{ID: p.ID, A: a, B: b}, nil
+}
+
+// server owns the session template and the request-level admission gate.
+// Every align request runs its own streaming session (micro-batching
+// within the request); maxRequests bounds how many run at once, and
+// beyond it admission answers 429 + Retry-After — the HTTP face of the
+// session layer's backpressure.
+type server struct {
+	scfg        host.SessionConfig
+	maxRequests int64
+	active      atomic.Int64
+}
+
+func newServer(scfg host.SessionConfig, maxRequests int) *server {
+	if maxRequests < 1 {
+		maxRequests = 1
+	}
+	return &server{scfg: scfg, maxRequests: int64(maxRequests)}
+}
+
+func (sv *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/align", sv.handleAlign)
+	mux.HandleFunc("/metrics", sv.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (sv *server) acquire() bool {
+	if sv.active.Add(1) > sv.maxRequests {
+		sv.active.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (sv *server) release() { sv.active.Add(-1) }
+
+func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	obs.Default().WritePrometheus(w)
+}
+
+func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !sv.acquire() {
+		obs.Default().Counter("alignd_requests_rejected_total").Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer sv.release()
+	obs.Default().Counter("alignd_requests_total").Add(1)
+
+	// The response streams while the request body is still being read;
+	// HTTP/1 needs full-duplex opted in (no-op where unsupported).
+	http.NewResponseController(w).EnableFullDuplex()
+
+	dec := newPairDecoder(r.Body)
+	first, err := dec.next()
+	if err == io.EOF { // empty request: empty result stream
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		return
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("decoding pairs: %v", err), http.StatusBadRequest)
+		return
+	}
+	fp, err := toHostPair(first)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s, err := host.NewSession(r.Context(), sv.scfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := s.Submit(fp); err != nil {
+		s.Close()
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	// Admit the remaining pairs while results stream below. A full
+	// session queue here is flow control, not a reject: the client is
+	// already receiving results, so admission just waits for the stream
+	// to drain a slot.
+	submitErr := make(chan error, 1)
+	go func() {
+		defer s.Close()
+		submitErr <- sv.submitRest(r, s, dec)
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	for res := range s.Results() {
+		if enc.Encode(toWireResult(res)) != nil {
+			break // client went away; session cleanup follows via r.Context()
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	err = <-submitErr
+	if err == nil {
+		err = s.Err()
+	}
+	if err != nil {
+		// Too late for a status code; the trailing line carries the error.
+		enc.Encode(wireResult{Err: err.Error()})
+	}
+}
+
+func (sv *server) submitRest(r *http.Request, s *host.Session, dec *pairDecoder) error {
+	for {
+		wp, err := dec.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("decoding pairs: %w", err)
+		}
+		p, err := toHostPair(wp)
+		if err != nil {
+			return err
+		}
+		for {
+			err := s.Submit(p)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, host.ErrQueueFull) {
+				return err
+			}
+			select {
+			case <-r.Context().Done():
+				return r.Context().Err()
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}
+}
+
+// pairDecoder reads request pairs from either a JSON array or an NDJSON
+// stream, decided by the first non-space byte.
+type pairDecoder struct {
+	dec   *json.Decoder
+	array bool
+	err   error
+}
+
+func newPairDecoder(r io.Reader) *pairDecoder {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return &pairDecoder{err: io.EOF}
+		}
+		switch b[0] {
+		case ' ', '\t', '\n', '\r':
+			br.Discard(1)
+			continue
+		}
+		d := &pairDecoder{dec: json.NewDecoder(br), array: b[0] == '['}
+		if d.array {
+			if _, err := d.dec.Token(); err != nil { // consume '['
+				d.err = err
+			}
+		}
+		return d
+	}
+}
+
+func (d *pairDecoder) next() (wirePair, error) {
+	if d.err != nil {
+		return wirePair{}, d.err
+	}
+	if d.array && !d.dec.More() {
+		return wirePair{}, io.EOF
+	}
+	var p wirePair
+	if err := d.dec.Decode(&p); err != nil {
+		d.err = err
+		return wirePair{}, err
+	}
+	return p, nil
+}

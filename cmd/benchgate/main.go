@@ -46,6 +46,7 @@ var gated = []string{
 	"DPUKernelBatch",
 	"HostAlignPairs",
 	"HostEscalation",
+	"LPT",
 	"FluidSimulator",
 }
 

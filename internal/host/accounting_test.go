@@ -1,0 +1,165 @@
+package host
+
+import (
+	"testing"
+
+	"pimnw/internal/pim"
+)
+
+// TestKernelSecFaultInvariant is the regression test for the recovery
+// accounting bug: backoff waits and fail-fast fault detection used to be
+// charged to kernelSec, so reported kernel time grew with the fault rate.
+// Rank-drop faults fail at launch without running any kernel, and the
+// redispatch covers the identical pair set on the identical DPU pool, so
+// per-batch KernelSec must be bit-identical between the fault-free and
+// the faulty run of the same deterministic workload — only WaitSec (and
+// the makespan) may grow.
+func TestKernelSecFaultInvariant(t *testing.T) {
+	pairs := makePairs(31, 80, 150, 0.08)
+
+	clean := testConfig(2, true)
+	cleanRep, _, err := AlignPairs(clean, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := testConfig(2, true)
+	faulty.Faults = pim.FaultConfig{RankDropRate: 0.4, Seed: 5}
+	faulty.MaxRetries = 12
+	faulty.RetryBackoffSec = 1e-3
+	faultyRep, _, err := AlignPairs(faulty, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultyRep.FaultsDetected == 0 {
+		t.Fatal("no rank drops at 40% rate — the test is not exercising recovery")
+	}
+	if faultyRep.AbandonedPairs != 0 {
+		t.Fatalf("abandoned %d pairs; batch identity is lost", faultyRep.AbandonedPairs)
+	}
+
+	perBatch := func(rep *Report) map[int]RankStats {
+		m := make(map[int]RankStats, len(rep.Ranks))
+		for _, rs := range rep.Ranks {
+			m[rs.Batch] = rs
+		}
+		return m
+	}
+	want, got := perBatch(cleanRep), perBatch(faultyRep)
+	if len(want) != len(got) {
+		t.Fatalf("%d batches clean, %d faulty", len(want), len(got))
+	}
+	for b, w := range want {
+		g, ok := got[b]
+		if !ok {
+			t.Fatalf("batch %d missing from faulty run", b)
+		}
+		if g.KernelSec != w.KernelSec {
+			t.Errorf("batch %d: KernelSec %.9f under faults, %.9f fault-free — kernel time is not fault-invariant",
+				b, g.KernelSec, w.KernelSec)
+		}
+		if g.Attempts > 1 && g.WaitSec <= 0 {
+			t.Errorf("batch %d: %d attempts but WaitSec %.9f — waits are unaccounted",
+				b, g.Attempts, g.WaitSec)
+		}
+	}
+	if faultyRep.KernelSecSum != cleanRep.KernelSecSum {
+		t.Errorf("KernelSecSum %.9f under faults, %.9f fault-free",
+			faultyRep.KernelSecSum, cleanRep.KernelSecSum)
+	}
+	if faultyRep.WaitSec <= 0 {
+		t.Error("recovery ran but Report.WaitSec is zero")
+	}
+	if faultyRep.MakespanSec <= cleanRep.MakespanSec {
+		t.Errorf("faulted makespan %.9f not above clean %.9f — waits no longer stretch the busy window",
+			faultyRep.MakespanSec, cleanRep.MakespanSec)
+	}
+}
+
+// TestHostOverheadFractionBounds pins the timeline-union derivation on
+// hand-built reports, including the retry-heavy shape that used to drive
+// the old per-rank average negative (where the clamp silently hid it).
+func TestHostOverheadFractionBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  Report
+		want float64
+	}{
+		{
+			name: "empty",
+			rep:  Report{},
+			want: 0,
+		},
+		{
+			name: "single batch, waits excluded from kernel coverage",
+			rep: Report{
+				MakespanSec: 1,
+				Ranks: []RankStats{{
+					Rank: 0, StartSec: 0, TransferInSec: 0.1,
+					KernelSec: 0.3, WaitSec: 0.4, TransferOutSec: 0.2, EndSec: 1,
+				}},
+			},
+			want: 0.7,
+		},
+		{
+			name: "overlapping ranks share coverage via the union",
+			rep: Report{
+				MakespanSec: 1,
+				Ranks: []RankStats{
+					{Rank: 0, StartSec: 0, TransferInSec: 0.1, KernelSec: 0.6, EndSec: 0.8},
+					{Rank: 1, StartSec: 0.3, TransferInSec: 0.1, KernelSec: 0.6, EndSec: 1},
+				},
+			},
+			// Union [0.1,0.7] ∪ [0.4,1.0] = 0.9 covered. The old per-rank
+			// average 1.2/2·... summed to 1.2s of kernel over a 1s
+			// makespan and clamped the negative result to 0.
+			want: 0.1,
+		},
+		{
+			name: "kernel span past the makespan is capped, not negative",
+			rep: Report{
+				MakespanSec: 1,
+				Ranks: []RankStats{
+					{Rank: 0, StartSec: 0, TransferInSec: 0, KernelSec: 5, EndSec: 1},
+				},
+			},
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		got := tc.rep.HostOverheadFraction()
+		if got < 0 || got > 1 {
+			t.Errorf("%s: fraction %.6f outside [0,1]", tc.name, got)
+		}
+		if diff := got - tc.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: fraction %.6f, want %.6f", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHostOverheadFractionRetryHeavy runs a real retry-heavy workload and
+// requires the reported fraction to be a meaningful in-range value: under
+// the old accounting, backoff inflation either pushed it to the 0 clamp
+// or polluted it with waiting time.
+func TestHostOverheadFractionRetryHeavy(t *testing.T) {
+	cfg := testConfig(2, true)
+	cfg.Faults = pim.FaultConfig{Rate: 0.3, RankDropRate: 0.2, Seed: 99}
+	cfg.MaxRetries = 10
+	cfg.RetryBackoffSec = 1e-3
+	rep, _, err := AlignPairs(cfg, makePairs(32, 60, 140, 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("workload not retry-heavy; tune the fault config")
+	}
+	f := rep.HostOverheadFraction()
+	if f < 0 || f > 1 {
+		t.Fatalf("HostOverheadFraction %.6f outside [0,1]", f)
+	}
+	// The backoff waits dominate this run; with waiting correctly outside
+	// the kernel coverage the overhead must be visibly non-zero.
+	if f == 0 {
+		t.Error("retry-heavy run reports zero host overhead — waits are being counted as kernel time")
+	}
+}

@@ -267,6 +267,7 @@ func mergeRound(dst, src *Report) {
 	dst.TransferInSec += src.TransferInSec
 	dst.TransferOutSec += src.TransferOutSec
 	dst.KernelSecSum += src.KernelSecSum
+	dst.WaitSec += src.WaitSec
 	dst.BytesIn += src.BytesIn
 	dst.BytesOut += src.BytesOut
 	dst.TotalCells += src.TotalCells

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 
 	"pimnw/internal/kernel"
 	"pimnw/internal/pim"
@@ -236,7 +237,7 @@ type RankStats struct {
 	Batch          int
 	StartSec       float64 // simulated timeline
 	TransferInSec  float64
-	KernelSec      float64 // kernel window: slowest DPU, plus recovery attempts
+	KernelSec      float64 // kernel compute: every attempt's slowest DPU
 	FastestDPUSec  float64 // fastest *loaded* DPU: the balance gap metric
 	TransferOutSec float64
 	EndSec         float64
@@ -245,9 +246,13 @@ type RankStats struct {
 	DPUStats       pim.DPUStats // summed over the rank's accepted DPU launches
 	LoadedDPUs     int
 	// Recovery outcome of the batch: launch attempts (1 = clean run),
-	// modelled seconds spent on failed attempts and backoff waits, and
-	// the faults injected while it executed.
+	// modelled seconds the rank sat waiting rather than computing
+	// (backoff intervals, fail-fast fault detection), modelled seconds
+	// attributable to recovery overall (failed attempts + waits), and the
+	// faults injected while it executed. The rank's busy window is
+	// KernelSec + WaitSec; RetrySec ≤ KernelSec + WaitSec.
 	Attempts int
+	WaitSec  float64
 	RetrySec float64
 	Faults   []FaultEvent `json:",omitempty"`
 }
@@ -274,14 +279,17 @@ type Report struct {
 	// launches, checksum mismatches, deadline timeouts, rank dropouts —
 	// a slowdown that stays under the deadline is invisible),
 	// AbandonedPairs (with their IDs) are the pairs dropped after retries
-	// were exhausted, and RetrySec is the modelled time spent beyond each
-	// batch's first launch window: retry attempts, backoff waits and
-	// failure detection.
+	// were exhausted, WaitSec is the modelled time ranks sat idle between
+	// attempts (backoff intervals and fail-fast fault detection — waiting,
+	// never compute, so it is kept out of KernelSecSum), and RetrySec is
+	// the modelled time spent beyond each batch's first launch window:
+	// retry attempts, backoff waits and failure detection.
 	Retries        int
 	Redispatches   int
 	FaultsDetected int
 	AbandonedPairs int
 	AbandonedIDs   []int
+	WaitSec        float64
 	RetrySec       float64
 	// Integrity outcome of the run. OutOfBandPairs and ClippedPairs count
 	// band failures as first observed (before any escalation resolved
@@ -326,32 +334,51 @@ func (r *Report) countProvenance(p string) {
 	r.Provenance[p]++
 }
 
-// HostOverheadFraction is the share of the makespan not covered by DPU
-// kernel execution — the paper reports 15 % on S1000 shrinking to <0.1 %
-// on S30000.
+// HostOverheadFraction is the share of the makespan during which no DPU
+// kernel was computing anywhere — the paper reports 15 % on S1000
+// shrinking to <0.1 % on S30000. It is derived from the rank timelines:
+// the union of the per-batch kernel windows [kernel start, kernel start +
+// KernelSec] is laid over [0, MakespanSec], and the uncovered remainder
+// (transfers, launch overhead, backoff waits, collection tails) is the
+// overhead. Because KernelSec is pure compute and the union can never
+// exceed the makespan, the result is in [0,1] by construction; the clamp
+// only guards float rounding, not accounting bugs.
 func (r *Report) HostOverheadFraction() float64 {
-	if r.MakespanSec == 0 {
+	if r.MakespanSec <= 0 {
 		return 0
 	}
-	// Kernel time on the critical path: approximate with the per-batch
-	// kernel spans laid over the timeline (ranks overlap, so use the
-	// fraction of the makespan the busiest timeline slice spends in
-	// kernels). A simple, monotone proxy: 1 - kernel-span coverage.
-	var kernelSpan float64
+	type span struct{ from, to float64 }
+	spans := make([]span, 0, len(r.Ranks))
 	for _, rs := range r.Ranks {
-		kernelSpan += rs.KernelSec
+		from := rs.StartSec + rs.TransferInSec
+		to := from + rs.KernelSec
+		if to > r.MakespanSec {
+			to = r.MakespanSec
+		}
+		if from < 0 {
+			from = 0
+		}
+		if to > from {
+			spans = append(spans, span{from, to})
+		}
 	}
-	ranksUsed := map[int]bool{}
-	for _, rs := range r.Ranks {
-		ranksUsed[rs.Rank] = true
+	sort.Slice(spans, func(i, j int) bool { return spans[i].from < spans[j].from })
+	var covered, edge float64
+	for _, s := range spans {
+		if s.from > edge {
+			edge = s.from
+		}
+		if s.to > edge {
+			covered += s.to - edge
+			edge = s.to
+		}
 	}
-	if len(ranksUsed) == 0 {
-		return 0
-	}
-	perRank := kernelSpan / float64(len(ranksUsed))
-	f := 1 - perRank/r.MakespanSec
+	f := 1 - covered/r.MakespanSec
 	if f < 0 {
 		return 0
+	}
+	if f > 1 {
+		return 1
 	}
 	return f
 }

@@ -23,7 +23,8 @@ type batchExec struct {
 	results    []Result
 	bytesIn    int64
 	bytesOut   int64
-	kernelSec  float64 // kernel window: every attempt's slowest DPU plus backoffs
+	kernelSec  float64 // kernel compute: every attempt's slowest DPU
+	waitSec    float64 // waiting between attempts: backoffs, fault detection
 	minDPUSec  float64 // fastest accepted DPU launch
 	stats      pim.DPUStats
 	loadedDPUs int
@@ -65,6 +66,20 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	sp.SetAttrInt("pairs", int64(len(pairs)))
 	defer sp.End()
 
+	rep, results, err := alignOnce(cfg, pairs, sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.publishMetrics()
+	return rep, results, nil
+}
+
+// alignOnce is the validated core of AlignPairs — one complete workload
+// through dispatch plus (when configured) the escalation ladder, with
+// results fully annotated. The streaming Session calls it once per
+// micro-batch; metrics publication is left to the caller so a session can
+// publish once over its merged report.
+func alignOnce(cfg Config, pairs []Pair, sp *obs.Span) (*Report, []Result, error) {
 	rep, results, err := alignPairsRound(cfg, pairs, sp)
 	if err != nil {
 		return nil, nil, err
@@ -77,7 +92,6 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	} else {
 		annotateResults(cfg.Kernel, rep, results)
 	}
-	rep.publishMetrics()
 	return rep, results, nil
 }
 
@@ -211,6 +225,7 @@ func (r *Report) publishMetrics() {
 	reg.Counter("host_redispatches_total").Add(int64(r.Redispatches))
 	reg.Counter("host_faults_detected_total").Add(int64(r.FaultsDetected))
 	reg.Counter("host_abandoned_pairs_total").Add(int64(r.AbandonedPairs))
+	reg.Gauge("host_wait_seconds").Set(r.WaitSec)
 	reg.Gauge("host_retry_seconds").Set(r.RetrySec)
 	reg.Counter("host_out_of_band_pairs_total").Add(int64(r.OutOfBandPairs))
 	reg.Counter("host_clipped_pairs_total").Add(int64(r.ClippedPairs))
@@ -247,7 +262,9 @@ func scheduleTimeline(cfg Config, execs []batchExec, rep *Report) {
 		inDur := cfg.PIM.HostTransferSeconds(ex.bytesIn)
 		busInFree = start + inDur
 		kStart := start + inDur + launch
-		kEnd := kStart + ex.kernelSec
+		// The rank is busy for compute plus the recovery waits; only the
+		// compute share is reported as KernelSec.
+		kEnd := kStart + ex.kernelSec + ex.waitSec
 		outStart := math.Max(kEnd, busOutFree)
 		outDur := cfg.PIM.HostTransferSeconds(ex.bytesOut)
 		busOutFree = outStart + outDur
@@ -272,11 +289,13 @@ func scheduleTimeline(cfg Config, execs []batchExec, rep *Report) {
 			FastestDPUSec: ex.minDPUSec, TransferOutSec: outDur,
 			EndSec: rankFree[r], BytesIn: ex.bytesIn, BytesOut: ex.bytesOut,
 			DPUStats: ex.stats, LoadedDPUs: ex.loadedDPUs,
-			Attempts: ex.attempts, RetrySec: ex.retrySec, Faults: faults,
+			Attempts: ex.attempts, WaitSec: ex.waitSec, RetrySec: ex.retrySec,
+			Faults: faults,
 		})
 		rep.TransferInSec += inDur
 		rep.TransferOutSec += outDur
 		rep.KernelSecSum += ex.kernelSec
+		rep.WaitSec += ex.waitSec
 		rep.BytesIn += ex.bytesIn
 		rep.BytesOut += ex.bytesOut
 		rep.Retries += ex.attempts - 1

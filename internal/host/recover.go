@@ -48,9 +48,12 @@ type dpuAttempt struct {
 //     over the residual pairs, and redispatch — up to cfg.MaxRetries
 //     times, after which the remaining pairs are abandoned and reported.
 //
-// The batch's modelled kernel window stretches accordingly: every
-// attempt contributes its slowest DPU (capped at the deadline), plus the
-// backoff waits between attempts. Because the kernel is deterministic,
+// The batch's modelled busy window stretches accordingly: kernelSec
+// accumulates every attempt's slowest DPU (capped at the deadline) —
+// compute only — while the backoff waits between attempts and fail-fast
+// fault detection accumulate in waitSec, so per-rank KernelSec,
+// utilisation and the Perfetto kernel lanes reflect compute, not
+// waiting. Because the kernel is deterministic,
 // a pair redispatched onto any DPU reproduces the exact scores and
 // CIGARs of a fault-free run — the invariant the recovery tests assert.
 func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, error) {
@@ -73,21 +76,24 @@ func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, err
 		asp.SetAttrInt("attempt", int64(attempt))
 		asp.SetAttrInt("pairs", int64(len(pending)))
 
-		var attemptSec float64
+		// computeSec is DPU execution time this attempt; waitSec is time
+		// the rank spent waiting (fault detection with nothing running).
+		var computeSec, waitSec float64
 		var failed []Pair
 		if cfg.faults.DrawRankDrop(batch, attempt) {
 			// The whole rank fell off the bus; the launch call fails
-			// fast, so detection only costs the launch overhead.
+			// fast, so detection only costs the launch overhead — and no
+			// kernel ever ran, so the cost is waiting, not compute.
 			ex.faults = append(ex.faults, FaultEvent{
 				Batch: batch, Attempt: attempt, DPU: -1,
-				Kind: pim.FaultRankDrop.String(), AtSec: ex.kernelSec,
+				Kind: pim.FaultRankDrop.String(), AtSec: ex.kernelSec + ex.waitSec,
 			})
-			attemptSec = launch
+			waitSec = launch
 			failed = pending
 			asp.SetAttr("outcome", "rank_drop")
 		} else {
 			var err error
-			attemptSec, failed, err = ex.runAttempt(cfg, pending, batch, attempt, deadline, &alive, asp)
+			computeSec, failed, err = ex.runAttempt(cfg, pending, batch, attempt, deadline, &alive, asp)
 			if err != nil {
 				asp.End()
 				return ex, err
@@ -95,11 +101,12 @@ func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, err
 		}
 		asp.End()
 
-		ex.kernelSec += attemptSec
+		ex.kernelSec += computeSec
+		ex.waitSec += waitSec
 		if attempt > 0 || len(failed) == len(pending) {
 			// Time past the first launch window, or a first launch that
 			// produced nothing, is recovery cost.
-			ex.retrySec += attemptSec
+			ex.retrySec += computeSec + waitSec
 		}
 		pending = failed
 		if len(pending) == 0 {
@@ -119,7 +126,10 @@ func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, err
 		}
 		backoff := cfg.RetryBackoffSec * float64(int64(1)<<shift) *
 			(1 + 0.5*cfg.faults.Jitter(batch, attempt))
-		ex.kernelSec += backoff
+		// The backoff interval is pure waiting: charging it to kernelSec
+		// would inflate reported kernel time with fault-rate-dependent
+		// idle time and push HostOverheadFraction negative.
+		ex.waitSec += backoff
 		ex.retrySec += backoff
 		ex.redispatches += len(pending)
 	}
@@ -130,8 +140,9 @@ func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, err
 }
 
 // runAttempt stages and launches the pending pairs over the surviving
-// DPUs, verifies what comes back, and returns the attempt's modelled wall
-// time plus the pairs that must be redispatched. Hard-failed DPUs
+// DPUs, verifies what comes back, and returns the attempt's modelled
+// compute time (slowest DPU, deadline-capped) plus the pairs that must be
+// redispatched. Hard-failed DPUs
 // (crash, timeout) are removed from alive in place.
 func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 	deadline float64, alive *[]int, sp *obs.Span) (float64, []Pair, error) {
@@ -232,7 +243,7 @@ func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 		if o.fail == pim.FaultNone {
 			kind = "validation"
 		}
-		at := ex.kernelSec + sec
+		at := ex.kernelSec + ex.waitSec + sec
 		ex.faults = append(ex.faults, FaultEvent{
 			Batch: batch, Attempt: attempt, DPU: o.dpu,
 			Kind: kind, AtSec: at,

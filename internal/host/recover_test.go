@@ -288,9 +288,14 @@ func TestReportRecoveryInvariants(t *testing.T) {
 		}
 		retries += rs.Attempts - 1
 		faults += len(rs.Faults)
-		if rs.RetrySec < 0 || rs.RetrySec > rs.KernelSec {
-			t.Errorf("batch %d: RetrySec %.6f outside [0, kernel %.6f]",
-				rs.Batch, rs.RetrySec, rs.KernelSec)
+		if rs.WaitSec < 0 {
+			t.Errorf("batch %d: negative WaitSec %.6f", rs.Batch, rs.WaitSec)
+		}
+		// Recovery time is bounded by the rank's busy window: compute
+		// (KernelSec) plus the waits between attempts (WaitSec).
+		if rs.RetrySec < 0 || rs.RetrySec > rs.KernelSec+rs.WaitSec+1e-12 {
+			t.Errorf("batch %d: RetrySec %.6f outside [0, busy %.6f]",
+				rs.Batch, rs.RetrySec, rs.KernelSec+rs.WaitSec)
 		}
 		for _, f := range rs.Faults {
 			if f.Batch != rs.Batch {

@@ -27,6 +27,7 @@ type reportJSON struct {
 	FaultsDetected       int     `json:"faults_detected"`
 	AbandonedPairs       int     `json:"abandoned_pairs"`
 	AbandonedIDs         []int   `json:"abandoned_ids,omitempty"`
+	WaitSec              float64 `json:"wait_sec"`
 	RetrySec             float64 `json:"retry_sec"`
 	OutOfBandPairs       int     `json:"out_of_band_pairs"`
 	ClippedPairs         int     `json:"clipped_pairs"`
@@ -66,6 +67,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		FaultsDetected:       r.FaultsDetected,
 		AbandonedPairs:       r.AbandonedPairs,
 		AbandonedIDs:         r.AbandonedIDs,
+		WaitSec:              r.WaitSec,
 		RetrySec:             r.RetrySec,
 		OutOfBandPairs:       r.OutOfBandPairs,
 		ClippedPairs:         r.ClippedPairs,

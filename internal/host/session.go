@@ -1,0 +1,368 @@
+package host
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+)
+
+// The streaming dispatch layer. The paper's host (§4.1) is a FIFO
+// dispatcher that keeps 40 ranks fed while results stream back;
+// AlignPairs is its one-shot form, requiring the full pair list up
+// front. A Session is the serving form of the same loop: pairs are
+// admitted incrementally, accumulated into rank-sized micro-batches
+// under a dynamic batching policy (flush on size, or on a max-linger
+// deadline so a trickle of traffic is never parked indefinitely), and
+// each micro-batch runs the existing LPT→launch→recover→escalate
+// machinery concurrently with continued admission. Results stream back
+// in submission order, each carrying the same Status/Provenance a
+// one-shot run would produce; a session that receives its whole workload
+// as one micro-batch is bit-identical to AlignPairs, reports included.
+
+// Session errors.
+var (
+	// ErrQueueFull rejects a Submit when admitted-but-undelivered pairs
+	// already fill the queue — the backpressure signal serving frontends
+	// translate into 429 + Retry-After.
+	ErrQueueFull = errors.New("host: session admission queue full")
+	// ErrSessionClosed rejects a Submit after Close (or cancellation).
+	ErrSessionClosed = errors.New("host: session closed")
+)
+
+// SessionConfig configures a streaming dispatch session.
+type SessionConfig struct {
+	// Host is the per-micro-batch run configuration — the same Config
+	// AlignPairs takes, faults, escalation ladder and all.
+	Host Config
+	// MaxBatchPairs flushes the accumulating micro-batch when it reaches
+	// this many pairs. Zero means 4 pairs per DPU of a rank (256): enough
+	// to keep every DPU of a rank loaded with the LPT spread.
+	MaxBatchPairs int
+	// MaxLinger bounds how long an admitted pair may wait for its
+	// micro-batch to fill before the partial batch is flushed anyway.
+	// Zero means 2ms.
+	MaxLinger time.Duration
+	// QueueLimit bounds admitted-but-undelivered pairs; beyond it Submit
+	// returns ErrQueueFull. Zero means 8 micro-batches' worth.
+	QueueLimit int
+	// MaxConcurrentBatches bounds micro-batches dispatched concurrently
+	// (admission continues while they run). Zero means 2.
+	MaxConcurrentBatches int
+}
+
+func (c SessionConfig) maxBatchPairs() int {
+	if c.MaxBatchPairs > 0 {
+		return c.MaxBatchPairs
+	}
+	return 4 * pim.DPUsPerRank
+}
+
+func (c SessionConfig) maxLinger() time.Duration {
+	if c.MaxLinger > 0 {
+		return c.MaxLinger
+	}
+	return 2 * time.Millisecond
+}
+
+func (c SessionConfig) queueLimit() int {
+	if c.QueueLimit > 0 {
+		return c.QueueLimit
+	}
+	return 8 * c.maxBatchPairs()
+}
+
+func (c SessionConfig) maxConcurrent() int {
+	if c.MaxConcurrentBatches > 0 {
+		return c.MaxConcurrentBatches
+	}
+	return 2
+}
+
+// submission is one admitted pair, stamped for latency accounting.
+type submission struct {
+	pair Pair
+	at   time.Time
+}
+
+// microBatch is one flushed accumulation, sequenced for ordered delivery.
+type microBatch struct {
+	seq  int
+	subs []submission
+}
+
+// batchOutcome is one executed micro-batch, ready for in-order delivery.
+type batchOutcome struct {
+	seq     int
+	subs    []submission
+	rep     *Report
+	results []Result // submission order; exactly one per submission
+	err     error
+}
+
+// Histogram bounds for the session's serving metrics.
+var (
+	latencyBuckets   = []float64{1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+	occupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+)
+
+// Session accepts pairs incrementally and streams results back in
+// submission order. Submit never blocks on dispatch: a full queue is an
+// ErrQueueFull reject, a full micro-batch is handed to a dispatch worker
+// and admission continues. Close drains everything in flight.
+type Session struct {
+	cfg SessionConfig
+	ctx context.Context
+
+	results   chan Result
+	batches   chan microBatch
+	outcomes  chan batchOutcome
+	lingerArm chan struct{}
+	done      chan struct{}
+
+	closeOnce sync.Once
+	sendWG    sync.WaitGroup // flushes on their way into s.batches
+	workerWG  sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	inFlight int // admitted pairs not yet delivered (or dropped)
+	cur      []submission
+	nextSeq  int
+	err      error
+	rep      *Report
+}
+
+// NewSession validates the configuration and starts the session's
+// dispatch workers. Cancelling ctx aborts the session: admission stops,
+// queued micro-batches are skipped, and the Results channel closes.
+func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
+	if err := cfg.Host.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxBatchPairs < 0 || cfg.QueueLimit < 0 || cfg.MaxConcurrentBatches < 0 || cfg.MaxLinger < 0 {
+		return nil, fmt.Errorf("host: negative session parameters")
+	}
+	// Fail fast on a bad fault config; the per-micro-batch models built
+	// later only reseed this one.
+	if _, err := pim.NewFaultModel(cfg.Host.Faults); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{
+		cfg: cfg,
+		ctx: ctx,
+		// A micro-batch holds >= 1 in-flight pair, so undelivered batches
+		// can never exceed the queue limit: with this capacity a dispatch
+		// send never blocks, which keeps Submit wait-free and makes the
+		// shutdown drain deadlock-free.
+		batches:   make(chan microBatch, cfg.queueLimit()),
+		outcomes:  make(chan batchOutcome, cfg.maxConcurrent()),
+		results:   make(chan Result),
+		lingerArm: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	for i := 0; i < cfg.maxConcurrent(); i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for mb := range s.batches {
+				s.outcomes <- s.runMicroBatch(mb)
+			}
+		}()
+	}
+	go func() {
+		s.workerWG.Wait()
+		close(s.outcomes)
+	}()
+	go s.collect()
+	go s.lingerLoop()
+	go func() {
+		select {
+		case <-s.ctx.Done():
+			s.shutdown(false)
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// Submit admits one pair. It returns ErrQueueFull when the bounded queue
+// of undelivered pairs is full (backpressure — retry later), and
+// ErrSessionClosed after Close or cancellation. Pair IDs are the
+// caller's: they are carried through to the streamed Result verbatim and
+// may repeat across submissions.
+func (s *Session) Submit(p Pair) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if s.inFlight >= s.cfg.queueLimit() {
+		s.mu.Unlock()
+		obs.Default().Counter("session_admission_rejects_total").Add(1)
+		return ErrQueueFull
+	}
+	s.inFlight++
+	s.cur = append(s.cur, submission{pair: p, at: time.Now()})
+	arm := len(s.cur) == 1
+	var mb microBatch
+	full := len(s.cur) >= s.cfg.maxBatchPairs()
+	if full {
+		mb = s.takeLocked()
+		arm = false
+	}
+	depth := s.inFlight
+	s.mu.Unlock()
+
+	reg := obs.Default()
+	reg.Counter("session_pairs_total").Add(1)
+	reg.Gauge("session_queue_depth").Set(float64(depth))
+	if arm {
+		// Non-blocking: a pending arm already covers (or predates) this
+		// batch's linger deadline.
+		select {
+		case s.lingerArm <- struct{}{}:
+		default:
+		}
+	}
+	if full {
+		s.dispatch(mb, "size")
+	}
+	return nil
+}
+
+// takeLocked seals the accumulating pairs into the next micro-batch.
+// Callers hold s.mu and must pass the batch to dispatch after unlocking.
+func (s *Session) takeLocked() microBatch {
+	mb := microBatch{seq: s.nextSeq, subs: s.cur}
+	s.nextSeq++
+	s.cur = nil
+	s.sendWG.Add(1)
+	return mb
+}
+
+// dispatch hands one sealed micro-batch to the workers. The batches
+// channel is sized so this never blocks (see NewSession).
+func (s *Session) dispatch(mb microBatch, reason string) {
+	defer s.sendWG.Done()
+	reg := obs.Default()
+	reg.Counter("session_batches_total").Add(1)
+	reg.Counter("session_flush_" + reason + "_total").Add(1)
+	reg.Histogram("session_batch_pairs", occupancyBuckets).Observe(float64(len(mb.subs)))
+	s.batches <- mb
+}
+
+// Flush forces the partial micro-batch out without waiting for the size
+// or linger trigger.
+func (s *Session) Flush() {
+	s.mu.Lock()
+	if s.closed || len(s.cur) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	mb := s.takeLocked()
+	s.mu.Unlock()
+	s.dispatch(mb, "linger")
+}
+
+// lingerLoop bounds how long a partial micro-batch may wait for more
+// traffic: armed when a pair lands in an empty accumulator, it flushes
+// whatever has accumulated when the deadline passes.
+func (s *Session) lingerLoop() {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	defer t.Stop()
+	for {
+		select {
+		case <-s.lingerArm:
+			t.Reset(s.cfg.maxLinger())
+		case <-t.C:
+			s.Flush()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Results is the stream of completed alignments, in submission order.
+// The channel closes once the session has drained (after Close or
+// cancellation).
+func (s *Session) Results() <-chan Result { return s.results }
+
+// Close stops admission, flushes the partial micro-batch, waits until
+// every in-flight batch has executed and streamed its results, then
+// publishes the merged report's metrics. It returns the session's first
+// error, if any. The caller must keep consuming Results while Close
+// waits, or run Close from another goroutine.
+func (s *Session) Close() error {
+	s.shutdown(true)
+	<-s.done
+	return s.Err()
+}
+
+// shutdown transitions the session to draining exactly once. With flush
+// set the partial batch is dispatched (graceful close); without, its
+// pairs are dropped (cancellation).
+func (s *Session) shutdown(flush bool) {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		var mb microBatch
+		send := false
+		if len(s.cur) > 0 {
+			if flush {
+				mb = s.takeLocked()
+				send = true
+			} else {
+				s.inFlight -= len(s.cur)
+				s.cur = nil
+			}
+		}
+		s.mu.Unlock()
+		if send {
+			s.dispatch(mb, "close")
+		}
+		s.sendWG.Wait()
+		close(s.batches)
+	})
+}
+
+// Err returns the first pipeline error (a failed micro-batch or the
+// context's cancellation cause); nil while everything is healthy.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Report returns the session's merged run report: micro-batch reports
+// folded together in submission order, modelling the batches executing
+// back-to-back on the shared fabric (the same convention the escalation
+// ladder uses for its rounds). It blocks until the session has drained,
+// so call it after Close or after Results closes.
+func (s *Session) Report() *Report {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rep == nil {
+		return &Report{UtilizationMin: 1}
+	}
+	return s.rep
+}

@@ -1,0 +1,226 @@
+package host
+
+import (
+	"context"
+	"time"
+
+	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+)
+
+// runMicroBatch executes one micro-batch through the one-shot pipeline
+// (alignOnce: dispatch, recovery, escalation, annotation) and reorders
+// the results into submission order, so the collector can stream them
+// without any per-pair bookkeeping.
+func (s *Session) runMicroBatch(mb microBatch) batchOutcome {
+	oc := batchOutcome{seq: mb.seq, subs: mb.subs}
+	if err := s.ctx.Err(); err != nil {
+		// Cancelled: skip the compute, the collector discards the batch.
+		oc.err = err
+		return oc
+	}
+	cfg := s.cfg.Host
+	// Decorrelate fault draws across micro-batches: batch coordinates
+	// restart at 0 inside every micro-batch, so reusing the seed would
+	// make the same faults chase every batch — the same trick the
+	// escalation ladder plays for its rounds. Seq 0 keeps the base seed,
+	// which makes a single-micro-batch session bit-identical to one-shot
+	// AlignPairs, faults included.
+	cfg.Faults.Seed += int64(mb.seq) * 999983
+	model, err := pim.NewFaultModel(cfg.Faults)
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	cfg.faults = model
+
+	// The dispatch machinery and the escalation ladder need unique pair
+	// IDs; streaming clients may reuse theirs across (or even within)
+	// submissions, so the batch runs on dense internal IDs that are
+	// mapped back to the caller's on the way out.
+	pairs := make([]Pair, len(mb.subs))
+	for i, sub := range mb.subs {
+		pairs[i] = Pair{ID: i, A: sub.pair.A, B: sub.pair.B}
+	}
+	sp := obs.StartSpan("host.session_batch")
+	sp.SetAttrInt("batch", int64(mb.seq))
+	sp.SetAttrInt("pairs", int64(len(pairs)))
+	rep, results, err := alignOnce(cfg, pairs, sp)
+	sp.End()
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+
+	ordered := make([]Result, len(pairs))
+	have := make([]bool, len(pairs))
+	for _, r := range results {
+		i := r.ID
+		r.PairResult.ID = mb.subs[i].pair.ID
+		ordered[i] = r
+		have[i] = true
+	}
+	for i := range ordered {
+		if have[i] {
+			continue
+		}
+		// Abandoned under faults with escalation off: the submission
+		// still yields exactly one streamed result, carrying the terminal
+		// status instead of silently vanishing from the stream.
+		ordered[i] = Result{
+			PairResult: kernel.PairResult{ID: mb.subs[i].pair.ID},
+			Rank:       -1, DPU: -1,
+			Status: StatusAbandoned,
+		}
+	}
+	for i, id := range rep.AbandonedIDs {
+		rep.AbandonedIDs[i] = mb.subs[id].pair.ID
+	}
+	for i := range rep.Issues {
+		rep.Issues[i].ID = mb.subs[rep.Issues[i].ID].pair.ID
+	}
+	oc.rep, oc.results = rep, ordered
+	return oc
+}
+
+// collect is the session's delivery loop: it re-sequences finished
+// micro-batches (workers may complete out of order) and streams each
+// batch's results in submission order, merging reports as it goes. It
+// owns closing the Results channel and the done signal.
+func (s *Session) collect() {
+	defer close(s.done)
+	defer close(s.results)
+	next := 0
+	hold := map[int]batchOutcome{}
+	cancelled := false
+	for oc := range s.outcomes {
+		hold[oc.seq] = oc
+		for {
+			o, ok := hold[next]
+			if !ok {
+				break
+			}
+			delete(hold, next)
+			next++
+			if !s.deliver(o, cancelled) {
+				cancelled = true
+			}
+		}
+	}
+	s.mu.Lock()
+	rep := s.rep
+	s.mu.Unlock()
+	if rep != nil {
+		rep.publishMetrics()
+	}
+}
+
+// deliver streams one batch outcome and folds its report into the
+// session's. It returns false once the context is cancelled, after which
+// later outcomes are merged and accounted but no longer streamed.
+func (s *Session) deliver(oc batchOutcome, cancelled bool) bool {
+	defer func() {
+		s.mu.Lock()
+		s.inFlight -= len(oc.subs)
+		depth := s.inFlight
+		s.mu.Unlock()
+		obs.Default().Gauge("session_queue_depth").Set(float64(depth))
+	}()
+	if oc.err != nil {
+		s.fail(oc.err)
+		return !cancelled
+	}
+	s.mu.Lock()
+	if s.rep == nil {
+		s.rep = oc.rep
+	} else {
+		mergeStreamReport(s.rep, oc.rep)
+	}
+	s.mu.Unlock()
+	if cancelled {
+		return false
+	}
+	reg := obs.Default()
+	for i := range oc.results {
+		select {
+		case s.results <- oc.results[i]:
+			reg.Histogram("session_pair_latency_seconds", latencyBuckets).
+				Observe(time.Since(oc.subs[i].at).Seconds())
+		case <-s.ctx.Done():
+			s.fail(s.ctx.Err())
+			return false
+		}
+	}
+	return true
+}
+
+// mergeStreamReport folds one micro-batch's finished report onto the
+// session's merged report, in submission order. mergeRound handles the
+// timeline, recovery and transfer fields (micro-batches reuse the fabric
+// sequentially, like escalation rounds); the outcome fields a round-merge
+// deliberately leaves to its caller — abandonment, integrity tallies,
+// provenance, issues — are merged here, because a micro-batch's report is
+// already final when it arrives.
+func mergeStreamReport(dst, src *Report) {
+	offset := dst.MakespanSec
+	mergeRound(dst, src)
+	dst.Alignments += src.Alignments
+	dst.AbandonedPairs += src.AbandonedPairs
+	dst.AbandonedIDs = append(dst.AbandonedIDs, src.AbandonedIDs...)
+	dst.OutOfBandPairs += src.OutOfBandPairs
+	dst.ClippedPairs += src.ClippedPairs
+	dst.Escalations += src.Escalations
+	dst.EscalationRounds += src.EscalationRounds
+	dst.DegradedScoreOnly += src.DegradedScoreOnly
+	dst.DegradedCPU += src.DegradedCPU
+	dst.CPUFallbackSec += src.CPUFallbackSec
+	for _, er := range src.Escalation {
+		er.StartSec += offset
+		er.EndSec += offset
+		dst.Escalation = append(dst.Escalation, er)
+	}
+	for p, n := range src.Provenance {
+		if dst.Provenance == nil {
+			dst.Provenance = make(map[string]int)
+		}
+		dst.Provenance[p] += n
+	}
+	for _, is := range src.Issues {
+		dst.addIssue(is)
+	}
+}
+
+// AlignPairsStream runs a one-shot workload through a streaming Session
+// and collects the streamed results — the bridge the experiment harness
+// uses to drive its batch experiments over the serving path. The queue
+// limit is raised to the workload size so a batch run never self-rejects;
+// with MaxBatchPairs >= len(pairs) the whole workload is one micro-batch
+// and the report is bit-identical to AlignPairs.
+func AlignPairsStream(ctx context.Context, cfg SessionConfig, pairs []Pair) (*Report, []Result, error) {
+	if cfg.QueueLimit < len(pairs) {
+		cfg.QueueLimit = len(pairs)
+	}
+	s, err := NewSession(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		for _, p := range pairs {
+			if err := s.Submit(p); err != nil {
+				s.fail(err)
+				break
+			}
+		}
+		s.Close()
+	}()
+	results := make([]Result, 0, len(pairs))
+	for r := range s.Results() {
+		results = append(results, r)
+	}
+	rep := s.Report()
+	if err := s.Err(); err != nil {
+		return nil, nil, err
+	}
+	return rep, results, nil
+}

@@ -2,6 +2,7 @@ package host
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -29,13 +30,6 @@ func (r *Report) Timeline(width int) string {
 	sort.Ints(ids)
 
 	scale := float64(width) / r.MakespanSec
-	col := func(t float64) int {
-		c := int(t * scale)
-		if c >= width {
-			c = width - 1
-		}
-		return c
-	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "timeline: %.4fs total, %d batches ('>' in, '#' kernel, '<' out)\n",
 		r.MakespanSec, r.Batches)
@@ -44,14 +38,27 @@ func (r *Report) Timeline(width int) string {
 		for i := range row {
 			row[i] = '.'
 		}
+		// A column belongs to the phase active at its start instant, so
+		// phases are painted half-open [from, to): a zero-duration phase
+		// (score-only runs transfer no CIGARs out) paints nothing instead
+		// of a phantom full column, and a later phase never overwrites
+		// the final column of the one before it.
 		paint := func(from, to float64, ch byte) {
-			for c := col(from); c <= col(to) && c < width; c++ {
+			if to <= from {
+				return
+			}
+			lo := int(math.Ceil(from * scale))
+			hi := int(math.Ceil(to*scale)) - 1
+			if hi >= width {
+				hi = width - 1
+			}
+			for c := lo; c <= hi; c++ {
 				row[c] = ch
 			}
 		}
 		for _, rs := range ranks[id] {
 			inEnd := rs.StartSec + rs.TransferInSec
-			kEnd := inEnd + rs.KernelSec
+			kEnd := inEnd + rs.KernelSec + rs.WaitSec
 			paint(rs.StartSec, inEnd, '>')
 			paint(inEnd, kEnd, '#')
 			paint(kEnd, rs.EndSec, '<')

@@ -75,6 +75,62 @@ func TestTimelineSingleRank(t *testing.T) {
 	}
 }
 
+// TestTimelineZeroWidthPhases pins the half-open painting: a phase of
+// zero duration paints nothing (score-only runs used to show a phantom
+// full column of '>' or '<'), and a collection phase never overwrites the
+// final kernel column.
+func TestTimelineZeroWidthPhases(t *testing.T) {
+	const width = 20
+	cases := []struct {
+		name string
+		rs   RankStats
+		want string
+	}{
+		{
+			name: "zero-width collection paints no phantom '<'",
+			rs: RankStats{
+				Rank: 0, StartSec: 0, TransferInSec: 0.5,
+				KernelSec: 0.5, TransferOutSec: 0, EndSec: 1,
+			},
+			want: ">>>>>>>>>>##########",
+		},
+		{
+			name: "zero-width transfers leave a pure kernel row",
+			rs: RankStats{
+				Rank: 0, StartSec: 0, TransferInSec: 0,
+				KernelSec: 1, TransferOutSec: 0, EndSec: 1,
+			},
+			want: "####################",
+		},
+		{
+			name: "sub-column collection keeps the final kernel column",
+			rs: RankStats{
+				Rank: 0, StartSec: 0, TransferInSec: 0.25,
+				KernelSec: 0.74, TransferOutSec: 0.01, EndSec: 1,
+			},
+			// '<' covers only [0.99, 1.0): it owns col 19's start?  No —
+			// col 19 starts at 0.95, inside the kernel. The kernel keeps
+			// every column through 19; the tiny collection paints nothing.
+			want: ">>>>>###############",
+		},
+		{
+			name: "waits extend the kernel row to the collection start",
+			rs: RankStats{
+				Rank: 0, StartSec: 0, TransferInSec: 0.25,
+				KernelSec: 0.25, WaitSec: 0.25, TransferOutSec: 0.25, EndSec: 1,
+			},
+			want: ">>>>>##########<<<<<",
+		},
+	}
+	for _, tc := range cases {
+		r := &Report{MakespanSec: 1, Batches: 1, Ranks: []RankStats{tc.rs}}
+		row := timelineRow(t, r.Timeline(width), "0")
+		if row != tc.want {
+			t.Errorf("%s: row = %q, want %q", tc.name, row, tc.want)
+		}
+	}
+}
+
 func TestTimelineOverlappingBatches(t *testing.T) {
 	// Two batches on rank 0 (the second painted over the first's idle
 	// tail) and one on rank 1; idle time must stay '.'.

@@ -84,14 +84,18 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 				events = append(events, obs.ThreadName(pid, tidRecovery, "recovery"))
 			}
 			if rs.RetrySec > 0 {
-				// Recovery time is the tail of the kernel window: every
-				// attempt past the first, plus the backoff waits.
+				// Recovery time is the tail of the rank's busy window
+				// (compute + waits): every attempt past the first, plus
+				// the backoff waits.
 				events = append(events, obs.TraceEvent{
 					Name: "recovery", Ph: "X",
-					Ts:  (kStart + rs.KernelSec - rs.RetrySec) * 1e6,
+					Ts:  (kStart + rs.KernelSec + rs.WaitSec - rs.RetrySec) * 1e6,
 					Dur: rs.RetrySec * 1e6,
 					Pid: pid, Tid: tidRecovery,
-					Args: map[string]any{"batch": rs.Batch, "attempts": rs.Attempts},
+					Args: map[string]any{
+						"batch": rs.Batch, "attempts": rs.Attempts,
+						"wait_sec": rs.WaitSec,
+					},
 				})
 			}
 			for _, f := range rs.Faults {

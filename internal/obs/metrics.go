@@ -203,6 +203,36 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the cumulative
+// buckets by linear interpolation inside the bucket holding the target
+// rank — the standard fixed-bucket histogram estimate. An estimate
+// landing in the +Inf overflow bucket returns the largest finite bound
+// (the histogram cannot resolve beyond it). NaN on an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	lower := 0.0
+	var prev int64
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.LE, 1) || b.Count == prev {
+				return lower
+			}
+			return lower + (b.LE-lower)*(rank-float64(prev))/float64(b.Count-prev)
+		}
+		lower, prev = b.LE, b.Count
+	}
+	return lower
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`

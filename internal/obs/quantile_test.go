@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["latency"]
+
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0},     // rank 0 resolves to the lower edge of the first bucket
+		{0.5, 1.5}, // rank 1.5 interpolates within the (1, 2] bucket
+		{1, 4},     // rank 3 interpolates to the top of the (2, 4] bucket
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want clamp to Quantile(1) = %v", got, s.Quantile(1))
+	}
+	if !math.IsNaN(s.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) must be NaN")
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", []float64{1, 2, 4})
+	h.Observe(100) // lands in +Inf; the quantile cannot invent a bound
+	s := r.Snapshot().Histograms["latency"]
+	if got := s.Quantile(0.99); got != 4 {
+		t.Errorf("overflow-bucket Quantile(0.99) = %v, want the largest finite bound 4", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("latency", []float64{1, 2})
+	s := r.Snapshot().Histograms["latency"]
+	if got := s.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty-histogram Quantile = %v, want NaN", got)
+	}
+	var zero HistogramSnapshot
+	if got := zero.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("zero-value snapshot Quantile = %v, want NaN", got)
+	}
+}

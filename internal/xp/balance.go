@@ -1,6 +1,7 @@
 package xp
 
 import (
+	"context"
 	"fmt"
 
 	"pimnw/internal/core"
@@ -9,6 +10,18 @@ import (
 	"pimnw/internal/kernel"
 	"pimnw/internal/pim"
 )
+
+// alignBatch drives one batch experiment through the streaming session
+// (host.AlignPairsStream) rather than calling host.AlignPairs directly:
+// the harness exercises the serving path, and because the whole workload
+// fits one micro-batch the report is bit-identical to the one-shot run —
+// the equivalence xp_stream_test.go pins.
+func alignBatch(cfg host.Config, pairs []host.Pair) (*host.Report, []host.Result, error) {
+	return host.AlignPairsStream(context.Background(), host.SessionConfig{
+		Host:          cfg,
+		MaxBatchPairs: len(pairs),
+	}, pairs)
+}
 
 // balanceTable quantifies the §4.1.2 claim: because a rank's results can
 // only be collected once every one of its 64 DPUs has finished, the
@@ -61,7 +74,7 @@ func (r *Runner) balanceTable() (Table, error) {
 		}
 		r.Opts.applyFaults(&cfg)
 		r.Opts.applyIntegrity(&cfg)
-		rep, _, err := host.AlignPairs(cfg, pairs)
+		rep, _, err := alignBatch(cfg, pairs)
 		if err != nil {
 			return t, err
 		}

@@ -1,0 +1,74 @@
+package xp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/host"
+	"pimnw/internal/kernel"
+	"pimnw/internal/pim"
+	"pimnw/internal/seq"
+)
+
+// TestAlignBatchMatchesOneShot pins the contract alignBatch relies on:
+// routing a whole-workload micro-batch through the streaming session is
+// bit-identical to host.AlignPairs — same results AND same report — so
+// the xp tables are unchanged by the serving-path rewiring.
+func TestAlignBatchMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var pairs []host.Pair
+	for i := 0; i < 24; i++ {
+		a := seq.Random(rng, 150+rng.Intn(100))
+		b := seq.UniformErrors(0.05).Apply(rng, a)
+		pairs = append(pairs, host.Pair{ID: i, A: a, B: b})
+	}
+
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = 1
+	cfg := host.Config{
+		PIM: pimCfg,
+		Kernel: kernel.Config{
+			Geometry: kernel.DefaultGeometry(),
+			Band:     dpuBand,
+			Params:   core.DefaultParams(),
+			Costs:    pim.Asm,
+			PIM:      pimCfg,
+		},
+		Balance: host.BalanceLPT,
+	}
+
+	wantRep, wantResults, err := host.AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, gotResults, err := alignBatch(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session re-sequences results into submission order while the
+	// one-shot API returns dispatch order; compare the sets keyed by ID.
+	byID := func(rs []host.Result) map[int]host.Result {
+		m := make(map[int]host.Result, len(rs))
+		for _, r := range rs {
+			m[r.ID] = r
+		}
+		return m
+	}
+	if len(gotResults) != len(wantResults) {
+		t.Fatalf("%d streamed results, %d one-shot", len(gotResults), len(wantResults))
+	}
+	if !reflect.DeepEqual(byID(gotResults), byID(wantResults)) {
+		t.Fatal("alignBatch results diverge from host.AlignPairs")
+	}
+	for i := 1; i < len(gotResults); i++ {
+		if gotResults[i].ID < gotResults[i-1].ID {
+			t.Fatalf("streamed results not in submission order: %d after %d",
+				gotResults[i].ID, gotResults[i-1].ID)
+		}
+	}
+	if !reflect.DeepEqual(gotRep, wantRep) {
+		t.Fatalf("alignBatch report diverges from host.AlignPairs:\n got %+v\nwant %+v", gotRep, wantRep)
+	}
+}
