@@ -47,9 +47,31 @@ echo "== align over HTTP vs one-shot CLI =="
 diff -u "$WORK/oneshot.out" "$WORK/served.out"
 [ -s "$WORK/served.out" ] || { echo "served output is empty" >&2; exit 1; }
 
-curl -fsS "http://$ADDR/metrics" > "$WORK/metrics.txt"
+curl -fsS "http://$ADDR/metrics" -D "$WORK/metrics.hdr" > "$WORK/metrics.txt"
 grep -q '^session_pairs_total' "$WORK/metrics.txt" || {
     echo "metrics endpoint missing session counters" >&2; exit 1; }
+grep -qi '^Content-Type: text/plain; version=0.0.4; charset=utf-8' "$WORK/metrics.hdr" || {
+    echo "metrics endpoint missing the Prometheus content type" >&2
+    cat "$WORK/metrics.hdr" >&2; exit 1; }
+
+echo "== trace-ID propagation =="
+printf '{"id":0,"a":"ACGTACGTACGT","b":"ACGTACGAACGT"}\n' \
+    | curl -fsS -X POST -H 'X-Trace-Id: t-123' --data-binary @- \
+        "http://$ADDR/align" > "$WORK/traced.ndjson"
+grep -q '"trace_id":"t-123"' "$WORK/traced.ndjson" || {
+    echo "NDJSON results missing the posted trace ID" >&2
+    cat "$WORK/traced.ndjson" >&2; exit 1; }
+
+echo "== /debug surface =="
+curl -fsS "http://$ADDR/debug/vars" > "$WORK/vars.json"
+grep -q '"alignd_requests_total"' "$WORK/vars.json" || {
+    echo "/debug/vars missing the request counter" >&2; exit 1; }
+grep -q '"goroutines"' "$WORK/vars.json" || {
+    echo "/debug/vars missing runtime stats" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/flight" > "$WORK/flight.json"
+grep -q '"trace_id": "t-123"' "$WORK/flight.json" || {
+    echo "/debug/flight missing the traced request's admission" >&2
+    cat "$WORK/flight.json" >&2; exit 1; }
 
 echo "== graceful SIGTERM drain =="
 kill -TERM "$DAEMON_PID"

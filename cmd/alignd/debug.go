@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"pimnw/internal/obs"
+)
+
+// registerDebug wires the ops surface under /debug/: the standard pprof
+// handlers, a /debug/vars snapshot (metrics registry + Go runtime stats),
+// the flight-recorder dump, and an on-demand live Perfetto trace window.
+func registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", handleVars)
+	mux.HandleFunc("/debug/flight", handleFlight)
+	mux.HandleFunc("/debug/trace", handleTraceCapture)
+}
+
+// handleVars is the expvar-style snapshot: every registered metric plus a
+// slice of Go runtime state, as one indented JSON object.
+func handleVars(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := obs.Default().Snapshot()
+	// JSON has no Inf literal; clamp the overflow bucket's bound the same
+	// way Registry.WriteJSON does.
+	for name, h := range snap.Histograms {
+		for i := range h.Buckets {
+			if math.IsInf(h.Buckets[i].LE, 1) {
+				h.Buckets[i].LE = math.MaxFloat64
+			}
+		}
+		snap.Histograms[name] = h
+	}
+	out := map[string]any{
+		"metrics": snap,
+		"runtime": map[string]any{
+			"go_version":     runtime.Version(),
+			"goroutines":     runtime.NumGoroutine(),
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"num_cpu":        runtime.NumCPU(),
+			"heap_alloc":     ms.HeapAlloc,
+			"heap_sys":       ms.HeapSys,
+			"total_alloc":    ms.TotalAlloc,
+			"mallocs":        ms.Mallocs,
+			"frees":          ms.Frees,
+			"num_gc":         ms.NumGC,
+			"pause_total_ns": ms.PauseTotalNs,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// handleFlight dumps the flight recorder's retained events, oldest first.
+// With no recorder installed the dump is empty, not an error.
+func handleFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.Flight().WriteJSON(w)
+}
+
+// handleTraceCapture collects the host's wall-clock spans for a live
+// window (?sec=N, default 1, max 60) and returns them as Chrome
+// trace-event JSON — point Perfetto at a running daemon without
+// restarting it. One window at a time; concurrent captures get 409.
+func handleTraceCapture(w http.ResponseWriter, r *http.Request) {
+	sec := 1
+	if q := r.URL.Query().Get("sec"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > 60 {
+			http.Error(w, "sec must be an integer in [1,60]", http.StatusBadRequest)
+			return
+		}
+		sec = n
+	}
+	events, err := obs.CaptureTrace(r.Context(), time.Duration(sec)*time.Second)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, obs.ErrCaptureBusy) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteTraceEvents(w, events)
+}

@@ -5,15 +5,28 @@
 // linger deadline) and streams results back in submission order as
 // NDJSON while later pairs are still being admitted.
 //
+// Every request carries a trace ID — the caller's X-Trace-Id header if
+// given, minted otherwise — echoed on the response, stamped on each
+// NDJSON result line, and threaded through logs, flight-recorder entries
+// and Perfetto slices for end-to-end correlation.
+//
 // Endpoints:
 //
-//	POST /align    body: JSON array of pairs, or NDJSON (one pair object
-//	               per line): {"id":0,"a":"ACGT...","b":"ACGT..."}.
-//	               Response: NDJSON, one result per pair in submission
-//	               order. 429 + Retry-After when at capacity.
-//	GET  /metrics  Prometheus-text serving metrics (queue depth,
-//	               micro-batch occupancy, admission rejects, latency).
-//	GET  /healthz  liveness probe.
+//	POST /align         body: JSON array of pairs, or NDJSON (one pair
+//	                    object per line): {"id":0,"a":"ACGT...","b":"..."}.
+//	                    Response: NDJSON, one result per pair in submission
+//	                    order. 429 + Retry-After when at capacity.
+//	GET  /metrics       Prometheus-text serving metrics (queue depth,
+//	                    micro-batch occupancy, admission rejects, latency,
+//	                    per-stage alignd_stage_seconds histograms).
+//	GET  /healthz       liveness probe.
+//	GET  /debug/vars    metrics snapshot + Go runtime stats as JSON.
+//	GET  /debug/flight  flight-recorder dump: the last -flight-events
+//	                    notable events (admissions, rejections, faults,
+//	                    escalations, abandonments, slow requests) as JSON.
+//	GET  /debug/trace   live Perfetto capture of the next ?sec=N seconds
+//	                    of host wall-clock spans (default 1, max 60).
+//	GET  /debug/pprof/  standard Go profiling endpoints.
 //
 // SIGTERM/SIGINT drains in-flight requests, logs the latency summary
 // and exits 0.
@@ -25,7 +38,7 @@
 //	       [-batch-pairs N] [-linger DUR] [-queue-limit N] [-max-concurrent N]
 //	       [-escalation] [-max-band W] [-verify]
 //	       [-fault-rate P] [-fault-seed N] [-max-retries N] [-batch-deadline SEC]
-//	       [-v]
+//	       [-log-json] [-slow-request DUR] [-flight-events N] [-v]
 //
 // Client mode: alignd -post URL -a queries.fa -b targets.fa sends the
 // FASTA pairs to a running daemon and prints results in pimalign's
@@ -82,6 +95,10 @@ func run() error {
 		maxRetries    = flag.Int("max-retries", 3, "recovery attempts per batch beyond the first launch")
 		batchDeadline = flag.Float64("batch-deadline", 0, "modelled per-attempt deadline in seconds (0 = none)")
 
+		logJSON      = flag.Bool("log-json", false, "structured JSON log lines instead of text")
+		slowRequest  = flag.Duration("slow-request", time.Second, "log a stage breakdown for align requests at/over this duration (0 = every request, negative = never)")
+		flightEvents = flag.Int("flight-events", obs.DefaultFlightEvents, "flight-recorder ring capacity (notable events retained for /debug/flight)")
+
 		post    = flag.String("post", "", "client mode: POST the -a/-b FASTA pairs to this daemon URL and print pimalign-style results")
 		aPath   = flag.String("a", "", "FASTA file of query sequences (client mode)")
 		bPath   = flag.String("b", "", "FASTA file of target sequences (client mode)")
@@ -91,6 +108,7 @@ func run() error {
 	if *verbose {
 		obs.SetVerbosity(1)
 	}
+	obs.SetLogJSON(*logJSON)
 	if *post != "" {
 		return runClient(*post, *aPath, *bPath)
 	}
@@ -125,8 +143,9 @@ func run() error {
 		return err
 	}
 	obs.SetDefault(obs.NewRegistry())
+	obs.SetFlight(obs.NewFlightRecorder(*flightEvents))
 
-	sv := newServer(scfg, *maxRequests)
+	sv := newServer(scfg, *maxRequests, *slowRequest)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -7,8 +7,10 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"pimnw/internal/core"
 	"pimnw/internal/host"
@@ -103,10 +105,10 @@ func TestServerBitIdenticalToAlignPairs(t *testing.T) {
 	}
 	wantByID := make(map[int]wireResult, len(want))
 	for _, r := range want {
-		wantByID[r.ID] = toWireResult(r)
+		wantByID[r.ID] = toWireResult(r, "")
 	}
 
-	ts := httptest.NewServer(newServer(scfg, 2).mux())
+	ts := httptest.NewServer(newServer(scfg, 2, time.Second).mux())
 	defer ts.Close()
 
 	arrayBody, _ := json.Marshal(wires)
@@ -131,6 +133,10 @@ func TestServerBitIdenticalToAlignPairs(t *testing.T) {
 				if r.ID != i {
 					t.Fatalf("result %d carries ID %d; stream must follow submission order", i, r.ID)
 				}
+				if r.TraceID == "" {
+					t.Fatalf("pair %d: streamed result missing a trace ID", r.ID)
+				}
+				r.TraceID = "" // minted per request; everything else must match exactly
 				if r != wantByID[r.ID] {
 					t.Fatalf("pair %d diverges from one-shot AlignPairs:\n got %+v\nwant %+v", r.ID, r, wantByID[r.ID])
 				}
@@ -144,7 +150,7 @@ func TestServerBitIdenticalToAlignPairs(t *testing.T) {
 // once capacity frees up.
 func TestServerBackpressure429(t *testing.T) {
 	obs.SetDefault(obs.NewRegistry()) // the daemon's run() does this; mirror it for /metrics
-	sv := newServer(testSessionConfig(t), 2)
+	sv := newServer(testSessionConfig(t), 2, time.Second)
 	ts := httptest.NewServer(sv.mux())
 	defer ts.Close()
 	_, wires := testWorkload(t, 2)
@@ -181,7 +187,7 @@ func TestServerBackpressure429(t *testing.T) {
 }
 
 func TestServerEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newServer(testSessionConfig(t), 1).mux())
+	ts := httptest.NewServer(newServer(testSessionConfig(t), 1, time.Second).mux())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -192,6 +198,39 @@ func TestServerEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
 		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	// /metrics must carry the Prometheus exposition content type.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+
+	// The /debug surface answers even with no registry or recorder wired.
+	for _, path := range []string{"/debug/flight", "/debug/vars", "/debug/pprof/"} {
+		resp, err = http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/debug/trace?sec=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /debug/trace?sec=99 = %d, want 400", resp.StatusCode)
 	}
 
 	// GET on /align is not allowed.
@@ -228,13 +267,138 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerTraceIDPropagation is the observability acceptance check: a
+// request posted with X-Trace-Id must come back with every NDJSON result
+// line stamped with that ID, the ID echoed on the response header, a
+// flight-recorder entry carrying it, and — with the slow threshold at
+// zero — a structured slow-request log line with the full stage
+// breakdown.
+func TestServerTraceIDPropagation(t *testing.T) {
+	obs.SetDefault(obs.NewRegistry())
+	fr := obs.NewFlightRecorder(64)
+	obs.SetFlight(fr)
+	defer obs.SetFlight(nil)
+	var logBuf bytes.Buffer
+	obs.SetLogOutput(&logBuf)
+	obs.SetLogJSON(true)
+	defer obs.SetLogOutput(os.Stderr)
+	defer obs.SetLogJSON(false)
+
+	sv := newServer(testSessionConfig(t), 1, 0) // threshold 0: every request logs its breakdown
+	ts := httptest.NewServer(sv.mux())
+	defer ts.Close()
+
+	_, wires := testWorkload(t, 4)
+	body, _ := json.Marshal(wires)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/align", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "t-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /align = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "t-123" {
+		t.Fatalf("response X-Trace-Id = %q, want the request's t-123", got)
+	}
+	dec := json.NewDecoder(resp.Body)
+	n := 0
+	for {
+		var r wireResult
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if r.Err != "" {
+			t.Fatalf("server error mid-stream: %s", r.Err)
+		}
+		if r.TraceID != "t-123" {
+			t.Fatalf("result %d carries trace ID %q, want t-123", r.ID, r.TraceID)
+		}
+		n++
+	}
+	if n != len(wires) {
+		t.Fatalf("%d results for %d pairs", n, len(wires))
+	}
+
+	kinds := map[string]bool{}
+	for _, ev := range fr.Snapshot() {
+		if ev.TraceID == "t-123" {
+			kinds[ev.Kind] = true
+		}
+	}
+	for _, want := range []string{"admit", "slow"} {
+		if !kinds[want] {
+			t.Errorf("flight recorder missing a %q event for t-123 (have %v)", want, kinds)
+		}
+	}
+
+	var slow map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var m map[string]any
+		if json.Unmarshal([]byte(line), &m) == nil &&
+			m["msg"] == "slow request" && m["trace_id"] == "t-123" {
+			slow = m
+		}
+	}
+	if slow == nil {
+		t.Fatalf("no structured slow-request line for t-123 in:\n%s", logBuf.String())
+	}
+	for _, key := range []string{"elapsed_sec", "pairs", "queue_wait_sec", "linger_sec",
+		"kernel_sec", "wait_retry_sec", "escalation_sec", "verify_sec"} {
+		if _, ok := slow[key]; !ok {
+			t.Errorf("slow-request line missing %q: %v", key, slow)
+		}
+	}
+
+	// The ops surface sees the same request: the flight dump carries the
+	// trace ID and /debug/vars reflects the served request.
+	dresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != 200 || !strings.Contains(string(dump), "t-123") {
+		t.Fatalf("/debug/flight = %d, missing t-123:\n%s", dresp.StatusCode, dump)
+	}
+	vresp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Metrics obs.Snapshot   `json:"metrics"`
+		Runtime map[string]any `json:"runtime"`
+	}
+	err = json.NewDecoder(vresp.Body).Decode(&vars)
+	vresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars.Metrics.Counters["alignd_requests_total"] < 1 {
+		t.Errorf("/debug/vars counters = %v, want alignd_requests_total >= 1", vars.Metrics.Counters)
+	}
+	if _, ok := vars.Metrics.Histograms[`alignd_stage_seconds{stage="kernel"}`]; !ok {
+		t.Errorf("/debug/vars missing the kernel stage histogram (have %d histograms)", len(vars.Metrics.Histograms))
+	}
+	if vars.Runtime["goroutines"] == nil {
+		t.Error("/debug/vars missing runtime stats")
+	}
+}
+
 // TestServerStreamsManyMicroBatches drives enough pairs through a small
 // micro-batch size to require several flushes, checking order and count.
 func TestServerStreamsManyMicroBatches(t *testing.T) {
 	scfg := testSessionConfig(t)
 	scfg.MaxBatchPairs = 4
 	scfg.MaxConcurrentBatches = 3
-	ts := httptest.NewServer(newServer(scfg, 1).mux())
+	ts := httptest.NewServer(newServer(scfg, 1, time.Second).mux())
 	defer ts.Close()
 	_, wires := testWorkload(t, 30)
 	body, _ := json.Marshal(wires)

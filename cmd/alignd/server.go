@@ -22,8 +22,10 @@ type wirePair struct {
 	B  string `json:"b"`
 }
 
-// wireResult is one streamed response line. Err is set only on the
-// trailing line of a request that failed mid-stream.
+// wireResult is one streamed response line, stamped with the request's
+// trace ID so any line can be correlated with server logs, flight-recorder
+// entries and Perfetto slices. Err is set only on the trailing line of a
+// request that failed mid-stream.
 type wireResult struct {
 	ID         int    `json:"id"`
 	Score      int32  `json:"score"`
@@ -32,10 +34,11 @@ type wireResult struct {
 	Status     string `json:"status,omitempty"`
 	Trusted    bool   `json:"trusted"`
 	Provenance string `json:"provenance,omitempty"`
+	TraceID    string `json:"trace_id,omitempty"`
 	Err        string `json:"error,omitempty"`
 }
 
-func toWireResult(r host.Result) wireResult {
+func toWireResult(r host.Result, traceID string) wireResult {
 	return wireResult{
 		ID:         r.ID,
 		Score:      r.Score,
@@ -44,6 +47,7 @@ func toWireResult(r host.Result) wireResult {
 		Status:     r.Status.String(),
 		Trusted:    r.Status.Trusted(),
 		Provenance: r.Provenance,
+		TraceID:    traceID,
 	}
 }
 
@@ -67,14 +71,15 @@ func toHostPair(p wirePair) (host.Pair, error) {
 type server struct {
 	scfg        host.SessionConfig
 	maxRequests int64
+	slow        time.Duration // log a stage breakdown for requests at/over this; negative disables
 	active      atomic.Int64
 }
 
-func newServer(scfg host.SessionConfig, maxRequests int) *server {
+func newServer(scfg host.SessionConfig, maxRequests int, slow time.Duration) *server {
 	if maxRequests < 1 {
 		maxRequests = 1
 	}
-	return &server{scfg: scfg, maxRequests: int64(maxRequests)}
+	return &server{scfg: scfg, maxRequests: int64(maxRequests), slow: slow}
 }
 
 func (sv *server) mux() *http.ServeMux {
@@ -84,6 +89,7 @@ func (sv *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	registerDebug(mux)
 	return mux
 }
 
@@ -98,7 +104,7 @@ func (sv *server) acquire() bool {
 func (sv *server) release() { sv.active.Add(-1) }
 
 func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default().WritePrometheus(w)
 }
 
@@ -107,14 +113,29 @@ func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Every request gets a trace ID — the caller's X-Trace-Id if given,
+	// minted otherwise — echoed on the response, stamped on every result
+	// line, and threaded through the session into spans, flight-recorder
+	// entries and structured logs.
+	tid := r.Header.Get("X-Trace-Id")
+	if tid == "" {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set("X-Trace-Id", tid)
 	if !sv.acquire() {
 		obs.Default().Counter("alignd_requests_rejected_total").Add(1)
+		obs.Flight().Record("reject", tid, "align request rejected: server at capacity")
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
 		return
 	}
 	defer sv.release()
-	obs.Default().Counter("alignd_requests_total").Add(1)
+	reg := obs.Default()
+	reg.Counter("alignd_requests_total").Add(1)
+	reg.Gauge("alignd_inflight_requests").Add(1)
+	defer reg.Gauge("alignd_inflight_requests").Add(-1)
+	obs.Flight().Record("admit", tid, "align request admitted")
+	start := time.Now()
 
 	// The response streams while the request body is still being read;
 	// HTTP/1 needs full-duplex opted in (no-op where unsupported).
@@ -135,7 +156,7 @@ func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s, err := host.NewSession(r.Context(), sv.scfg)
+	s, err := host.NewSession(obs.WithTraceID(r.Context(), tid), sv.scfg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -160,7 +181,7 @@ func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
 	for res := range s.Results() {
-		if enc.Encode(toWireResult(res)) != nil {
+		if enc.Encode(toWireResult(res, tid)) != nil {
 			break // client went away; session cleanup follows via r.Context()
 		}
 		if fl != nil {
@@ -173,7 +194,47 @@ func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		// Too late for a status code; the trailing line carries the error.
-		enc.Encode(wireResult{Err: err.Error()})
+		enc.Encode(wireResult{TraceID: tid, Err: err.Error()})
+	}
+	sv.observeRequest(tid, start, s)
+}
+
+// stageBuckets spans the serving stages' range: sub-millisecond linger
+// and queue waits up to multi-second escalation timelines.
+var stageBuckets = []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+
+// observeRequest records the drained session's stage latency decomposition
+// into the alignd_stage_seconds{stage=...} histograms and, when the
+// request's wall time reaches the slow threshold, logs the full breakdown
+// and flight-records the event. Stages() blocks until the session has
+// drained, which the streaming loop above guarantees terminates (client
+// disconnects cancel r.Context(), which aborts the session).
+func (sv *server) observeRequest(tid string, start time.Time, s *host.Session) {
+	st := s.Stages()
+	rep := s.Report()
+	elapsed := time.Since(start).Seconds()
+	reg := obs.Default()
+	observe := func(stage string, v float64) {
+		reg.Histogram(`alignd_stage_seconds{stage="`+stage+`"}`, stageBuckets).Observe(v)
+	}
+	observe("queue_wait", st.QueueWaitSec)
+	observe("linger", st.LingerSec)
+	observe("kernel", st.KernelSec)
+	observe("wait_retry", st.WaitRetrySec)
+	observe("escalation", st.EscalationSec)
+	observe("verify", st.VerifySec)
+	reg.Histogram("alignd_request_seconds", stageBuckets).Observe(elapsed)
+	if sv.slow >= 0 && elapsed >= sv.slow.Seconds() {
+		obs.Info("slow request", "trace_id", tid,
+			"elapsed_sec", elapsed,
+			"pairs", rep.Alignments,
+			"queue_wait_sec", st.QueueWaitSec,
+			"linger_sec", st.LingerSec,
+			"kernel_sec", st.KernelSec,
+			"wait_retry_sec", st.WaitRetrySec,
+			"escalation_sec", st.EscalationSec,
+			"verify_sec", st.VerifySec)
+		obs.Flight().Recordf("slow", tid, "request took %.3fs (%d pairs)", elapsed, rep.Alignments)
 	}
 }
 

@@ -37,11 +37,13 @@ func run() error {
 		seed    = flag.Int64("seed", 0, "seed offset")
 		out     = flag.String("out", ".", "output directory")
 		verbose = flag.Bool("v", false, "verbose (debug) logging")
+		logJSON = flag.Bool("log-json", false, "structured JSON log lines instead of text")
 	)
 	flag.Parse()
 	if *verbose {
 		obs.SetVerbosity(1)
 	}
+	obs.SetLogJSON(*logJSON)
 	obs.Debugf("dataset=%s scale=%g seed=%d out=%s", *name, *scale, *seed, *out)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err

@@ -42,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "offset every generator seed")
 	format := flag.String("format", "text", "output format: text or markdown")
 	verbose := flag.Bool("v", false, "verbose (debug) logging")
+	logJSON := flag.Bool("log-json", false, "structured JSON log lines instead of text")
 	metrics := flag.String("metrics", "", "write a Prometheus-text metrics snapshot to FILE (\"-\" = stdout)")
 	traceOut := flag.String("trace-out", "", "write the harness spans as Chrome trace-event JSON to FILE")
 	reportJSON := flag.String("report-json", "", "write the generated tables as JSON to FILE")
@@ -58,6 +59,7 @@ func main() {
 	if *verbose {
 		obs.SetVerbosity(1)
 	}
+	obs.SetLogJSON(*logJSON)
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -87,6 +87,7 @@ func run() error {
 		threads    = flag.Int("threads", 0, "CPU threads (cpu engine; 0 = all)")
 		timeline   = flag.Bool("timeline", false, "print the simulated rank timeline (pim engine)")
 		verbose    = flag.Bool("v", false, "verbose (debug) logging")
+		logJSON    = flag.Bool("log-json", false, "structured JSON log lines instead of text")
 		metrics    = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to FILE (\"-\" = stdout; pim engine)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file to FILE for Perfetto (pim engine)")
 		reportJSON = flag.String("report-json", "", "write the machine-readable run report to FILE (pim engine)")
@@ -107,6 +108,7 @@ func run() error {
 	if *verbose {
 		obs.SetVerbosity(1)
 	}
+	obs.SetLogJSON(*logJSON)
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		return err

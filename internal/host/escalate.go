@@ -2,6 +2,7 @@ package host
 
 import (
 	"fmt"
+	"time"
 
 	"pimnw/internal/baseline"
 	"pimnw/internal/kernel"
@@ -163,7 +164,10 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 			Round: round, Band: rg.band, Provenance: rg.provenance(),
 			Pairs: len(runnable), StartSec: start, EndSec: rep.MakespanSec,
 		})
-		obs.Logf("escalation round %d: %d pairs redispatched at %s", round, len(runnable), rg.provenance())
+		obs.Info("escalation round", "trace_id", cfg.TraceID,
+			"round", round, "pairs", len(runnable), "rung", rg.provenance())
+		obs.Flight().Recordf("escalation", cfg.TraceID,
+			"round %d: %d pairs redispatched at %s", round, len(runnable), rg.provenance())
 
 		next := skipped
 		for _, r := range subResults {
@@ -207,7 +211,10 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 		}
 		rep.CPUFallbackSec += out.WallSeconds
 		rep.DegradedCPU += len(cpuIDs)
-		obs.Logf("cpu rescue: %d pairs aligned exactly in %.3fs host time", len(cpuIDs), out.WallSeconds)
+		obs.Info("cpu rescue", "trace_id", cfg.TraceID,
+			"pairs", len(cpuIDs), "host_sec", out.WallSeconds)
+		obs.Flight().Recordf("escalation", cfg.TraceID,
+			"cpu rescue: %d pairs aligned exactly in %.3fs host time", len(cpuIDs), out.WallSeconds)
 		for _, br := range out.Results {
 			pr := kernel.PairResult{ID: br.ID, Score: br.Score, InBand: true, Cells: br.Cells}
 			if br.Cigar != nil {
@@ -216,7 +223,10 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 			if cfg.Verify && cfg.Kernel.Traceback {
 				rep.VerifyChecked++
 				p := byID[br.ID]
-				if err := verify.CheckPair(p.A, p.B, cfg.Kernel.Params, br.Score, string(pr.Cigar)); err != nil {
+				vStart := time.Now()
+				err := verify.CheckPair(p.A, p.B, cfg.Kernel.Params, br.Score, string(pr.Cigar))
+				rep.VerifySec += time.Since(vStart).Seconds()
+				if err != nil {
 					rep.VerifyFailures++
 					obs.Logf("verify: cpu-exact pair %d: %v", br.ID, err)
 				}
@@ -278,6 +288,7 @@ func mergeRound(dst, src *Report) {
 	dst.RetrySec += src.RetrySec
 	dst.VerifyChecked += src.VerifyChecked
 	dst.VerifyFailures += src.VerifyFailures
+	dst.VerifySec += src.VerifySec
 	if src.Batches > 0 {
 		total := dst.Batches + src.Batches
 		dst.UtilizationMean = (dst.UtilizationMean*float64(dst.Batches) +

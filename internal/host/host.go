@@ -78,6 +78,13 @@ type Config struct {
 	// Score-only results carry no CIGAR to re-derive, so Verify is a
 	// no-op for score-only kernels.
 	Verify bool
+	// TraceID correlates everything this run emits — wall-clock spans,
+	// modelled Perfetto slices, flight-recorder events, structured log
+	// lines, the report — with the request that triggered it. A serving
+	// frontend sets it per request (host.Session fills it from the
+	// context's obs.TraceIDFrom when empty); "" means untraced. It never
+	// affects results or modelled timing.
+	TraceID string
 
 	// faults is the model built from Faults by AlignPairs (nil = perfect
 	// fabric); carried here so every runBatch shares one instance.
@@ -297,9 +304,10 @@ type Report struct {
 	// rungs over EscalationRounds executed rungs; DegradedScoreOnly and
 	// DegradedCPU count pairs whose answer of record came from a lower
 	// rung than requested; VerifyChecked/VerifyFailures count the CIGAR
-	// re-derivation checks (Config.Verify); CPUFallbackSec is measured
-	// host wall-clock spent on the CPU rung — host-side work, deliberately
-	// NOT folded into the modelled MakespanSec.
+	// re-derivation checks (Config.Verify); CPUFallbackSec and VerifySec
+	// are measured host wall-clock spent on the CPU rung and on CIGAR
+	// re-derivation — host-side work, deliberately NOT folded into the
+	// modelled MakespanSec.
 	OutOfBandPairs    int
 	ClippedPairs      int
 	Escalations       int
@@ -309,12 +317,17 @@ type Report struct {
 	VerifyChecked     int
 	VerifyFailures    int
 	CPUFallbackSec    float64
+	VerifySec         float64
 	// Provenance counts final answers by producing engine; Escalation
 	// records the executed ladder rungs; Issues lists every pair that did
 	// not resolve cleanly on the first rung (capped at maxReportIssues).
 	Provenance map[string]int
 	Escalation []EscalationRound
 	Issues     []PairIssue
+	// TraceID is the request trace this run belongs to (Config.TraceID),
+	// stamped onto every Perfetto slice the report exports; "" when the
+	// run was untraced.
+	TraceID string
 }
 
 // maxReportIssues caps Report.Issues so a run where every pair degrades

@@ -38,9 +38,11 @@ type batchExec struct {
 	abandoned    []int // pair IDs dropped after retries were exhausted
 	faults       []FaultEvent
 	// Result-validation outcome (Config.Verify): CIGAR re-derivation
-	// checks performed and the failures among them.
+	// checks performed, the failures among them, and the measured host
+	// wall-clock the checks cost (kept out of the modelled timeline).
 	verifyChecked  int
 	verifyFailures int
+	verifySec      float64
 }
 
 // AlignPairs runs the paper's main-loop workflow (§4.1) over independent
@@ -64,6 +66,9 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 	cfg.faults = model
 	sp := obs.StartSpan("host.align_pairs")
 	sp.SetAttrInt("pairs", int64(len(pairs)))
+	if cfg.TraceID != "" {
+		sp.SetAttr("trace_id", cfg.TraceID)
+	}
 	defer sp.End()
 
 	rep, results, err := alignOnce(cfg, pairs, sp)
@@ -135,7 +140,7 @@ func kernelProvenance(k kernel.Config) string {
 // plain run and every rung of the escalation ladder. The caller owns
 // validation, fault-model construction and metrics publication.
 func alignPairsRound(cfg Config, pairs []Pair, sp *obs.Span) (*Report, []Result, error) {
-	rep := &Report{UtilizationMin: 1}
+	rep := &Report{UtilizationMin: 1, TraceID: cfg.TraceID}
 	if len(pairs) == 0 {
 		return rep, nil, nil
 	}
@@ -174,6 +179,9 @@ func alignPairsRound(cfg Config, pairs []Pair, sp *obs.Span) (*Report, []Result,
 		// trace lane; encode/kernel sub-spans nest inside.
 		bs := obs.StartSpan("host.batch")
 		bs.SetAttrInt("batch", int64(bi))
+		if cfg.TraceID != "" {
+			bs.SetAttr("trace_id", cfg.TraceID)
+		}
 		defer bs.End()
 		ex, err := runBatch(cfg, batches[bi], bi, bs)
 		if err != nil {
@@ -304,6 +312,7 @@ func scheduleTimeline(cfg Config, execs []batchExec, rep *Report) {
 		rep.RetrySec += ex.retrySec
 		rep.VerifyChecked += ex.verifyChecked
 		rep.VerifyFailures += ex.verifyFailures
+		rep.VerifySec += ex.verifySec
 		if len(ex.abandoned) > 0 {
 			rep.AbandonedPairs += len(ex.abandoned)
 			rep.AbandonedIDs = append(rep.AbandonedIDs, ex.abandoned...)

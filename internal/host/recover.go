@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"pimnw/internal/kernel"
 	"pimnw/internal/obs"
@@ -24,10 +25,13 @@ type dpuAttempt struct {
 	used    bool
 	fail    pim.FaultKind // FaultNone = accepted
 	// Result-validation outcome (Config.Verify): checks performed, the
-	// failures among them, and whether the launch must be rejected for
-	// carrying invalid results (handled like a corrupted transfer).
+	// failures among them, the measured wall-clock the checks cost
+	// (summed across DPU launches), and whether the launch must be
+	// rejected for carrying invalid results (handled like a corrupted
+	// transfer).
 	verified   int
 	badResults int
+	verifySec  float64
 	invalid    bool
 }
 
@@ -88,6 +92,9 @@ func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, err
 				Batch: batch, Attempt: attempt, DPU: -1,
 				Kind: pim.FaultRankDrop.String(), AtSec: ex.kernelSec + ex.waitSec,
 			})
+			obs.Flight().Recordf("fault", cfg.TraceID,
+				"batch %d attempt %d: rank dropped off the bus (%d pairs)",
+				batch, attempt, len(pending))
 			waitSec = launch
 			failed = pending
 			asp.SetAttr("outcome", "rank_drop")
@@ -116,8 +123,18 @@ func runBatch(cfg Config, pairs []Pair, batch int, sp *obs.Span) (batchExec, err
 			for _, p := range pending {
 				ex.abandoned = append(ex.abandoned, p.ID)
 			}
-			obs.Logf("batch %d: abandoning %d pairs after %d attempts (%d DPUs surviving)",
+			obs.Info("abandoning pairs: retries exhausted",
+				"trace_id", cfg.TraceID, "batch", batch,
+				"pairs", len(pending), "attempts", ex.attempts,
+				"surviving_dpus", len(alive))
+			// Abandonment is the event the flight recorder exists for:
+			// record it, then dump the whole ring to the log so the
+			// faults and escalations leading up to it are preserved next
+			// to the failure.
+			obs.Flight().Recordf("abandon", cfg.TraceID,
+				"batch %d: %d pairs abandoned after %d attempts (%d DPUs surviving)",
 				batch, len(pending), ex.attempts, len(alive))
+			obs.Flight().DumpToLog("abandonment")
 			break
 		}
 		shift := attempt
@@ -200,8 +217,12 @@ func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 			// Defense in depth past the transfer checksum: re-derive every
 			// in-band score from its CIGAR and the cost table. A launch
 			// with any invalid result is rejected wholesale — detected
-			// corruption, same handling as a checksum mismatch.
+			// corruption, same handling as a checksum mismatch. The wall
+			// clock it costs is measured (host-side work, like the CPU
+			// rung) and reported as VerifySec.
+			vStart := time.Now()
 			da.verified, da.badResults = verifyOutcome(cfg, pending, buckets[ai], out.Results)
+			da.verifySec = time.Since(vStart).Seconds()
 			da.invalid = da.badResults > 0
 		}
 		outs[ai] = da
@@ -223,6 +244,7 @@ func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 		ex.bytesIn += o.bytesIn // retransfers on retry attempts cost bus time too
 		ex.verifyChecked += o.verified
 		ex.verifyFailures += o.badResults
+		ex.verifySec += o.verifySec
 		sec := o.sec
 		if sec > deadline {
 			sec = deadline // the host gives up on the DPU at the deadline
@@ -248,6 +270,8 @@ func (ex *batchExec) runAttempt(cfg Config, pending []Pair, batch, attempt int,
 			Batch: batch, Attempt: attempt, DPU: o.dpu,
 			Kind: kind, AtSec: at,
 		})
+		obs.Flight().Recordf("fault", cfg.TraceID,
+			"batch %d attempt %d dpu %d: %s", batch, attempt, o.dpu, kind)
 		for _, idx := range buckets[ai] {
 			failed = append(failed, pending[idx])
 		}

@@ -38,6 +38,8 @@ type reportJSON struct {
 	VerifyChecked        int     `json:"verify_checked"`
 	VerifyFailures       int     `json:"verify_failures"`
 	CPUFallbackSec       float64 `json:"cpu_fallback_sec"`
+	VerifySec            float64 `json:"verify_sec"`
+	TraceID              string  `json:"trace_id,omitempty"`
 
 	Provenance map[string]int    `json:"provenance,omitempty"`
 	Escalation []EscalationRound `json:"escalation,omitempty"`
@@ -78,6 +80,8 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		VerifyChecked:        r.VerifyChecked,
 		VerifyFailures:       r.VerifyFailures,
 		CPUFallbackSec:       r.CPUFallbackSec,
+		VerifySec:            r.VerifySec,
+		TraceID:              r.TraceID,
 		Provenance:           r.Provenance,
 		Escalation:           r.Escalation,
 		Issues:               r.Issues,

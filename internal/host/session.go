@@ -91,8 +91,39 @@ type submission struct {
 
 // microBatch is one flushed accumulation, sequenced for ordered delivery.
 type microBatch struct {
-	seq  int
-	subs []submission
+	seq       int
+	subs      []submission
+	flushedAt time.Time // when the batch was sealed; anchors queue-wait
+}
+
+// StageBreakdown decomposes a session's request latency into serving
+// stages. The stages are not disjoint and do not sum to wall-clock time:
+// QueueWaitSec and LingerSec are measured host wall-clock sums over
+// pairs/batches; KernelSec, WaitRetrySec and EscalationSec are simulated
+// fabric time (KernelSec already includes the compute of retries and
+// escalation rounds, and EscalationSec's round windows overlap it —
+// they answer "where did the time go" per lens, not as a partition);
+// VerifySec is measured host wall-clock spent re-scoring CIGARs.
+type StageBreakdown struct {
+	// QueueWaitSec sums, over micro-batches, the wall-clock gap between a
+	// batch being sealed and a dispatch worker picking it up, weighted by
+	// the batch's pair count.
+	QueueWaitSec float64 `json:"queue_wait_sec"`
+	// LingerSec sums each pair's wall-clock wait from admission until its
+	// micro-batch was sealed (the dynamic-batching linger).
+	LingerSec float64 `json:"linger_sec"`
+	// KernelSec is the simulated DPU compute total (Report.KernelSecSum),
+	// retries and escalation rounds included.
+	KernelSec float64 `json:"kernel_sec"`
+	// WaitRetrySec is the simulated launch-barrier wait (Report.WaitSec):
+	// DPUs idling for the slowest sibling, original round and retries.
+	WaitRetrySec float64 `json:"wait_retry_sec"`
+	// EscalationSec sums the simulated timeline windows of escalation
+	// rounds (overlaps KernelSec by construction).
+	EscalationSec float64 `json:"escalation_sec"`
+	// VerifySec is measured host wall-clock spent verifying results
+	// (Report.VerifySec).
+	VerifySec float64 `json:"verify_sec"`
 }
 
 // batchOutcome is one executed micro-batch, ready for in-order delivery.
@@ -135,6 +166,7 @@ type Session struct {
 	nextSeq  int
 	err      error
 	rep      *Report
+	stages   StageBreakdown // measured fields only; simulated fields filled by Stages
 }
 
 // NewSession validates the configuration and starts the session's
@@ -154,6 +186,9 @@ func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Host.TraceID == "" {
+		cfg.Host.TraceID = obs.TraceIDFrom(ctx)
 	}
 	s := &Session{
 		cfg: cfg,
@@ -207,6 +242,7 @@ func (s *Session) Submit(p Pair) error {
 	if s.inFlight >= s.cfg.queueLimit() {
 		s.mu.Unlock()
 		obs.Default().Counter("session_admission_rejects_total").Add(1)
+		obs.Flight().Record("reject", s.cfg.Host.TraceID, "session admission queue full")
 		return ErrQueueFull
 	}
 	s.inFlight++
@@ -241,7 +277,11 @@ func (s *Session) Submit(p Pair) error {
 // takeLocked seals the accumulating pairs into the next micro-batch.
 // Callers hold s.mu and must pass the batch to dispatch after unlocking.
 func (s *Session) takeLocked() microBatch {
-	mb := microBatch{seq: s.nextSeq, subs: s.cur}
+	now := time.Now()
+	mb := microBatch{seq: s.nextSeq, subs: s.cur, flushedAt: now}
+	for _, sub := range mb.subs {
+		s.stages.LingerSec += now.Sub(sub.at).Seconds()
+	}
 	s.nextSeq++
 	s.cur = nil
 	s.sendWG.Add(1)
@@ -365,4 +405,25 @@ func (s *Session) Report() *Report {
 		return &Report{UtilizationMin: 1}
 	}
 	return s.rep
+}
+
+// Stages returns the session's stage latency breakdown: the measured
+// queue-wait and linger accumulated during admission plus the simulated
+// kernel / wait / escalation decomposition and measured verify time from
+// the merged report. Like Report, it blocks until the session has
+// drained.
+func (s *Session) Stages() StageBreakdown {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stages
+	if s.rep != nil {
+		st.KernelSec = s.rep.KernelSecSum
+		st.WaitRetrySec = s.rep.WaitSec
+		for _, er := range s.rep.Escalation {
+			st.EscalationSec += er.EndSec - er.StartSec
+		}
+		st.VerifySec = s.rep.VerifySec
+	}
+	return st
 }

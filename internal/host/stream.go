@@ -14,11 +14,17 @@ import (
 // the results into submission order, so the collector can stream them
 // without any per-pair bookkeeping.
 func (s *Session) runMicroBatch(mb microBatch) batchOutcome {
+	pickup := time.Now()
 	oc := batchOutcome{seq: mb.seq, subs: mb.subs}
 	if err := s.ctx.Err(); err != nil {
 		// Cancelled: skip the compute, the collector discards the batch.
 		oc.err = err
 		return oc
+	}
+	if !mb.flushedAt.IsZero() {
+		s.mu.Lock()
+		s.stages.QueueWaitSec += pickup.Sub(mb.flushedAt).Seconds() * float64(len(mb.subs))
+		s.mu.Unlock()
 	}
 	cfg := s.cfg.Host
 	// Decorrelate fault draws across micro-batches: batch coordinates
@@ -46,6 +52,9 @@ func (s *Session) runMicroBatch(mb microBatch) batchOutcome {
 	sp := obs.StartSpan("host.session_batch")
 	sp.SetAttrInt("batch", int64(mb.seq))
 	sp.SetAttrInt("pairs", int64(len(pairs)))
+	if cfg.TraceID != "" {
+		sp.SetAttr("trace_id", cfg.TraceID)
+	}
 	rep, results, err := alignOnce(cfg, pairs, sp)
 	sp.End()
 	if err != nil {

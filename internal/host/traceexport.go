@@ -36,6 +36,15 @@ const (
 // bytes/cycles, barrier-wait cycles, pipeline utilization) as args.
 func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 	var events []obs.TraceEvent
+	// When the run carries a request trace ID, stamp it into every slice
+	// and instant so a Perfetto query can pull one request's lanes out of
+	// a multi-request capture.
+	stamp := func(args map[string]any) map[string]any {
+		if r.TraceID != "" {
+			args["trace_id"] = r.TraceID
+		}
+		return args
+	}
 	seen := map[int]bool{}
 	recoveryLanes := map[int]bool{}
 	for _, rs := range r.Ranks {
@@ -54,13 +63,13 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 				Name: "xfer_in", Ph: "X",
 				Ts: rs.StartSec * 1e6, Dur: rs.TransferInSec * 1e6,
 				Pid: pid, Tid: tidTransferIn,
-				Args: map[string]any{"batch": rs.Batch, "bytes": rs.BytesIn},
+				Args: stamp(map[string]any{"batch": rs.Batch, "bytes": rs.BytesIn}),
 			},
 			obs.TraceEvent{
 				Name: "kernel", Ph: "X",
 				Ts: kStart * 1e6, Dur: rs.KernelSec * 1e6,
 				Pid: pid, Tid: tidKernel,
-				Args: map[string]any{
+				Args: stamp(map[string]any{
 					"batch":          rs.Batch,
 					"loaded_dpus":    rs.LoadedDPUs,
 					"fastest_dpu_s":  rs.FastestDPUSec,
@@ -70,13 +79,13 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 					"issue_cycles":   rs.DPUStats.IssueCycles,
 					"barrier_cycles": rs.DPUStats.BarrierCycles,
 					"utilization":    rs.DPUStats.Utilization(),
-				},
+				}),
 			},
 			obs.TraceEvent{
 				Name: "xfer_out", Ph: "X",
 				Ts: (rs.EndSec - rs.TransferOutSec) * 1e6, Dur: rs.TransferOutSec * 1e6,
 				Pid: pid, Tid: tidTransferOut,
-				Args: map[string]any{"batch": rs.Batch, "bytes": rs.BytesOut},
+				Args: stamp(map[string]any{"batch": rs.Batch, "bytes": rs.BytesOut}),
 			})
 		if rs.RetrySec > 0 || len(rs.Faults) > 0 {
 			if !recoveryLanes[pid] {
@@ -92,17 +101,17 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 					Ts:  (kStart + rs.KernelSec + rs.WaitSec - rs.RetrySec) * 1e6,
 					Dur: rs.RetrySec * 1e6,
 					Pid: pid, Tid: tidRecovery,
-					Args: map[string]any{
+					Args: stamp(map[string]any{
 						"batch": rs.Batch, "attempts": rs.Attempts,
 						"wait_sec": rs.WaitSec,
-					},
+					}),
 				})
 			}
 			for _, f := range rs.Faults {
 				events = append(events, obs.Instant("fault:"+f.Kind, f.AtSec*1e6,
-					pid, tidRecovery, map[string]any{
+					pid, tidRecovery, stamp(map[string]any{
 						"batch": f.Batch, "attempt": f.Attempt, "dpu": f.DPU,
-					}))
+					})))
 			}
 		}
 	}
@@ -122,13 +131,13 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 				Name: er.Provenance, Ph: "X",
 				Ts: er.StartSec * 1e6, Dur: (er.EndSec - er.StartSec) * 1e6,
 				Pid: pid, Tid: tidIntegrity,
-				Args: map[string]any{
+				Args: stamp(map[string]any{
 					"round": er.Round, "band": er.Band, "pairs": er.Pairs,
-				},
+				}),
 			})
 		}
 		events = append(events, obs.Instant("integrity", r.MakespanSec*1e6,
-			pid, tidIntegrity, map[string]any{
+			pid, tidIntegrity, stamp(map[string]any{
 				"out_of_band_pairs":   r.OutOfBandPairs,
 				"clipped_pairs":       r.ClippedPairs,
 				"escalations":         r.Escalations,
@@ -138,7 +147,7 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 				"verify_checked":      r.VerifyChecked,
 				"verify_failures":     r.VerifyFailures,
 				"cpu_fallback_sec":    r.CPUFallbackSec,
-			}))
+			})))
 	}
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].Pid != events[j].Pid {

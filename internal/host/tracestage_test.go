@@ -1,0 +1,142 @@
+package host
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"pimnw/internal/obs"
+	"pimnw/internal/pim"
+)
+
+// TestTraceIDThreading runs a faulty workload with a trace ID configured
+// and checks the ID reaches every artifact: the Report, the JSON report,
+// every Perfetto slice and instant, and the flight-recorder entries the
+// recovery path emits.
+func TestTraceIDThreading(t *testing.T) {
+	fr := obs.NewFlightRecorder(64)
+	obs.SetFlight(fr)
+	defer obs.SetFlight(nil)
+
+	cfg := testConfig(1, true)
+	cfg.TraceID = "t-thread"
+	cfg.Faults = pim.FaultConfig{Rate: 0.05, Seed: 1234}
+	cfg.MaxRetries = 8
+	pairs := makePairs(7, 24, 120, 0.1)
+	rep, results, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("results = %d, want %d", len(results), len(pairs))
+	}
+	if rep.FaultsDetected == 0 {
+		t.Fatal("fault injection inert; the test is not exercising the flight path")
+	}
+	if rep.TraceID != "t-thread" {
+		t.Fatalf("Report.TraceID = %q, want t-thread", rep.TraceID)
+	}
+
+	for _, ev := range rep.ChromeTraceEvents() {
+		if ev.Ph == "M" {
+			continue // track metadata carries only the name
+		}
+		if got, _ := ev.Args["trace_id"].(string); got != "t-thread" {
+			t.Fatalf("trace event %q (ph %s) args = %v, want trace_id t-thread", ev.Name, ev.Ph, ev.Args)
+		}
+	}
+
+	var faults int
+	for _, ev := range fr.Snapshot() {
+		if ev.Kind == "fault" {
+			faults++
+			if ev.TraceID != "t-thread" {
+				t.Fatalf("flight fault event carries trace ID %q, want t-thread", ev.TraceID)
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("recovery detected faults but recorded none in the flight ring")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rj); err != nil {
+		t.Fatal(err)
+	}
+	if rj["trace_id"] != "t-thread" {
+		t.Fatalf("report JSON trace_id = %v, want t-thread", rj["trace_id"])
+	}
+	if _, ok := rj["verify_sec"]; !ok {
+		t.Error("report JSON missing verify_sec")
+	}
+}
+
+// TestSessionStages checks the serving-stage decomposition: the session
+// fills its trace ID from the context, measures linger wall-clock during
+// admission, and mirrors the simulated kernel/wait totals and escalation
+// windows from the merged report.
+func TestSessionStages(t *testing.T) {
+	ctx := obs.WithTraceID(context.Background(), "t-stages")
+	scfg := SessionConfig{Host: testConfig(1, true), MaxBatchPairs: 8}
+	scfg.Host.Escalate = true
+	scfg.Host.MaxBand = 256
+	pairs := makePairs(11, 24, 120, 0.2) // error rate high enough to clip some pairs
+	rep, results, err := AlignPairsStream(ctx, scfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("results = %d, want %d", len(results), len(pairs))
+	}
+	if rep.TraceID != "t-stages" {
+		t.Fatalf("session did not fill the trace ID from the context: %q", rep.TraceID)
+	}
+
+	// Stages() needs the live session; replay the same workload directly.
+	s, err := NewSession(ctx, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for _, p := range pairs {
+			for s.Submit(p) != nil {
+			}
+		}
+		s.Close()
+	}()
+	for range s.Results() {
+	}
+	st := s.Stages()
+	rep = s.Report()
+
+	if st.KernelSec != rep.KernelSecSum {
+		t.Errorf("Stages.KernelSec = %v, want Report.KernelSecSum %v", st.KernelSec, rep.KernelSecSum)
+	}
+	if st.WaitRetrySec != rep.WaitSec {
+		t.Errorf("Stages.WaitRetrySec = %v, want Report.WaitSec %v", st.WaitRetrySec, rep.WaitSec)
+	}
+	var esc float64
+	for _, er := range rep.Escalation {
+		esc += er.EndSec - er.StartSec
+	}
+	if st.EscalationSec != esc {
+		t.Errorf("Stages.EscalationSec = %v, want the summed round windows %v", st.EscalationSec, esc)
+	}
+	if st.VerifySec != rep.VerifySec {
+		t.Errorf("Stages.VerifySec = %v, want Report.VerifySec %v", st.VerifySec, rep.VerifySec)
+	}
+	if st.LingerSec <= 0 {
+		t.Errorf("Stages.LingerSec = %v, want > 0 (pairs waited for their micro-batch)", st.LingerSec)
+	}
+	if st.QueueWaitSec < 0 {
+		t.Errorf("Stages.QueueWaitSec = %v, want >= 0", st.QueueWaitSec)
+	}
+	if st.KernelSec <= 0 {
+		t.Errorf("Stages.KernelSec = %v, want > 0", st.KernelSec)
+	}
+}

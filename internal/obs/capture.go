@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCaptureBusy rejects a trace capture while another one is running:
+// the default tracer is process-wide state, so windows cannot overlap.
+var ErrCaptureBusy = errors.New("obs: a trace capture is already running")
+
+var captureBusy atomic.Bool
+
+// CaptureTrace installs a fresh default tracer for the given window,
+// then restores whatever tracer was installed before and returns the
+// spans the window collected as Chrome trace events (pid 0, the lane
+// convention of Tracer.Events) — the /debug/trace?sec=N implementation:
+// point Perfetto at a live daemon without restarting it with -trace-out.
+// Cancelling ctx ends the window early with the events gathered so far.
+// Only spans that both start and finish inside the window appear; a
+// span still open when the window closes is dropped by Events.
+func CaptureTrace(ctx context.Context, window time.Duration) ([]TraceEvent, error) {
+	if !captureBusy.CompareAndSwap(false, true) {
+		return nil, ErrCaptureBusy
+	}
+	defer captureBusy.Store(false)
+	prev := DefaultTracer()
+	t := NewTracer()
+	SetDefaultTracer(t)
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	SetDefaultTracer(prev)
+	return t.Events(0), nil
+}

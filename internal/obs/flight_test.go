@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderWraparoundConcurrent hammers a small ring from many
+// writers and checks the wraparound invariants: the total count is exact,
+// the ring retains precisely the last Cap() sequence numbers (the slot
+// guard must keep every slot monotone — a slow writer that lost the race
+// cannot resurrect an older event over a newer one), and the snapshot
+// comes back oldest first.
+func TestFlightRecorderWraparoundConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 500
+		capacity  = 16
+	)
+	f := NewFlightRecorder(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record("test", "t-wrap", "event")
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = writers * perWriter
+	if got := f.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	evs := f.Snapshot()
+	if len(evs) != capacity {
+		t.Fatalf("snapshot holds %d events, want the full ring of %d", len(evs), capacity)
+	}
+	// Monotone wraparound: the survivors are exactly the last `capacity`
+	// sequence numbers, in order.
+	for i, ev := range evs {
+		want := uint64(total - capacity + i)
+		if ev.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (ring must retain only the newest events)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("kind", "tid", "msg") // must not panic
+	f.Recordf("kind", "tid", "%d", 1)
+	f.DumpToLog("test")
+	if f.Recorded() != 0 || f.Cap() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder must report an empty ring")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Capacity int               `json:"capacity"`
+		Events   []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("nil-recorder dump is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if d.Capacity != 0 || len(d.Events) != 0 {
+		t.Fatalf("nil-recorder dump = %s, want an empty ring", buf.Bytes())
+	}
+
+	// The disabled hot-path hook: a nil check and a return, no allocation.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		Flight().Record("fault", "t-0", "hot path")
+	}); allocs != 0 {
+		t.Fatalf("disabled flight hook allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record("admit", "t-1", "request admitted")
+	f.Record("fault", "", "dpu 3 stalled")
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Capacity int           `json:"capacity"`
+		Recorded uint64        `json:"recorded"`
+		Dropped  uint64        `json:"dropped"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity != 4 || d.Recorded != 2 || d.Dropped != 0 || len(d.Events) != 2 {
+		t.Fatalf("dump header = %+v, want capacity 4, recorded 2, dropped 0, 2 events", d)
+	}
+	if d.Events[0].Kind != "admit" || d.Events[0].TraceID != "t-1" {
+		t.Fatalf("first event = %+v, want the admit carrying t-1", d.Events[0])
+	}
+	// TraceID is omitempty: the fault without one must not carry the key.
+	if bytes.Count(buf.Bytes(), []byte(`"trace_id"`)) != 1 {
+		t.Fatalf("dump should carry exactly one trace_id field:\n%s", buf.Bytes())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -274,17 +275,48 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// splitPromName splits a registry metric name into its Prometheus base
+// name and label body. Labelled series are registered under their full
+// series name — e.g. `alignd_stage_seconds{stage="kernel"}` — so the
+// registry itself stays a flat map; the exposition writer peels the
+// labels back off to place `# TYPE` comments on the base name and to
+// merge the `le` label into labelled histogram buckets.
+func splitPromName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format, metrics sorted by name for determinism.
+// format, metrics sorted by name for determinism. Series of one labelled
+// family (same base name) share a single `# TYPE` comment.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
+	typed := ""
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+		base, _ := splitPromName(name)
+		if base != typed {
+			typed = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
+	typed = ""
 	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name])); err != nil {
+		base, _ := splitPromName(name)
+		if base != typed {
+			typed = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
@@ -293,21 +325,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		histNames = append(histNames, name)
 	}
 	sort.Strings(histNames)
+	typed = ""
 	for _, name := range histNames {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
+		base, labels := splitPromName(name)
+		if base != typed {
+			typed = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+		}
+		sep := ""
+		if labels != "" {
+			sep = labels + ","
 		}
 		for _, b := range h.Buckets {
 			le := "+Inf"
 			if !math.IsInf(b.LE, 1) {
 				le = formatFloat(b.LE)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, b.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", base, sep, le, b.Count); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count); err != nil {
+		sumName, countName := base+"_sum", base+"_count"
+		if labels != "" {
+			sumName += "{" + labels + "}"
+			countName += "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n", sumName, formatFloat(h.Sum), countName, h.Count); err != nil {
 			return err
 		}
 	}

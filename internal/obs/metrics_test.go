@@ -96,6 +96,39 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabeledSeries pins the labeled-series exposition:
+// a full series name like `x{label="v"}` keys the flat registry, and the
+// writer splits at the brace so # TYPE names the base metric, histogram
+// suffixes land before the labels, and the le label merges into the
+// existing set.
+func TestWritePrometheusLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`alignd_stage_seconds{stage="kernel"}`, []float64{1, 2})
+	h.Observe(1.5)
+	r.Counter(`reqs_total{code="429"}`).Add(3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE alignd_stage_seconds histogram\n",
+		"alignd_stage_seconds_bucket{stage=\"kernel\",le=\"1\"} 0\n",
+		"alignd_stage_seconds_bucket{stage=\"kernel\",le=\"2\"} 1\n",
+		"alignd_stage_seconds_bucket{stage=\"kernel\",le=\"+Inf\"} 1\n",
+		"alignd_stage_seconds_sum{stage=\"kernel\"} 1.5\n",
+		"alignd_stage_seconds_count{stage=\"kernel\"} 1\n",
+		"# TYPE reqs_total counter\nreqs_total{code=\"429\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q; got:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# TYPE alignd_stage_seconds{") {
+		t.Errorf("# TYPE must name the base metric, not the series:\n%s", out)
+	}
+}
+
 func TestWriteJSONRoundTrips(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total").Add(7)

@@ -1,18 +1,23 @@
 // Package obs is the run-level observability layer: a metrics registry
 // (counters, gauges, fixed-bucket histograms) snapshot-exportable as
 // Prometheus text and JSON, wall-clock pipeline spans, a Chrome
-// trace-event exporter for Perfetto/chrome://tracing, and a small leveled
-// logger. It is dependency-free (stdlib only) and designed so that
-// instrumentation hooks left in hot paths cost nothing when disabled: with
-// no default registry or tracer installed every hook resolves to a
-// nil-receiver method that returns immediately — a pointer load and a
-// branch, zero allocations (asserted in the package tests).
+// trace-event exporter for Perfetto/chrome://tracing, a leveled logger
+// with an optional slog-style JSON mode, request-scoped trace IDs
+// carried via context.Context, and a bounded flight recorder of recent
+// notable events. It is dependency-free (stdlib only) and designed so
+// that instrumentation hooks left in hot paths cost nothing when
+// disabled: with no default registry, tracer or flight recorder
+// installed every hook resolves to a nil-receiver method that returns
+// immediately — a pointer load and a branch, zero allocations (asserted
+// in the package tests).
 //
 // The intended wiring: a command that wants metrics installs a registry
 // with SetDefault(NewRegistry()) before the run and snapshots it after;
 // a command that wants a trace installs SetDefaultTracer(NewTracer()) and
-// exports the collected spans with Tracer.Events + WriteTraceEvents.
-// Library code never checks flags — it calls Default()/StartSpan
+// exports the collected spans with Tracer.Events + WriteTraceEvents; a
+// serving daemon additionally installs SetFlight(NewFlightRecorder(n))
+// and stamps each request's trace ID into its context with WithTraceID.
+// Library code never checks flags — it calls Default()/StartSpan/Flight
 // unconditionally.
 package obs
 

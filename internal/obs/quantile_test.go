@@ -44,6 +44,24 @@ func TestHistogramQuantileOverflowBucket(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", []float64{1, 2, 4})
+	h.Observe(1.5)
+	s := r.Snapshot().Histograms["latency"]
+	// q>0 quantiles of a one-sample histogram resolve inside the sample's
+	// bucket (1, 2]; rank 0 degenerates to the histogram's lower edge.
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("single-sample Quantile(0) = %v, want the histogram's lower edge 0", got)
+	}
+	for _, q := range []float64{0.5, 1} {
+		got := s.Quantile(q)
+		if got <= 1 || got > 2 {
+			t.Errorf("single-sample Quantile(%v) = %v, want within the sample's bucket (1, 2]", q, got)
+		}
+	}
+}
+
 func TestHistogramQuantileEmpty(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram("latency", []float64{1, 2})

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped trace identity. A serving frontend mints (or accepts)
+// one trace ID per request and threads it through context.Context into
+// the dispatch pipeline; everything the request touches — structured log
+// lines, flight-recorder events, wall-clock spans, modelled Perfetto
+// slices, streamed results — carries the same ID, so one slow request
+// can be followed lane-by-lane across the whole stack.
+//
+// The ID travels as a plain string context value: storing it allocates
+// once per request (context.WithValue), reading it back with TraceIDFrom
+// is allocation-free — the guarantee that lets library code consult the
+// trace ID on paths that must stay zero-alloc.
+
+type traceIDKey struct{}
+
+var traceIDFallback atomic.Uint64
+
+// NewTraceID mints a fresh 16-hex-digit trace ID. It never fails: if the
+// system's entropy source is unavailable it degrades to a
+// timestamp+counter ID that is still unique within the process.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "t" + strconv.FormatInt(time.Now().UnixNano(), 16) +
+			"-" + strconv.FormatUint(traceIDFallback.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the trace ID. An empty ID
+// returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from a context, "" when absent (or
+// when ctx is nil). Allocation-free.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceContext(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == "" || b == "" || a == b {
+		t.Fatalf("NewTraceID must mint unique non-empty IDs, got %q and %q", a, b)
+	}
+	ctx := WithTraceID(context.Background(), "t-123")
+	if got := TraceIDFrom(ctx); got != "t-123" {
+		t.Fatalf("TraceIDFrom = %q, want t-123", got)
+	}
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Fatalf("TraceIDFrom(bare ctx) = %q, want empty", got)
+	}
+	if got := TraceIDFrom(nil); got != "" {
+		t.Fatalf("TraceIDFrom(nil) = %q, want empty", got)
+	}
+	if got := WithTraceID(ctx, ""); got != ctx {
+		t.Fatal("WithTraceID with an empty ID must return the context unchanged")
+	}
+
+	// The read side sits on hot paths (NewSession fills Config.TraceID
+	// from the context); it must not allocate.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if TraceIDFrom(ctx) == "" {
+			t.Error("lost the trace ID")
+		}
+	}); allocs != 0 {
+		t.Fatalf("TraceIDFrom allocates %.1f per call, want 0", allocs)
+	}
+}
