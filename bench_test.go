@@ -103,6 +103,33 @@ func BenchmarkAdaptiveBandScore10k(b *testing.B) {
 	}
 }
 
+// The two score engines pinned individually: AdaptiveBandScore10k above
+// measures whatever the lane-width dispatch picks, so a regression in one
+// engine could hide behind the other. These two keep the 16-bit
+// saturating kernel and the full-width word-packed kernel separately in
+// the baseline, and their ratio is the measured narrow-lane speedup.
+func BenchmarkAdaptiveBandScoreNarrow10k(b *testing.B) {
+	a, q := benchPair(10_000)
+	p := core.DefaultParams()
+	b.SetBytes(int64(len(a) + len(q)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := core.AdaptiveBandScoreNarrow(a, q, p, 128); res.Overflowed {
+			b.Fatal("narrow engine overflowed on the benchmark pair")
+		}
+	}
+}
+
+func BenchmarkAdaptiveBandScoreWide10k(b *testing.B) {
+	a, q := benchPair(10_000)
+	p := core.DefaultParams()
+	b.SetBytes(int64(len(a) + len(q)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.AdaptiveBandScoreWide(a, q, p, 128)
+	}
+}
+
 func BenchmarkAdaptiveBandAlign10k(b *testing.B) {
 	a, q := benchPair(10_000)
 	p := core.DefaultParams()

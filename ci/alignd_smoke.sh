@@ -32,6 +32,8 @@ echo "== daemon on a random port =="
 "$WORK/alignd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" -ranks 2 -band 128 &
 DAEMON_PID=$!
 for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "alignd died during startup" >&2; exit 1; }
     [ -s "$WORK/addr" ] && break
     sleep 0.05
 done
@@ -39,7 +41,20 @@ done
 ADDR="$(cat "$WORK/addr")"
 echo "   bound to $ADDR"
 
-curl -fsS "http://$ADDR/healthz" >/dev/null
+# Bounded readiness poll: the address file appears when the listener is
+# bound, but only /healthz answering marks the serving loop live. A daemon
+# that dies mid-boot must fail the poll immediately, not hang it out.
+READY=0
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "alignd died before becoming healthy" >&2; exit 1; }
+    if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+        READY=1
+        break
+    fi
+    sleep 0.05
+done
+[ "$READY" -eq 1 ] || { echo "alignd never became healthy at $ADDR" >&2; exit 1; }
 
 echo "== align over HTTP vs one-shot CLI =="
 "$WORK/alignd" -post "http://$ADDR/align" -a "$A" -b "$B" > "$WORK/served.out"

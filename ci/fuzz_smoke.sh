@@ -11,6 +11,13 @@ FUZZTIME="${FUZZTIME:-30s}"
 fuzz() {
     pkg="$1"
     target="$2"
+    # A listed target that no longer exists must fail the script, not
+    # no-op: `go test -fuzz` with an unmatched pattern exits 0, which
+    # would silently drop the target from coverage on a rename.
+    if ! go test "$pkg" -run='^$' -list "^${target}\$" | grep -qx "$target"; then
+        echo "fuzz target $target not found in $pkg (renamed or deleted?)" >&2
+        exit 1
+    fi
     echo "== fuzz $pkg $target ($FUZZTIME) =="
     go test "$pkg" -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME"
 }
@@ -21,5 +28,6 @@ fuzz ./internal/seq FuzzFromStringPackRoundTrip
 fuzz ./internal/core FuzzLinearVsQuadratic
 fuzz ./internal/core FuzzBandedNeverBeatsOptimal
 fuzz ./internal/core FuzzEngineEquivalence
+fuzz ./internal/core FuzzNarrowWideEquivalence
 
 echo "FUZZ SMOKE PASS"

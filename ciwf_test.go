@@ -140,6 +140,47 @@ func TestWorkflowCoversGates(t *testing.T) {
 	}
 }
 
+// TestWorkflowCachingAndToolPins lints the pipeline's dependency hygiene:
+// every setup-go step must enable the Go build/module cache and key it on
+// a dependency file that actually exists in the repository (go.sum, or
+// go.mod for this zero-dependency module — a key pointing at a missing
+// file silently degrades to no caching), and every `go install`ed tool
+// must pin an exact version — "@latest" makes CI drift with upstream
+// releases, so a new staticcheck diagnostic could break every open PR
+// overnight.
+func TestWorkflowCachingAndToolPins(t *testing.T) {
+	goInstall := regexp.MustCompile(`go install\s+(\S+)`)
+	cacheKey := regexp.MustCompile(`cache-dependency-path:\s*(\S+)`)
+	for _, path := range workflowFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		if n := strings.Count(text, "actions/setup-go@"); n > 0 {
+			if c := strings.Count(text, "cache: true"); c != n {
+				t.Errorf("%s: %d setup-go steps but %d enable cache: true", path, n, c)
+			}
+			keys := cacheKey.FindAllStringSubmatch(text, -1)
+			if len(keys) != n {
+				t.Errorf("%s: %d setup-go steps but %d set cache-dependency-path", path, n, len(keys))
+			}
+			for _, m := range keys {
+				if _, err := os.Stat(m[1]); err != nil {
+					t.Errorf("%s: cache keyed on %s, which does not exist: %v", path, m[1], err)
+				}
+			}
+		}
+		for _, m := range goInstall.FindAllStringSubmatch(text, -1) {
+			mod := m[1]
+			at := strings.LastIndex(mod, "@")
+			if at < 0 || mod[at+1:] == "" || mod[at+1:] == "latest" {
+				t.Errorf("%s: go install %s is not pinned to an exact version", path, mod)
+			}
+		}
+	}
+}
+
 // hasTopLevel reports whether a zero-indent line starts with the key.
 func hasTopLevel(lines []string, key string) bool {
 	for _, line := range lines {

@@ -80,6 +80,7 @@ func run() error {
 		band      = flag.Int("band", 128, "band size (cells per anti-diagonal / row)")
 		ranks     = flag.Int("ranks", 40, "PiM ranks")
 		scoreOnly = flag.Bool("score-only", false, "skip traceback/CIGAR")
+		lanesFlag = flag.String("lanes", "auto", "DP lane width: auto, 16 (saturating narrow lanes, score-only) or 64")
 
 		batchPairs    = flag.Int("batch-pairs", 0, "micro-batch size in pairs (0 = 4 per DPU of a rank)")
 		linger        = flag.Duration("linger", 0, "max time a pair may wait for its micro-batch to fill (0 = 2ms)")
@@ -113,6 +114,10 @@ func run() error {
 		return runClient(*post, *aPath, *bPath)
 	}
 
+	laneWidth, err := kernel.ParseLaneWidth(*lanesFlag)
+	if err != nil {
+		return err
+	}
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = *ranks
 	scfg := host.SessionConfig{
@@ -124,6 +129,7 @@ func run() error {
 				Params:    core.DefaultParams(),
 				Costs:     pim.Asm,
 				Traceback: !*scoreOnly,
+				LaneWidth: laneWidth,
 				PIM:       pimCfg,
 			},
 			Faults:           pim.FaultConfig{Rate: *faultRate, Seed: *faultSeed},

@@ -5,7 +5,9 @@
 // -tolerance against the committed baseline (ci/bench_baseline.json) — or,
 // for the deterministic core-engine benchmarks, when allocs/op exceeds the
 // baseline at all (the zero-allocation steady state of the scratch-arena
-// engine is a hard property, not a tolerance band).
+// engine is a hard property, not a tolerance band). A baseline benchmark
+// that produces no measurement also fails: deleting a benchmark must not
+// silently delete its gate.
 //
 // Usage:
 //
@@ -39,6 +41,8 @@ import (
 // still smoke-runs in ci.sh). Names may be sub-benchmarks ("parent/sub").
 var gated = []string{
 	"AdaptiveBandScore10k",
+	"AdaptiveBandScoreNarrow10k",
+	"AdaptiveBandScoreWide10k",
 	"AdaptiveBandAlign10k",
 	"AdaptiveBandScore/w64",
 	"AdaptiveBandScore/w256",
@@ -56,6 +60,8 @@ var gated = []string{
 // counts noisy by a few objects either way.
 var allocGated = []string{
 	"AdaptiveBandScore10k",
+	"AdaptiveBandScoreNarrow10k",
+	"AdaptiveBandScoreWide10k",
 	"AdaptiveBandAlign10k",
 	"AdaptiveBandScore/w64",
 	"AdaptiveBandScore/w256",
@@ -207,9 +213,12 @@ func parseBench(out string) (best, allocs map[string]float64) {
 	return best, allocs
 }
 
-// compare renders the gate table and reports whether any gated benchmark
-// regressed beyond the tolerance. Benchmarks missing from the baseline
-// are reported but never fail the gate (they gate once committed).
+// compare renders the per-benchmark old/new/Δ% gate table and reports
+// whether any gated benchmark regressed beyond the tolerance. Benchmarks
+// missing from the baseline are reported but never fail the gate (they
+// gate once committed); a baseline benchmark that produced no measurement
+// FAILS the gate — a deleted or renamed benchmark silently un-gating
+// itself is exactly the regression hole this gate exists to close.
 func compare(base, measured map[string]float64, tolerance float64) (string, bool) {
 	var sb strings.Builder
 	failed := false
@@ -222,7 +231,7 @@ func compare(base, measured map[string]float64, tolerance float64) (string, bool
 		ns := measured[name]
 		ref, ok := base[name]
 		if !ok || ref <= 0 {
-			fmt.Fprintf(&sb, "NEW   %-24s %14.0f ns/op (no baseline)\n", name, ns)
+			fmt.Fprintf(&sb, "NEW   %-26s %14.0f ns/op (no baseline)\n", name, ns)
 			continue
 		}
 		delta := ns/ref - 1
@@ -231,8 +240,20 @@ func compare(base, measured map[string]float64, tolerance float64) (string, bool
 			verdict = "FAIL "
 			failed = true
 		}
-		fmt.Fprintf(&sb, "%s %-24s %14.0f ns/op  baseline %14.0f  (%+.1f%%)\n",
+		fmt.Fprintf(&sb, "%s %-26s %14.0f ns/op  baseline %14.0f  (%+.1f%%)\n",
 			verdict, name, ns, ref, 100*delta)
+	}
+	missing := make([]string, 0)
+	for name := range base {
+		if _, ok := measured[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&sb, "MISS  %-26s baseline %14.0f ns/op, no measurement (benchmark deleted or renamed?)\n",
+			name, base[name])
+		failed = true
 	}
 	return sb.String(), failed
 }

@@ -75,6 +75,12 @@ func TestCompare(t *testing.T) {
 		}
 	}
 
+	// "c" produced no measurement: a deleted or renamed benchmark must fail
+	// the gate, not silently un-gate itself.
+	if !strings.Contains(report, "MISS  c") {
+		t.Errorf("report missing MISS verdict for c:\n%s", report)
+	}
+
 	report, failed = compare(base, map[string]float64{"a": 119, "b": 90, "c": 100}, 0.20)
 	if failed {
 		t.Errorf("all within tolerance but gate failed:\n%s", report)
@@ -82,6 +88,13 @@ func TestCompare(t *testing.T) {
 	// Improvements show a negative delta.
 	if !strings.Contains(report, "-10.0%") {
 		t.Errorf("improvement not reported:\n%s", report)
+	}
+
+	// A missing benchmark alone fails the gate even with every measured
+	// benchmark inside tolerance.
+	report, failed = compare(base, map[string]float64{"a": 100, "b": 100}, 0.20)
+	if !failed {
+		t.Errorf("missing benchmark passed the gate:\n%s", report)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"pimnw/internal/kernel"
 	"pimnw/internal/obs"
 	"pimnw/internal/xp"
 )
@@ -53,6 +54,7 @@ func main() {
 	escalation := flag.Bool("escalation", false, "enable the result-integrity band-escalation ladder in the simulated batch runs")
 	maxBand := flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
 	verify := flag.Bool("verify", false, "re-derive traceback results' scores from their CIGARs in the simulated batch runs")
+	lanesFlag := flag.String("lanes", "auto", "DP lane width for the simulated DPU kernels: auto, 16 or 64")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC snapshot at exit) to FILE")
 	flag.Parse()
@@ -73,11 +75,17 @@ func main() {
 		obs.SetDefaultTracer(obs.NewTracer())
 	}
 
+	laneWidth, err := kernel.ParseLaneWidth(*lanesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	runner := xp.NewRunner(xp.Options{
 		Quick: *quick, Samples: *samples, Seed: *seed,
 		FaultRate: *faultRate, FaultSeed: *faultSeed,
 		MaxRetries: *maxRetries, BatchDeadlineSec: *batchDeadline,
 		Escalate: *escalation, MaxBand: *maxBand, Verify: *verify,
+		LaneWidth: laneWidth,
 	})
 	ids := []string{*table}
 	if *table == "all" {

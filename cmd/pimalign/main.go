@@ -84,6 +84,7 @@ func run() error {
 		static     = flag.Bool("static", false, "use the static band instead of the adaptive one (cpu engine)")
 		ranks      = flag.Int("ranks", 40, "PiM ranks (pim engine)")
 		scoreOnly  = flag.Bool("score-only", false, "skip traceback/CIGAR")
+		lanesFlag  = flag.String("lanes", "auto", "DP lane width: auto, 16 (saturating narrow lanes, score-only) or 64 (pim engine)")
 		threads    = flag.Int("threads", 0, "CPU threads (cpu engine; 0 = all)")
 		timeline   = flag.Bool("timeline", false, "print the simulated rank timeline (pim engine)")
 		verbose    = flag.Bool("v", false, "verbose (debug) logging")
@@ -131,6 +132,10 @@ func run() error {
 	}
 	obs.Debugf("read %d query records from %s", len(queries), *aPath)
 
+	laneWidth, err := kernel.ParseLaneWidth(*lanesFlag)
+	if err != nil {
+		return err
+	}
 	faults := faultOpts{rate: *faultRate, seed: *faultSeed,
 		retries: *maxRetries, deadline: *batchDeadline}
 	integrity := integrityOpts{escalate: *escalation, maxBand: *maxBand, verify: *verify}
@@ -141,7 +146,7 @@ func run() error {
 		if integrity.escalate || integrity.verify {
 			obs.Logf("note: -escalation/-verify apply to the batch pipeline (pairs mode) only")
 		}
-		return runAllPairs(queries, *band, *ranks, art)
+		return runAllPairs(queries, *band, *ranks, laneWidth, art)
 	}
 	if *bPath == "" {
 		flag.Usage()
@@ -158,7 +163,7 @@ func run() error {
 
 	switch *engine {
 	case "pim":
-		return runPiM(queries, targets, *band, *ranks, !*scoreOnly, *timeline, art, faults, integrity)
+		return runPiM(queries, targets, *band, *ranks, laneWidth, !*scoreOnly, *timeline, art, faults, integrity)
 	case "cpu":
 		if art.any() {
 			obs.Logf("note: -metrics/-trace-out/-report-json apply to the pim engine only")
@@ -223,17 +228,18 @@ func toFile(path string, write func(io.Writer) error) error {
 
 // runAllPairs is the §5.3 workflow: the dataset is broadcast to every DPU
 // and all n(n-1)/2 scores are computed without traceback.
-func runAllPairs(recs []seq.Record, band, ranks int, art artifacts) error {
+func runAllPairs(recs []seq.Record, band, ranks, laneWidth int, art artifacts) error {
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
 		PIM: pimCfg,
 		Kernel: kernel.Config{
-			Geometry: kernel.DefaultGeometry(),
-			Band:     band,
-			Params:   core.DefaultParams(),
-			Costs:    pim.Asm,
-			PIM:      pimCfg,
+			Geometry:  kernel.DefaultGeometry(),
+			Band:      band,
+			Params:    core.DefaultParams(),
+			Costs:     pim.Asm,
+			LaneWidth: laneWidth,
+			PIM:       pimCfg,
 		},
 	}
 	seqs := make([]seq.Seq, len(recs))
@@ -279,7 +285,7 @@ type integrityOpts struct {
 	verify   bool
 }
 
-func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline bool, art artifacts, faults faultOpts, integrity integrityOpts) error {
+func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback, timeline bool, art artifacts, faults faultOpts, integrity integrityOpts) error {
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
@@ -290,6 +296,7 @@ func runPiM(queries, targets []seq.Record, band, ranks int, traceback, timeline 
 			Params:    core.DefaultParams(),
 			Costs:     pim.Asm,
 			Traceback: traceback,
+			LaneWidth: laneWidth,
 			PIM:       pimCfg,
 		},
 		Faults:           pim.FaultConfig{Rate: faults.rate, Seed: faults.seed},

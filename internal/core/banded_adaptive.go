@@ -72,7 +72,7 @@ func DefaultVariant() AdaptiveVariant { return AdaptiveVariant{SteerTies: true} 
 // callers aligning many pairs should hold their own (see Scratch).
 func AdaptiveBandScore(a, b seq.Seq, p Params, w int) Result {
 	s := GetScratch()
-	res, _ := s.adaptiveBand(a, b, p, w, false, DefaultVariant())
+	res := s.AdaptiveBandScore(a, b, p, w)
 	PutScratch(s)
 	return res
 }
@@ -108,7 +108,19 @@ func AdaptiveBandPath(a, b seq.Seq, p Params, w int) (Result, []int32) {
 
 // AdaptiveBandScore is the explicit-scratch form of the package-level
 // function: zero engine allocations once s has warmed to the problem size.
+// When the 16-bit narrow-lane engine has headroom for (p, w) it runs
+// first, falling back to the full-width engine on a saturation sticky bit;
+// a non-overflowed narrow result is bit-identical to the wide one, so the
+// fast path is invisible to callers. Use AdaptiveBandScoreWide or
+// AdaptiveBandScoreNarrow to pin an engine (the DPU kernel model does, so
+// that overflow escalates through the host ladder instead of silently
+// re-running here).
 func (s *Scratch) AdaptiveBandScore(a, b seq.Seq, p Params, w int) Result {
+	if NarrowFits(p, w) {
+		if res, ok := s.adaptiveBandNarrow(a, b, p, w, DefaultVariant()); ok {
+			return res
+		}
+	}
 	res, _ := s.adaptiveBand(a, b, p, w, false, DefaultVariant())
 	return res
 }

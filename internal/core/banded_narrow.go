@@ -1,0 +1,523 @@
+package core
+
+import (
+	"pimnw/internal/seq"
+)
+
+// Narrow-lane adaptive banded Gotoh: the same anti-diagonal window as
+// adaptiveBand (banded_adaptive.go), but with four 16-bit DP cells packed
+// per uint64 word and per-lane saturating add/max — the adaptive-precision
+// trick KSW2 popularised, mapped onto the PR-4 lane layout. Banded scores
+// of bounded-length windows fit comfortably in 16 bits once they are
+// stored relative to a running base, so the interior cell loop runs four
+// lanes per ALU op instead of one.
+//
+// Value encoding. Lane values are unsigned 15-bit magnitudes under a bias:
+//
+//	stored = trueScore − base + narrowCenter,  live ⇔ stored ∈ (0, 2^15)
+//	stored = 0                                 ⇔ dead (the wide NegInf)
+//
+// Bit 15 of every lane is kept clear between operations so that it can
+// absorb the borrow/carry of the SWAR primitives — a saturating-at-zero
+// subtract is (x|H)−y followed by a select on the borrow bit, a saturating
+// add traps the carry into the sticky accumulator — with no cross-lane
+// propagation. `base` is rebased every narrowRebaseEvery anti-diagonals by
+// a scalar pass that re-centres the window maximum, so only the score
+// *spread across one window* must fit the lane, not the absolute score.
+//
+// Exactness discipline. Dead lanes absorb at zero, which *over*-estimates
+// the true −∞; the engine therefore guards every interior H output
+// against a params-derived floor narrowGuard: any output below it — which
+// is where a dead-derived or clamped chain would have to surface before
+// it could win a max — sets the sticky flag, as does any saturating add
+// carry, any boundary write outside the representable range, and any
+// rebase that would push a live lane out of range. The invariant, pinned
+// by the differential sweeps and FuzzNarrowWideEquivalence: if the sticky
+// flag stays clear, every consulted lane held its exact wide-engine value
+// and the final Result is bit-identical to adaptiveBand's. If it sets,
+// the engine returns Overflowed and the caller (the host ladder, or the
+// auto path in AdaptiveBandScore) escalates to the wide kernel.
+
+const (
+	// narrowCenter is the storage bias: a freshly rebased window maximum
+	// sits mid-range, leaving symmetric headroom for upward drift and the
+	// downward spread across the window.
+	narrowCenter = 16384
+	// narrowTop is the largest representable live lane value.
+	narrowTop = 0x7fff
+	// narrowRebaseEvery is the rebase cadence in anti-diagonals; between
+	// rebases the window maximum drifts at most ±maxStep per step.
+	narrowRebaseEvery = 512
+	// narrowSlack is how far the window maximum may sit from narrowCenter
+	// before a rebase pass actually shifts the lanes.
+	narrowSlack = 2048
+	// narrowParamMax bounds each scoring parameter magnitude so that the
+	// broadcast SWAR constants are faithful and lane sums cannot carry
+	// across lanes.
+	narrowParamMax = 4096
+
+	nH       = 0x8000800080008000 // bit 15 of every lane
+	nLow     = 0x7fff7fff7fff7fff // low 15 bits of every lane
+	lanesOne = 0x0001000100010001 // broadcast multiplier
+)
+
+// narrowGuard is the live-lane floor: dead-derived candidates are at most
+// Match and live chains decay by at most GapOpen+2·GapExt or −Mismatch per
+// step, so anything exact that dips below this floor had to pass through a
+// flagged output first.
+func narrowGuard(p Params) int32 {
+	return 2*(p.Match-p.Mismatch+p.GapOpen+2*p.GapExt) + 8
+}
+
+// narrowParamsFit reports whether the scoring parameters are small enough
+// for faithful 16-bit broadcast arithmetic.
+func narrowParamsFit(p Params) bool {
+	return p.Match <= narrowParamMax && -p.Mismatch <= narrowParamMax &&
+		p.GapOpen <= narrowParamMax && p.GapExt <= narrowParamMax
+}
+
+// NarrowFits reports whether the 16-bit narrow-lane engine has the
+// headroom to run band width w under params p without overflowing in the
+// common case: guard floor + worst-case score spread across one window +
+// worst-case drift between rebases must fit below the storage bias. It is
+// an a-priori admission test — the saturation sticky bits remain the
+// runtime safety net — and is what `-lanes=auto` and kernel geometry
+// planning consult.
+func NarrowFits(p Params, w int) bool {
+	if w < 2 {
+		w = 2
+	}
+	if !narrowParamsFit(p) {
+		return false
+	}
+	maxStep := max(p.Match, p.GapOpen+2*p.GapExt, -p.Mismatch)
+	spread := int64(w)*int64(p.Match+2*p.GapExt) + 2*int64(p.GapOpen) + int64(p.GapExt)
+	drift := int64(narrowRebaseEvery)*int64(maxStep) + narrowSlack
+	return int64(narrowGuard(p))+spread+drift+256 < narrowCenter
+}
+
+// AdaptiveBandScoreNarrow is the explicit narrow-lane entry point: the
+// score-only adaptive-band alignment in 16-bit lanes, Result.Overflowed
+// set (and nothing else valid) when saturation was detected. The DPU
+// kernel model runs this when the lane width is 16; overflowed pairs ride
+// the host escalation ladder to the wide kernel.
+func AdaptiveBandScoreNarrow(a, b seq.Seq, p Params, w int) Result {
+	s := GetScratch()
+	res, _ := s.adaptiveBandNarrow(a, b, p, w, DefaultVariant())
+	PutScratch(s)
+	return res
+}
+
+// AdaptiveBandScoreNarrow is the explicit-scratch form of the package
+// function.
+func (s *Scratch) AdaptiveBandScoreNarrow(a, b seq.Seq, p Params, w int) Result {
+	res, _ := s.adaptiveBandNarrow(a, b, p, w, DefaultVariant())
+	return res
+}
+
+// AdaptiveBandScoreWide is the explicit full-width entry point, bypassing
+// the narrow-lane fast path of AdaptiveBandScore.
+func AdaptiveBandScoreWide(a, b seq.Seq, p Params, w int) Result {
+	s := GetScratch()
+	res, _ := s.adaptiveBand(a, b, p, w, false, DefaultVariant())
+	PutScratch(s)
+	return res
+}
+
+// AdaptiveBandScoreWide is the explicit-scratch form of the package
+// function.
+func (s *Scratch) AdaptiveBandScoreWide(a, b seq.Seq, p Params, w int) Result {
+	res, _ := s.adaptiveBand(a, b, p, w, false, DefaultVariant())
+	return res
+}
+
+// getLane16 and setLane16 access one 16-bit lane of a packed word array.
+func getLane16(a []uint64, l int) uint16 {
+	return uint16(a[l>>2] >> (uint(l&3) * 16))
+}
+
+func setLane16(a []uint64, l int, v uint16) {
+	sh := uint(l&3) * 16
+	g := l >> 2
+	a[g] = a[g]&^(uint64(0xffff)<<sh) | uint64(v)<<sh
+}
+
+// sub016 is the scalar twin of the SWAR saturating-at-zero subtract.
+func sub016(x, c uint16) uint16 {
+	if x >= c {
+		return x - c
+	}
+	return 0
+}
+
+// narrowRebase shifts every live lane of arr down by shift (up when shift
+// is negative), leaving dead lanes dead. It returns false if any live
+// lane would leave the representable (0, narrowTop] range — exactness can
+// then no longer be certified and the caller must set the sticky flag.
+func narrowRebase(arr []uint64, shift int32) bool {
+	ok := true
+	for g, wd := range arr {
+		if wd == 0 {
+			continue
+		}
+		var out uint64
+		for k := uint(0); k < 4; k++ {
+			v := uint16(wd >> (k * 16))
+			if v == 0 {
+				continue
+			}
+			nv := int32(v) - shift
+			if nv <= 0 || nv > narrowTop {
+				ok = false
+				nv = 1
+			}
+			out |= uint64(uint16(nv)) << (k * 16)
+		}
+		arr[g] = out
+	}
+	return ok
+}
+
+// adaptiveBandNarrow runs the 16-bit engine. It mirrors adaptiveBand's
+// window bookkeeping statement for statement — shift decisions, clamps,
+// clip certificate, flank and boundary handling, cell metric — so that a
+// non-overflowed run is bit-identical; only the interior cell loop and the
+// value encoding differ. Returns ok=false (Result.Overflowed) on any
+// saturation sticky bit.
+func (s *Scratch) adaptiveBandNarrow(a, b seq.Seq, p Params, w int, variant AdaptiveVariant) (Result, bool) {
+	m, n := len(a), len(b)
+	if w < 2 {
+		w = 2
+	}
+	res := Result{Steps: m + n}
+	if !narrowParamsFit(p) {
+		res.Score = NegInf
+		res.Overflowed = true
+		return res, false
+	}
+	if m == 0 && n == 0 {
+		res.InBand = true
+		s.off = growI32(s.off, 1)
+		s.off[0] = 0
+		return res, true
+	}
+
+	nDiag := m + n + 1
+	s.off = growI32(s.off, nDiag)
+	off := s.off
+	off[0] = 0
+
+	// Lane layout as in adaptiveBand — cell p at lane p+1, dead sentinels
+	// at lanes 0 and w+1 — packed four lanes per word, plus one permanent
+	// zero pad word so the funnel-shifted neighbour loads below never
+	// bound-check.
+	lanes := w + 2
+	words := (lanes+3)/4 + 1
+	s.nh0 = growU64(s.nh0, words)
+	s.nh1 = growU64(s.nh1, words)
+	s.nh2 = growU64(s.nh2, words)
+	s.ni0 = growU64(s.ni0, words)
+	s.ni1 = growU64(s.ni1, words)
+	s.nd0 = growU64(s.nd0, words)
+	s.nd1 = growU64(s.nd1, words)
+	s.nsub = growU64(s.nsub, words)
+	hPrev, hCur, hNext := s.nh0, s.nh1, s.nh2
+	iCur, iNext := s.ni0, s.ni1
+	dCur, dNext := s.nd0, s.nd1
+	nsub := s.nsub
+	for g := 0; g < words; g++ {
+		hPrev[g], hCur[g], hNext[g] = 0, 0, 0
+		iCur[g], iNext[g] = 0, 0
+		dCur[g], dNext[g] = 0, 0
+	}
+	setLane16(hCur, 1, narrowCenter) // cell (0,0): score 0 at bias, base 0
+	res.Cells = 1
+
+	pa, pb := s.packOperands(a, b)
+
+	// Broadcast SWAR constants and the 16-entry substitution LUT: index
+	// bit k set ⇔ lane k matches, lane value Match−Mismatch (added on top
+	// of the unconditional Mismatch fold below).
+	e16 := uint16(p.GapExt)
+	oe16 := uint16(p.GapOpen + p.GapExt)
+	nm16 := uint16(-p.Mismatch)
+	gb := narrowGuard(p)
+	gb16 := uint16(gb)
+	eV := uint64(e16) * lanesOne
+	oeV := uint64(oe16) * lanesOne
+	nmV := uint64(nm16) * lanesOne
+	gbV := uint64(gb16) * lanesOne
+	smd := uint64(uint16(p.Match - p.Mismatch))
+	var lut [16]uint64
+	for i := 1; i < 16; i++ {
+		var v uint64
+		for k := uint(0); k < 4; k++ {
+			if i>>k&1 == 1 {
+				v |= smd << (k * 16)
+			}
+		}
+		lut[i] = v
+	}
+
+	var base int32 // cumulative rebase: trueScore = stored − narrowCenter + base
+	dPrevShift := 0
+	maxPot := NegInf
+	overflow := false
+
+	// nval converts a stored lane to the wide engine's value domain.
+	nval := func(st uint16) int32 {
+		if st == 0 {
+			return NegInf
+		}
+		return int32(st) - narrowCenter + base
+	}
+
+	for t := 0; t < m+n; t++ {
+		d := int(chooseShift(nval(getLane16(hCur, 1)), nval(getLane16(hCur, w)), off[t], t, m, n, w, variant))
+		loI := t + 1 - n
+		if loI < 0 {
+			loI = 0
+		}
+		hiI := t + 1
+		if hiI > m {
+			hiI = m
+		}
+		if int(off[t])+d+w-1 < loI {
+			d = 1
+		}
+		if int(off[t])+d > hiI {
+			d = 0
+		}
+		// Clip certificate, identical to adaptiveBand with dead lanes
+		// mapped back to NegInf.
+		{
+			o := int(off[t])
+			if d == 1 {
+				if j := t - o; j >= 0 && j < n && o <= m {
+					if hv := nval(getLane16(hCur, 1)); hv > NegInf/2 {
+						if pot := hv + escapeBound(p, m-o, n-j); pot > maxPot {
+							maxPot = pot
+						}
+					}
+				}
+			} else {
+				i := o + w - 1
+				if j := t - i; i >= 0 && i < m && j >= 0 && j <= n {
+					if hv := nval(getLane16(hCur, w)); hv > NegInf/2 {
+						if pot := hv + escapeBound(p, m-i, n-j); pot > maxPot {
+							maxPot = pot
+						}
+					}
+				}
+			}
+		}
+
+		o := int(off[t]) + d
+		off[t+1] = int32(o)
+
+		pLo := 0
+		if v := 1 - o; v > pLo {
+			pLo = v
+		}
+		if v := t + 1 - n - o; v > pLo {
+			pLo = v
+		}
+		pHi := w - 1
+		if v := m - o; v < pHi {
+			pHi = v
+		}
+		if v := t - o; v < pHi {
+			pHi = v
+		}
+
+		// Out-of-matrix flanks become dead lanes.
+		for q := 0; q < pLo; q++ {
+			setLane16(hNext, q+1, 0)
+			setLane16(iNext, q+1, 0)
+			setLane16(dNext, q+1, 0)
+		}
+		for q := pHi + 1; q < w; q++ {
+			setLane16(hNext, q+1, 0)
+			setLane16(iNext, q+1, 0)
+			setLane16(dNext, q+1, 0)
+		}
+
+		cLo := 0
+		if v := t + 1 - n - o; v > cLo {
+			cLo = v
+		}
+		cHi := w - 1
+		if v := m - o; v < cHi {
+			cHi = v
+		}
+		if v := t + 1 - o; v < cHi {
+			cHi = v
+		}
+		if cHi >= cLo {
+			res.Cells += int64(cHi - cLo + 1)
+		}
+
+		// Matrix-boundary cells, peeled exactly as in adaptiveBand; a
+		// boundary value outside the representable window is a sticky.
+		if o == 0 && t+1 <= n {
+			rel := int64(-p.GapCost(t+1)) - int64(base) + narrowCenter
+			if rel <= 0 || rel > narrowTop {
+				overflow = true
+				rel = 1
+			}
+			setLane16(hNext, 1, uint16(rel))
+			setLane16(dNext, 1, uint16(rel))
+			setLane16(iNext, 1, 0)
+		}
+		if q := t + 1 - o; q >= 0 && q < w && t+1 <= m {
+			rel := int64(-p.GapCost(t+1)) - int64(base) + narrowCenter
+			if rel <= 0 || rel > narrowTop {
+				overflow = true
+				rel = 1
+			}
+			setLane16(hNext, q+1, uint16(rel))
+			setLane16(iNext, q+1, uint16(rel))
+			setLane16(dNext, q+1, 0)
+		}
+
+		if pLo <= pHi {
+			dd := d + dPrevShift
+			loLane := pLo + 1
+			hiLane := pHi + 1
+			gA := (loLane + 3) >> 2 // first word whose four lanes are all interior
+			gB := (hiLane - 3) >> 2 // last such word (arithmetic shift: floor)
+
+			var ovAcc uint64
+			aiBase := o - 2         // a index of lane L is aiBase+L
+			biBase := n - 2 - t + o // reversed-b index of lane L is biBase+L
+
+			if gA <= gB {
+				// Lane-aligned packed substitution words: lane values are
+				// Match−Mismatch on a comparator hit, 0 otherwise; the
+				// Mismatch part is folded in unconditionally via nmV below.
+				for g := gA; g <= gB; {
+					c0 := g * 4
+					cm := seq.CompressMask(seq.MatchMask(pa, pb, aiBase+c0, biBase+c0))
+					gEnd := min(g+8, gB+1)
+					for ; g < gEnd; g++ {
+						nsub[g] = lut[cm&0xf]
+						cm >>= 4
+					}
+				}
+
+				ovAcc |= narrowStepWords(hNext, iNext, dNext, hCur, iCur, dCur, hPrev, nsub,
+					gA, gB, d, dd, eV, oeV, nmV, gbV)
+			}
+
+			// Partial words at the span edges, cell by cell with scalar
+			// twins of the SWAR primitives (identical saturation and guard
+			// semantics).
+			edgeLo1, edgeHi1 := loLane, min(gA*4-1, hiLane)
+			edgeLo2, edgeHi2 := max(gB*4+4, loLane), hiLane
+			if gA > gB {
+				edgeLo1, edgeHi1 = loLane, hiLane
+				edgeLo2, edgeHi2 = 1, 0
+			}
+			for r := 0; r < 2; r++ {
+				lo, hi := edgeLo1, edgeHi1
+				if r == 1 {
+					lo, hi = edgeLo2, edgeHi2
+				}
+				for L := lo; L <= hi; L++ {
+					up := L - 1 + d
+					dgl := L - 1 + dd
+					hu := getLane16(hCur, up)
+					iu := getLane16(iCur, up)
+					hl := getLane16(hCur, up+1)
+					dl := getLane16(dCur, up+1)
+					hd := getLane16(hPrev, dgl)
+					iv := sub016(iu, e16)
+					if v := sub016(hu, oe16); v > iv {
+						iv = v
+					}
+					dv := sub016(dl, e16)
+					if v := sub016(hl, oe16); v > dv {
+						dv = v
+					}
+					sum := uint32(hd)
+					if seq.MatchMask(pa, pb, aiBase+L, biBase+L)&1 == 1 {
+						sum += uint32(smd)
+					}
+					if sum > narrowTop {
+						overflow = true
+						sum = narrowTop
+					}
+					dg := sub016(uint16(sum), nm16)
+					best := dg
+					if iv > best {
+						best = iv
+					}
+					if dv > best {
+						best = dv
+					}
+					if best < gb16 {
+						overflow = true
+					}
+					setLane16(hNext, L, best)
+					setLane16(iNext, L, iv)
+					setLane16(dNext, L, dv)
+				}
+			}
+			if ovAcc != 0 {
+				overflow = true
+			}
+		}
+
+		hPrev, hCur, hNext = hCur, hNext, hPrev
+		iCur, iNext = iNext, iCur
+		dCur, dNext = dNext, dCur
+		dPrevShift = d
+
+		if overflow {
+			res.Score = NegInf
+			res.Overflowed = true
+			return res, false
+		}
+
+		// Re-centre the window maximum so only the spread across one
+		// window must fit the lane, not the absolute score.
+		if (t+1)%narrowRebaseEvery == 0 {
+			maxSt := uint16(0)
+			for l := 1; l <= w; l++ {
+				if v := getLane16(hCur, l); v > maxSt {
+					maxSt = v
+				}
+			}
+			if maxSt != 0 {
+				shift := int32(maxSt) - narrowCenter
+				if shift > narrowSlack || shift < -narrowSlack {
+					ok := narrowRebase(hPrev, shift)
+					ok = narrowRebase(hCur, shift) && ok
+					ok = narrowRebase(iCur, shift) && ok
+					ok = narrowRebase(dCur, shift) && ok
+					base += shift
+					if !ok {
+						res.Score = NegInf
+						res.Overflowed = true
+						return res, false
+					}
+				}
+			}
+		}
+	}
+
+	pFinal := m - int(off[m+n])
+	if pFinal < 0 || pFinal >= w {
+		res.Score = NegInf
+		return res, true
+	}
+	st := getLane16(hCur, pFinal+1)
+	if st == 0 {
+		res.Score = NegInf
+		return res, true
+	}
+	res.InBand = true
+	res.Score = int32(st) - narrowCenter + base
+	res.Clipped = maxPot > res.Score
+	return res, true
+}

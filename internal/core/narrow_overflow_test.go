@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pimnw/internal/seq"
+)
+
+// identicalSeq builds a length-n sequence of a fixed repeating motif, so
+// aligning it against itself scores exactly n·Match with no gaps.
+func identicalSeq(n int) seq.Seq {
+	s := make(seq.Seq, n)
+	for i := range s {
+		s[i] = seq.Base(i & 3)
+	}
+	return s
+}
+
+// TestNarrowPositiveSaturationBoundary walks the stored value up to the
+// +(2^15 − narrowCenter) representability boundary with Match=127 on
+// identical pairs: score L·127 per pair, no rebase (m+n < rebase cadence).
+// Below the boundary the narrow result must be bit-identical to the wide
+// engine; at the boundary the saturating add must trip the sticky bit and
+// report Overflowed — never a silently wrapped score. The detection is
+// conservative by |Mismatch| (the sticky fires on the pre-fold sum), so
+// the largest certified score is 2^15 − narrowCenter + Mismatch.
+func TestNarrowPositiveSaturationBoundary(t *testing.T) {
+	p := Params{Match: 127, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	s := NewScratch()
+	for _, tc := range []struct {
+		length       int
+		w            int
+		wantOverflow bool
+	}{
+		// 127·127 = 16129 < 16383: every intermediate sum stays ≤ 2^15−1.
+		{127, 32, false},
+		// 128·127 = 16256: final diag sum is 32513+131 = 32644, still in range.
+		{128, 32, false},
+		// 129·127 = 16383 = 2^15−narrowCenter−1: the last representable
+		// value, but the pre-fold sum 32640+131 crosses 2^15 → sticky.
+		{129, 32, true},
+		{200, 32, true},
+		// w=2 keeps every lane in the scalar edge loop: the scalar
+		// saturation twin must agree with the word path lane for lane.
+		{128, 2, false},
+		{129, 2, true},
+	} {
+		a := identicalSeq(tc.length)
+		label := fmt.Sprintf("L=%d w=%d", tc.length, tc.w)
+		narrow, ok := s.adaptiveBandNarrow(a, a, p, tc.w, DefaultVariant())
+		if tc.wantOverflow {
+			if ok || !narrow.Overflowed {
+				t.Fatalf("%s: want Overflowed at the +2^15 boundary, got ok=%v %+v", label, ok, narrow)
+			}
+			if narrow.Score != NegInf {
+				t.Fatalf("%s: overflowed result leaked a score %d", label, narrow.Score)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%s: spurious overflow below the boundary", label)
+		}
+		wide, _ := s.adaptiveBand(a, a, p, tc.w, false, DefaultVariant())
+		requireNarrowEqual(t, label, narrow, wide)
+		if want := int32(tc.length) * p.Match; narrow.Score != want {
+			t.Fatalf("%s: score %d, want %d", label, narrow.Score, want)
+		}
+	}
+}
+
+// TestNarrowNegativeSaturationBoundary drives the matrix-boundary gap row
+// down to the −(2^15 − narrowCenter) boundary: aligning an empty query
+// against b costs GapOpen + n·GapExt, and the stored boundary value
+// narrowCenter − GapCost(n) hits the dead-sentinel encoding (stored ≤ 0)
+// exactly when the gap cost reaches narrowCenter. GapExt=32 makes that
+// happen inside one rebase window, so the periodic rebase cannot rescue
+// the drift first. Below the guard floor the engine may conservatively
+// overflow; at the boundary it must.
+func TestNarrowNegativeSaturationBoundary(t *testing.T) {
+	p := Params{Match: 2, Mismatch: -4, GapOpen: 4, GapExt: 32}
+	s := NewScratch()
+	for _, tc := range []struct {
+		n            int
+		wantOverflow bool
+	}{
+		// GapCost(400) = 12804: stored 3580, far above the guard floor.
+		{400, false},
+		// GapCost(500) = 16004: stored 380, still live and certified.
+		{500, false},
+		// GapCost(512) = 16388 ≥ narrowCenter: the boundary write leaves
+		// the representable range → sticky.
+		{512, true},
+		{600, true},
+	} {
+		b := identicalSeq(tc.n)
+		label := fmt.Sprintf("n=%d", tc.n)
+		narrow, ok := s.adaptiveBandNarrow(nil, b, p, 4, DefaultVariant())
+		if tc.wantOverflow {
+			if ok || !narrow.Overflowed {
+				t.Fatalf("%s: want Overflowed at the −2^15 boundary, got ok=%v %+v", label, ok, narrow)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%s: spurious overflow below the boundary", label)
+		}
+		wide, _ := s.adaptiveBand(nil, b, p, 4, false, DefaultVariant())
+		requireNarrowEqual(t, label, narrow, wide)
+		if want := -p.GapCost(tc.n); narrow.Score != want {
+			t.Fatalf("%s: score %d, want %d", label, narrow.Score, want)
+		}
+	}
+}
+
+// TestNarrowStickyPropagatesAcrossDiagonals pins the sticky-bit contract:
+// saturation in the middle of the matrix must surface as Overflowed even
+// though every later anti-diagonal is representable again. The pair climbs
+// past the boundary on an identical prefix, then falls back on an
+// all-mismatch tail; the final score is small, but the engine must not
+// forget the transient.
+func TestNarrowStickyPropagatesAcrossDiagonals(t *testing.T) {
+	p := Params{Match: 127, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	prefix := identicalSeq(160) // climbs to 160·127 = 20320 > 16383 mid-run
+	tail := make(seq.Seq, 120)
+	a := append(append(seq.Seq{}, prefix...), tail...)
+	b := append(append(seq.Seq{}, prefix...), tail...)
+	for i := range tail {
+		a[len(prefix)+i] = seq.Base(0)
+		b[len(prefix)+i] = seq.Base(1) // mismatch wall: score only falls
+	}
+	s := NewScratch()
+	for _, w := range []int{2, 32} { // scalar-edge-only and word-loop shapes
+		narrow, ok := s.adaptiveBandNarrow(a, b, p, w, DefaultVariant())
+		if ok || !narrow.Overflowed {
+			t.Fatalf("w=%d: transient saturation was forgotten: ok=%v %+v", w, ok, narrow)
+		}
+	}
+	// Sanity: the wide engine handles the same pair without complaint, so
+	// the sticky really is a narrow-lane artefact, not a scoring anomaly.
+	wide, _ := s.adaptiveBand(a, b, p, 32, false, DefaultVariant())
+	if wide.Score >= 20000 || !wide.InBand {
+		t.Fatalf("wide result implausible: %+v", wide)
+	}
+}
+
+// TestNarrowRebaseBoundary exercises the rebase path on both sides: a
+// monotonically climbing score (rebase shifts the window down) and a
+// monotonically falling one (rebase shifts it back up), both crossing
+// several rebase cadences, must stay bit-identical to the wide engine.
+func TestNarrowRebaseBoundary(t *testing.T) {
+	s := NewScratch()
+
+	// Climb: 2000 identical bases at Match=31 drift up 31/2 per step —
+	// 7936 per rebase window, inside the representable range — and reach
+	// 62000, far past 2^15, rebasing several times without saturating.
+	up := Params{Match: 31, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	a := identicalSeq(2000)
+	narrow, ok := s.adaptiveBandNarrow(a, a, up, 8, DefaultVariant())
+	if !ok {
+		t.Fatal("climbing rebase overflowed")
+	}
+	wide, _ := s.adaptiveBand(a, a, up, 8, false, DefaultVariant())
+	requireNarrowEqual(t, "climb", narrow, wide)
+	if narrow.Score != 2000*31 {
+		t.Fatalf("climb score %d, want %d", narrow.Score, 2000*31)
+	}
+
+	// Fall: an empty query against 3000 bases at GapExt=2 drifts down
+	// ~2 per step; the rebase must lift the window before the boundary
+	// writes leave the representable range.
+	down := DefaultParams()
+	b := identicalSeq(3000)
+	narrow, ok = s.adaptiveBandNarrow(nil, b, down, 8, DefaultVariant())
+	if !ok {
+		t.Fatal("falling rebase overflowed")
+	}
+	wide, _ = s.adaptiveBand(nil, b, down, 8, false, DefaultVariant())
+	requireNarrowEqual(t, "fall", narrow, wide)
+	if want := -down.GapCost(3000); narrow.Score != want {
+		t.Fatalf("fall score %d, want %d", narrow.Score, want)
+	}
+}

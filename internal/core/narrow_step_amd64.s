@@ -1,0 +1,95 @@
+// SSE2 inner loop of the 16-bit narrow-lane adaptive-band engine.
+// See banded_narrow.go for the value encoding and narrow_step.go for the
+// portable SWAR reference this must match lane for lane: PSUBUSW is the
+// per-lane saturating-at-zero subtract, PMAXSW the lane max (sound because
+// live lanes keep bit 15 clear), PADDW the substitution add whose bit-15
+// carry is trapped into the sticky accumulator, and a final PSUBUSW
+// against the guard floor flags any below-guard H output. On a sticky the
+// in-flight lane values may diverge from the reference — the caller
+// discards the whole step — so no clamp reconstruction is done here.
+
+#include "textflag.h"
+
+// func narrowStepSSE(a *narrowSSEArgs) uint64
+TEXT ·narrowStepSSE(SB), NOSPLIT, $0-16
+	MOVQ a+0(FP), AX
+
+	MOVQ 0(AX), R8    // hNext
+	MOVQ 8(AX), R9    // iNext
+	MOVQ 16(AX), R10  // dNext
+	MOVQ 24(AX), R11  // hCur1: up stream
+	MOVQ 32(AX), R12  // iCur1: up stream
+	MOVQ 40(AX), R13  // hCur0: left stream
+	MOVQ 48(AX), R14  // dCur0: left stream
+	MOVQ 56(AX), DX   // hPrev1: diagonal stream
+	MOVQ 64(AX), DI   // sub
+	MOVQ 72(AX), SI   // pairs
+
+	MOVQ 80(AX), BX   // dUp
+	ADDQ BX, R11
+	ADDQ BX, R12
+	MOVQ 88(AX), BX   // dLt
+	ADDQ BX, R13
+	ADDQ BX, R14
+	MOVQ 96(AX), BX   // dDg
+	ADDQ BX, DX
+
+	MOVQ       104(AX), X9  // eV
+	PUNPCKLQDQ X9, X9
+	MOVQ       112(AX), X10 // oeV
+	PUNPCKLQDQ X10, X10
+	MOVQ       120(AX), X11 // nmV
+	PUNPCKLQDQ X11, X11
+	MOVQ       128(AX), X12 // gbV
+	PUNPCKLQDQ X12, X12
+	MOVQ       136(AX), X13 // nH: bit 15 of every lane
+	PUNPCKLQDQ X13, X13
+
+	PXOR X14, X14 // sticky accumulator
+	XORQ CX, CX   // byte index
+
+loop:
+	// iv = max(iUp ⊖ e, hUp ⊖ oe)
+	MOVOU   (R12)(CX*1), X0
+	PSUBUSW X9, X0
+	MOVOU   (R11)(CX*1), X1
+	PSUBUSW X10, X1
+	PMAXSW  X1, X0
+
+	// dv = max(dLt ⊖ e, hLt ⊖ oe)
+	MOVOU   (R14)(CX*1), X3
+	PSUBUSW X9, X3
+	MOVOU   (R13)(CX*1), X4
+	PSUBUSW X10, X4
+	PMAXSW  X4, X3
+
+	// diag = (hDg + sub) ⊖ nm, bit-15 carry → sticky
+	MOVOU (DX)(CX*1), X5
+	MOVOU (DI)(CX*1), X8
+	PADDW X8, X5
+	MOVOA X5, X6
+	PAND  X13, X6
+	POR   X6, X14
+	PSUBUSW X11, X5
+
+	// best = max(diag, iv, dv); below-guard output → sticky
+	PMAXSW  X0, X5
+	PMAXSW  X3, X5
+	MOVOA   X12, X7
+	PSUBUSW X5, X7
+	POR     X7, X14
+
+	MOVOU X5, (R8)(CX*1)
+	MOVOU X0, (R9)(CX*1)
+	MOVOU X3, (R10)(CX*1)
+
+	ADDQ $16, CX
+	DECQ SI
+	JNZ  loop
+
+	MOVQ  X14, BX
+	PSRLO $8, X14
+	MOVQ  X14, AX
+	ORQ   BX, AX
+	MOVQ  AX, ret+8(FP)
+	RET

@@ -34,6 +34,14 @@ type Result struct {
 	// wider bands until the flag clears. Full-matrix alignments never
 	// set it.
 	Clipped bool
+	// Overflowed reports that the 16-bit narrow-lane engine hit a
+	// saturation sticky bit and can no longer certify exactness; Score and
+	// the other fields are meaningless. Only the narrow engine sets it —
+	// the host escalates overflowed pairs to the full-width kernel, which
+	// recomputes them exactly. The flag is sound in the same sense as
+	// Clipped: a narrow result without it is bit-identical to the wide
+	// engine's.
+	Overflowed bool
 }
 
 // Aligner is the common interface over the four DP formulations; the CPU

@@ -27,6 +27,12 @@ type Scratch struct {
 	sub                        []int32 // substitution scores of one anti-diagonal
 	org                        []uint8 // matching diagonal-origin nibbles
 
+	// Narrow-lane (16-bit) engine state: the same seven lanes, packed four
+	// cells per uint64 word plus one zero pad word for the funnel-shifted
+	// neighbour loads, and the lane-aligned packed substitution words.
+	nh0, nh1, nh2, ni0, ni1, nd0, nd1 []uint64
+	nsub                              []uint64
+
 	// Packed operands of the word comparator: the query as-is, the target
 	// reversed (see seq.PackReversed), both with WordAt's zero tail.
 	pa, pb []byte
@@ -61,6 +67,14 @@ func PutScratch(s *Scratch) { scratchPool.Put(s) }
 func growI32(buf []int32, n int) []int32 {
 	if cap(buf) < n {
 		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growU64 is growI32 for uint64 word buffers.
+func growU64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
 	}
 	return buf[:n]
 }

@@ -18,6 +18,11 @@ type rung struct {
 	band      int
 	geom      kernel.Geometry
 	traceback bool
+	// overflowOnly marks the same-band full-width rung that backs a
+	// narrow-lane base kernel: it only receives pairs the narrow kernel
+	// saturated on — a clipped or out-of-band pair needs width, and
+	// re-running it at the same band would reproduce the same failure.
+	overflowOnly bool
 }
 
 func (r rung) provenance() string {
@@ -36,8 +41,22 @@ func (r rung) provenance() string {
 func buildLadder(cfg Config) []rung {
 	var rungs []rung
 	maxBand := cfg.maxBand()
+	// Ladder rungs always run the full-width kernel: escalation is the
+	// correctness path, and a narrow kernel that saturated once would be
+	// re-risking the same saturation at every wider band.
+	wideK := cfg.Kernel
+	wideK.LaneWidth = 64
+	// A narrow-lane base kernel gets one extra rung before the band
+	// doubles: the full-width kernel at the *same* band, taking exactly the
+	// pairs the narrow kernel overflowed on — saturation is a precision
+	// failure, not a band failure.
+	if cfg.Kernel.Lanes(cfg.Kernel.Band, cfg.Kernel.Traceback) == 16 {
+		if g, ok := kernel.FitGeometry(wideK, cfg.Kernel.Band, false); ok {
+			rungs = append(rungs, rung{band: cfg.Kernel.Band, geom: g, traceback: false, overflowOnly: true})
+		}
+	}
 	for b := cfg.Kernel.Band * 2; b <= maxBand; b *= 2 {
-		g, ok := kernel.FitGeometry(cfg.Kernel, b, cfg.Kernel.Traceback)
+		g, ok := kernel.FitGeometry(wideK, b, cfg.Kernel.Traceback)
 		if !ok {
 			break // the working set grows with the band: wider cannot fit either
 		}
@@ -49,7 +68,7 @@ func buildLadder(cfg Config) []rung {
 			floor = rungs[len(rungs)-1].band
 		}
 		for b := maxBand; b > floor; b /= 2 {
-			if g, ok := kernel.FitGeometry(cfg.Kernel, b, false); ok {
+			if g, ok := kernel.FitGeometry(wideK, b, false); ok {
 				rungs = append(rungs, rung{band: b, geom: g, traceback: false})
 				break
 			}
@@ -84,8 +103,13 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 	final := make(map[int]Result, len(pairs))
 	baseProv := kernelProvenance(cfg.Kernel)
 	var pending []int
+	overflowed := make(map[int]bool)
 	for _, r := range first {
 		switch {
+		case r.Overflowed:
+			rep.OverflowedPairs++
+			overflowed[r.ID] = true
+			pending = append(pending, r.ID)
 		case !r.InBand:
 			rep.OutOfBandPairs++
 			pending = append(pending, r.ID)
@@ -115,6 +139,10 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 		var runnable, skipped []int
 		for _, id := range pending {
 			p := byID[id]
+			if rg.overflowOnly && !overflowed[id] {
+				skipped = append(skipped, id)
+				continue
+			}
 			if kernel.FitsMRAM(cfg.PIM, len(p.A), len(p.B), rg.band, rg.traceback) {
 				runnable = append(runnable, id)
 			} else {
@@ -131,6 +159,7 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 		roundCfg.Kernel.Band = rg.band
 		roundCfg.Kernel.Geometry = rg.geom
 		roundCfg.Kernel.Traceback = rg.traceback
+		roundCfg.Kernel.LaneWidth = 64 // ladder rungs are always full-width
 		// Decorrelate this round's injected faults from the earlier
 		// rounds': the (batch, attempt, dpu) draw coordinates recur every
 		// round, and reusing the seed would make the same fault chase the
@@ -171,7 +200,7 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 
 		next := skipped
 		for _, r := range subResults {
-			if !r.InBand || r.Clipped {
+			if r.Overflowed || !r.InBand || r.Clipped {
 				next = append(next, r.ID)
 				continue
 			}

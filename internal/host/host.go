@@ -161,6 +161,10 @@ const (
 	StatusDegradedCPU
 	// StatusAbandoned: no answer — retries exhausted with escalation off.
 	StatusAbandoned
+	// StatusOverflowed: the 16-bit narrow-lane kernel saturated on this
+	// pair and its score is meaningless. Final only when escalation is
+	// off; the ladder's same-band full-width rung resolves it otherwise.
+	StatusOverflowed
 )
 
 var pairStatusNames = [...]string{
@@ -171,6 +175,7 @@ var pairStatusNames = [...]string{
 	StatusDegradedScoreOnly: "degraded-score-only",
 	StatusDegradedCPU:       "degraded-cpu",
 	StatusAbandoned:         "abandoned",
+	StatusOverflowed:        "overflowed",
 }
 
 func (s PairStatus) String() string {
@@ -308,8 +313,11 @@ type Report struct {
 	// are measured host wall-clock spent on the CPU rung and on CIGAR
 	// re-derivation — host-side work, deliberately NOT folded into the
 	// modelled MakespanSec.
+	// OverflowedPairs counts 16-bit narrow-lane saturations as first
+	// observed, alongside the band-failure tallies.
 	OutOfBandPairs    int
 	ClippedPairs      int
+	OverflowedPairs   int
 	Escalations       int
 	EscalationRounds  int
 	DegradedScoreOnly int

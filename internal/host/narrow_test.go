@@ -1,0 +1,177 @@
+package host
+
+import (
+	"strings"
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/kernel"
+	"pimnw/internal/seq"
+)
+
+// narrowTestConfig forces the 16-bit kernel under a scoring model whose
+// drift saturates on long pairs but not short ones (Match=127: the sticky
+// fires once a path's score passes ~2^15−narrowCenter). -lanes=auto would
+// refuse this model, which is exactly why the test pins LaneWidth — the
+// saturation path must be reachable on demand.
+func narrowTestConfig(escalate bool) Config {
+	cfg := testConfig(2, false)
+	cfg.Kernel.Band = 16
+	cfg.Kernel.Params = core.Params{Match: 127, Mismatch: -4, GapOpen: 4, GapExt: 2}
+	cfg.Kernel.LaneWidth = 16
+	cfg.Escalate = escalate
+	return cfg
+}
+
+// narrowMixedPairs builds the mixed batch: identical pairs, short ones
+// (score 60·127, in-lane) interleaved with long ones (score 300·127,
+// guaranteed past the saturation boundary). Identity keeps every pair
+// in-band and unclipped at band 16, so saturation is the only failure the
+// batch can produce.
+func narrowMixedPairs() (pairs []Pair, long map[int]bool) {
+	long = make(map[int]bool)
+	for i := 0; i < 12; i++ {
+		n := 60
+		if i%3 == 0 {
+			n = 300
+			long[i] = true
+		}
+		s := make(seq.Seq, n)
+		for j := range s {
+			s[j] = seq.Base((i + j) & 3)
+		}
+		pairs = append(pairs, Pair{ID: i, A: s, B: s})
+	}
+	return pairs, long
+}
+
+// TestNarrowOverflowEscalatesToWideKernel is the host-level acceptance
+// test of the overflow rung: in a mixed batch on the narrow kernel, the
+// saturated pairs — and only those — must escalate to the same-band
+// full-width kernel and come back with bit-identical scores, per-pair
+// provenance separating the two engines.
+func TestNarrowOverflowEscalatesToWideKernel(t *testing.T) {
+	pairs, long := narrowMixedPairs()
+	cfg := narrowTestConfig(true)
+	rep, results, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("got %d results for %d pairs", len(results), len(pairs))
+	}
+	if rep.OverflowedPairs != len(long) {
+		t.Fatalf("OverflowedPairs = %d, want %d", rep.OverflowedPairs, len(long))
+	}
+	for i, r := range results {
+		p := pairs[i]
+		// Identity pairs at band 16: the wide banded kernel's answer equals
+		// the exact full-matrix score, so bit-identical is checkable directly.
+		want := core.AdaptiveBandScoreWide(p.A, p.B, cfg.Kernel.Params, cfg.Kernel.Band)
+		if r.Score != want.Score {
+			t.Errorf("pair %d (%s): score %d != wide kernel %d", r.ID, r.Provenance, r.Score, want.Score)
+		}
+		if long[r.ID] {
+			if r.Status != StatusEscalated {
+				t.Errorf("pair %d: status %v, want %v", r.ID, r.Status, StatusEscalated)
+			}
+			if r.Provenance != "dpu-score-only@16" {
+				t.Errorf("pair %d: provenance %q, want the same-band wide rung", r.ID, r.Provenance)
+			}
+		} else {
+			if r.Status != StatusOK {
+				t.Errorf("pair %d: status %v, want %v", r.ID, r.Status, StatusOK)
+			}
+			if r.Provenance != "dpu-narrow@16" {
+				t.Errorf("pair %d: provenance %q, want dpu-narrow@16", r.ID, r.Provenance)
+			}
+		}
+	}
+	// Saturation is a precision failure at an adequate band: nothing may
+	// widen past the base band or fall through to the CPU.
+	if rep.DegradedCPU != 0 || rep.DegradedScoreOnly != 0 {
+		t.Errorf("overflow pairs left the same-band rung: %+v", rep)
+	}
+	if rep.Escalations != len(long) || rep.EscalationRounds != 1 {
+		t.Errorf("escalations=%d rounds=%d, want %d pairs in 1 round", rep.Escalations, rep.EscalationRounds, len(long))
+	}
+	if n := rep.Provenance["dpu-narrow@16"]; n != len(pairs)-len(long) {
+		t.Errorf("narrow provenance count %d, want %d (%v)", n, len(pairs)-len(long), rep.Provenance)
+	}
+	if n := rep.Provenance["dpu-score-only@16"]; n != len(long) {
+		t.Errorf("wide-rung provenance count %d, want %d (%v)", n, len(long), rep.Provenance)
+	}
+}
+
+// TestNarrowOverflowStatusWithoutEscalation: with the ladder off, a
+// saturated pair surfaces as the typed StatusOverflowed — untrusted, NegInf
+// score, listed as an issue — rather than being silently mis-scored.
+func TestNarrowOverflowStatusWithoutEscalation(t *testing.T) {
+	pairs, long := narrowMixedPairs()
+	cfg := narrowTestConfig(false)
+	rep, results, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overflowed int
+	for _, r := range results {
+		if r.Provenance != "dpu-narrow@16" {
+			t.Errorf("pair %d: provenance %q, want dpu-narrow@16", r.ID, r.Provenance)
+		}
+		if long[r.ID] {
+			overflowed++
+			if r.Status != StatusOverflowed {
+				t.Errorf("pair %d: status %v, want %v", r.ID, r.Status, StatusOverflowed)
+			}
+			if r.Status.Trusted() {
+				t.Errorf("pair %d: StatusOverflowed must not be trusted", r.ID)
+			}
+			if r.Score != core.NegInf {
+				t.Errorf("pair %d: overflowed result leaked score %d", r.ID, r.Score)
+			}
+		} else if r.Status != StatusOK {
+			t.Errorf("pair %d: status %v, want OK", r.ID, r.Status)
+		}
+	}
+	if overflowed != len(long) || rep.OverflowedPairs != len(long) {
+		t.Errorf("overflowed: statuses=%d report=%d, want %d", overflowed, rep.OverflowedPairs, len(long))
+	}
+	if len(rep.Issues) != len(long) {
+		t.Errorf("%d issues listed, want %d", len(rep.Issues), len(long))
+	}
+	if !strings.Contains(StatusOverflowed.String(), "overflow") {
+		t.Errorf("StatusOverflowed renders as %q", StatusOverflowed)
+	}
+}
+
+// TestNarrowLadderHasOverflowRung: a narrow base kernel prepends the
+// same-band full-width rung to the ladder; a wide base kernel must not.
+func TestNarrowLadderHasOverflowRung(t *testing.T) {
+	cfg := narrowTestConfig(true)
+	rungs := buildLadder(cfg)
+	if len(rungs) == 0 || !rungs[0].overflowOnly || rungs[0].band != cfg.Kernel.Band {
+		t.Fatalf("narrow ladder %+v lacks the same-band overflow rung", rungs)
+	}
+	for _, rg := range rungs[1:] {
+		if rg.overflowOnly {
+			t.Fatalf("ladder %+v has a widened overflow-only rung", rungs)
+		}
+	}
+	cfg.Kernel.LaneWidth = 64
+	for _, rg := range buildLadder(cfg) {
+		if rg.overflowOnly {
+			t.Fatalf("wide base kernel grew an overflow rung: %+v", rg)
+		}
+	}
+}
+
+// TestChecksumCoversOverflowFlag: the result checksum the recovery layer
+// compares across retries must distinguish an overflowed result from a
+// clean one, or a fault flipping the flag would go undetected.
+func TestChecksumCoversOverflowFlag(t *testing.T) {
+	a := []kernel.PairResult{{ID: 1, Score: 10, InBand: true}}
+	b := []kernel.PairResult{{ID: 1, Score: 10, InBand: true, Overflowed: true}}
+	if kernel.ChecksumResults(a) == kernel.ChecksumResults(b) {
+		t.Fatal("checksum ignores the Overflowed flag")
+	}
+}

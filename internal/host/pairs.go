@@ -109,6 +109,9 @@ func annotateResults(k kernel.Config, rep *Report, results []Result) {
 		r := &results[i]
 		r.Provenance = prov
 		switch {
+		case r.Overflowed:
+			r.Status = StatusOverflowed
+			rep.OverflowedPairs++
 		case !r.InBand:
 			r.Status = StatusOutOfBand
 			rep.OutOfBandPairs++
@@ -132,6 +135,9 @@ func annotateResults(k kernel.Config, rep *Report, results []Result) {
 func kernelProvenance(k kernel.Config) string {
 	if k.Traceback {
 		return fmt.Sprintf("dpu-banded@%d", k.Band)
+	}
+	if k.Lanes(k.Band, k.Traceback) == 16 {
+		return fmt.Sprintf("dpu-narrow@%d", k.Band)
 	}
 	return fmt.Sprintf("dpu-score-only@%d", k.Band)
 }
@@ -237,6 +243,7 @@ func (r *Report) publishMetrics() {
 	reg.Gauge("host_retry_seconds").Set(r.RetrySec)
 	reg.Counter("host_out_of_band_pairs_total").Add(int64(r.OutOfBandPairs))
 	reg.Counter("host_clipped_pairs_total").Add(int64(r.ClippedPairs))
+	reg.Counter("host_overflowed_pairs_total").Add(int64(r.OverflowedPairs))
 	reg.Counter("host_escalations_total").Add(int64(r.Escalations))
 	reg.Counter("host_escalation_rounds_total").Add(int64(r.EscalationRounds))
 	reg.Counter("host_degraded_score_only_total").Add(int64(r.DegradedScoreOnly))

@@ -31,6 +31,7 @@ type reportJSON struct {
 	RetrySec             float64 `json:"retry_sec"`
 	OutOfBandPairs       int     `json:"out_of_band_pairs"`
 	ClippedPairs         int     `json:"clipped_pairs"`
+	OverflowedPairs      int     `json:"overflowed_pairs"`
 	Escalations          int     `json:"escalations"`
 	EscalationRounds     int     `json:"escalation_rounds"`
 	DegradedScoreOnly    int     `json:"degraded_score_only"`
@@ -73,6 +74,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		RetrySec:             r.RetrySec,
 		OutOfBandPairs:       r.OutOfBandPairs,
 		ClippedPairs:         r.ClippedPairs,
+		OverflowedPairs:      r.OverflowedPairs,
 		Escalations:          r.Escalations,
 		EscalationRounds:     r.EscalationRounds,
 		DegradedScoreOnly:    r.DegradedScoreOnly,

@@ -45,8 +45,45 @@ type Config struct {
 	// Traceback selects the CIGAR-producing kernel; false is the
 	// score-only kernel used by the 16S experiment.
 	Traceback bool
+	// LaneWidth selects the DP cell width in bits: 64 is the full-width
+	// word-packed kernel, 16 the saturating narrow-lane kernel (score-only;
+	// overflowed pairs come back flagged for the host ladder), and 0 is
+	// auto — narrow whenever the mode and scoring model admit it. Narrow
+	// lanes halve the per-pool WRAM working set, so wider bands fit
+	// on-DPU at the same geometry.
+	LaneWidth int
 	// PIM provides the WRAM/MRAM capacities the kernel must fit in.
 	PIM pim.Config
+}
+
+// ParseLaneWidth parses the -lanes command-line value shared by pimalign,
+// experiments and alignd: "auto" (or "") is 0, else "16" or "64".
+func ParseLaneWidth(s string) (int, error) {
+	switch s {
+	case "", "auto":
+		return 0, nil
+	case "16":
+		return 16, nil
+	case "64":
+		return 64, nil
+	default:
+		return 0, fmt.Errorf("kernel: -lanes=%q not supported (want auto, 16 or 64)", s)
+	}
+}
+
+// Lanes resolves LaneWidth for a band/traceback mode: auto picks the
+// 16-bit kernel when the run is score-only and core.NarrowFits admits the
+// scoring model at that band, else the 64-bit kernel.
+func (c Config) Lanes(band int, traceback bool) int {
+	switch c.LaneWidth {
+	case 16, 64:
+		return c.LaneWidth
+	default:
+		if !traceback && core.NarrowFits(c.Params, band) {
+			return 16
+		}
+		return 64
+	}
 }
 
 // WRAM working-set constants (bytes), documented in DESIGN.md §5. The real
@@ -60,11 +97,17 @@ const (
 )
 
 // poolWRAM returns the per-pool WRAM working set for band w: the four
-// w-sized int32 anti-diagonal arrays of §4.2.1 (two H generations kept by
-// in-place update, plus I and D), the sequence windows, the BT flush
-// buffers (traceback kernels only) and the shared variables.
-func poolWRAM(w int, traceback bool) int {
-	n := 4*4*w + seqWindowBytes + poolSharedVars
+// w-sized anti-diagonal arrays of §4.2.1 (two H generations kept by
+// in-place update, plus I and D) at the kernel's lane width — int32 cells
+// for the 64-bit kernel, int16 for the narrow kernel, which is how narrow
+// lanes buy band width — the sequence windows, the BT flush buffers
+// (traceback kernels only) and the shared variables.
+func poolWRAM(w int, traceback bool, lanes int) int {
+	cell := 4
+	if lanes == 16 {
+		cell = 2
+	}
+	n := 4*cell*w + seqWindowBytes + poolSharedVars
 	if traceback {
 		n += btBufferBytes
 	}
@@ -89,6 +132,14 @@ func (c Config) Validate() error {
 	if c.Band%2 != 0 {
 		return fmt.Errorf("kernel: band %d must be even (paired nibble rows)", c.Band)
 	}
+	switch c.LaneWidth {
+	case 0, 16, 64:
+	default:
+		return fmt.Errorf("kernel: lane width %d not supported (want 0, 16 or 64)", c.LaneWidth)
+	}
+	if c.LaneWidth == 16 && c.Traceback {
+		return fmt.Errorf("kernel: the 16-bit narrow-lane kernel is score-only (traceback needs the full-width kernel)")
+	}
 	if err := c.Params.Validate(); err != nil {
 		return err
 	}
@@ -109,8 +160,9 @@ func (c Config) allocWRAM() (*pim.WRAM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernel: %v", err)
 	}
+	lanes := c.Lanes(c.Band, c.Traceback)
 	for pool := 0; pool < c.Geometry.Pools; pool++ {
-		if _, err := w.Alloc(poolWRAM(c.Band, c.Traceback)); err != nil {
+		if _, err := w.Alloc(poolWRAM(c.Band, c.Traceback, lanes)); err != nil {
 			return nil, fmt.Errorf("kernel: pool %d working set does not fit: %v", pool, err)
 		}
 	}
@@ -140,9 +192,13 @@ type PairResult struct {
 	// (see core.Result.Clipped); the host's escalation ladder re-dispatches
 	// clipped pairs at a wider band rather than trusting the score.
 	Clipped bool
-	Cigar   []byte // serialized CIGAR text, nil for score-only kernels
-	Cells   int64
-	Steps   int
+	// Overflowed reports that the 16-bit narrow-lane kernel hit a
+	// saturation sticky bit on this pair; Score is meaningless and the
+	// host re-dispatches the pair on the full-width kernel.
+	Overflowed bool
+	Cigar      []byte // serialized CIGAR text, nil for score-only kernels
+	Cells      int64
+	Steps      int
 }
 
 // FitGeometry shrinks the pool count of cfg's geometry until a kernel at

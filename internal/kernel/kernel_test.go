@@ -291,12 +291,17 @@ func TestRunDeterministic(t *testing.T) {
 func TestPoolWRAMBudgetShape(t *testing.T) {
 	// Traceback kernels need the BT flush buffers; score-only kernels can
 	// fit the same geometry in less WRAM.
-	if poolWRAM(128, true) <= poolWRAM(128, false) {
+	if poolWRAM(128, true, 64) <= poolWRAM(128, false, 64) {
 		t.Error("traceback pool should cost more WRAM")
 	}
 	// Budget grows linearly with the band.
-	if poolWRAM(256, true)-poolWRAM(128, true) != 4*4*128 {
+	if poolWRAM(256, true, 64)-poolWRAM(128, true, 64) != 4*4*128 {
 		t.Error("band scaling of the pool working set is wrong")
+	}
+	// Narrow lanes halve the per-cell cost of the working set, which is
+	// what lets FitGeometry admit wider bands at the same pool count.
+	if poolWRAM(256, false, 64)-poolWRAM(256, false, 16) != 4*2*256 {
+		t.Error("narrow lanes should halve the lane bytes")
 	}
 }
 

@@ -59,6 +59,9 @@ func ChecksumResults(rs []PairResult) uint64 {
 		if r.Clipped {
 			flags |= 2
 		}
+		if r.Overflowed {
+			flags |= 4
+		}
 		byte8(flags)
 		byte8(uint64(r.Cells))
 		byte8(uint64(r.Steps))
@@ -189,15 +192,22 @@ func alignOne(d *pim.DPU, cfg Config, scratch *core.Scratch, pair Pair, rowBytes
 	a := loadSeq(d, pair.AOff, pair.ALen)
 	b := loadSeq(d, pair.BOff, pair.BLen)
 
+	// Lane-width dispatch: the traceback kernel is always full-width; the
+	// score-only kernel pins the engine the resolved lane width names, so
+	// a narrow overflow surfaces as a flagged result for the host ladder
+	// instead of silently falling back on-device.
 	var res core.Result
-	if cfg.Traceback {
+	switch {
+	case cfg.Traceback:
 		res = scratch.AdaptiveBandAlign(a, b, cfg.Params, cfg.Band)
-	} else {
-		res = scratch.AdaptiveBandScore(a, b, cfg.Params, cfg.Band)
+	case cfg.Lanes(cfg.Band, cfg.Traceback) == 16:
+		res = scratch.AdaptiveBandScoreNarrow(a, b, cfg.Params, cfg.Band)
+	default:
+		res = scratch.AdaptiveBandScoreWide(a, b, cfg.Params, cfg.Band)
 	}
 
 	pr := PairResult{ID: pair.ID, Score: res.Score, InBand: res.InBand,
-		Clipped: res.Clipped, Cells: res.Cells, Steps: res.Steps}
+		Clipped: res.Clipped, Overflowed: res.Overflowed, Cells: res.Cells, Steps: res.Steps}
 	if cfg.Traceback && res.Cigar != nil {
 		pr.Cigar = []byte(res.Cigar.String())
 	}

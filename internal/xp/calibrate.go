@@ -35,13 +35,14 @@ type calibration struct {
 }
 
 // kernelConfig builds the paper's DPU kernel configuration.
-func kernelConfig(costs pim.CostTable, traceback bool) kernel.Config {
+func kernelConfig(costs pim.CostTable, traceback bool, laneWidth int) kernel.Config {
 	return kernel.Config{
 		Geometry:  kernel.DefaultGeometry(),
 		Band:      dpuBand,
 		Params:    core.DefaultParams(),
 		Costs:     costs,
 		Traceback: traceback,
+		LaneWidth: laneWidth,
 		PIM:       pim.DefaultConfig(),
 	}
 }

@@ -69,7 +69,7 @@ func (r *Runner) ablationTable() (Table, error) {
 	}
 	var baselineCycles int64
 	for _, g := range geometries {
-		kcfg := kernelConfig(pim.Asm, true)
+		kcfg := kernelConfig(pim.Asm, true, r.Opts.LaneWidth)
 		kcfg.Geometry = g
 		label := fmt.Sprintf("%dx%d", g.Pools, g.TaskletsPerPool)
 		if err := kcfg.Validate(); err != nil {

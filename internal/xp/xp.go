@@ -48,6 +48,10 @@ type Options struct {
 	Escalate bool
 	MaxBand  int
 	Verify   bool
+	// LaneWidth pins the DPU kernel's DP cell width (kernel.Config.LaneWidth):
+	// 0 auto-selects the 16-bit narrow-lane kernel for score-only runs whose
+	// scoring model admits it, 16 and 64 force one engine.
+	LaneWidth int
 }
 
 // faultConfig translates the fault options into the host configuration
@@ -68,6 +72,7 @@ func (o Options) applyIntegrity(cfg *host.Config) {
 	cfg.Escalate = o.Escalate
 	cfg.MaxBand = o.MaxBand
 	cfg.Verify = o.Verify && cfg.Kernel.Traceback
+	cfg.Kernel.LaneWidth = o.LaneWidth
 }
 
 // Table is a rendered experiment outcome.
