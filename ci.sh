@@ -10,8 +10,11 @@
 #   6. allocation gate   (core-engine allocs/op must not exceed the
 #                         committed baseline; see cmd/benchgate)
 #   7. alignd smoke      (serve over HTTP, diff against the one-shot
-#                         CLI, graceful SIGTERM drain; see
-#                         ci/alignd_smoke.sh)
+#                         CLI, draining healthz, graceful SIGTERM
+#                         drain; see ci/alignd_smoke.sh)
+#   8. loadgen smoke     (overload the admission stack: shed ladder
+#                         engages and releases, zero unlabelled
+#                         degradations; see ci/loadgen_smoke.sh)
 #
 # Any step failing fails the script. This is a superset of ROADMAP.md's
 # minimal `go build ./... && go test ./...` gate.
@@ -52,5 +55,8 @@ go run ./cmd/benchgate -allocs-only -count=1 -benchtime=20x \
 
 echo "== alignd smoke =="
 ./ci/alignd_smoke.sh
+
+echo "== loadgen smoke =="
+./ci/loadgen_smoke.sh
 
 echo "CI PASS"

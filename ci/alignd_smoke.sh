@@ -29,7 +29,7 @@ A="$WORK/s1000_a.fa"
 B="$WORK/s1000_b.fa"
 
 echo "== daemon on a random port =="
-"$WORK/alignd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" -ranks 2 -band 128 &
+"$WORK/alignd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" -ranks 2 -band 128 -drain-wait 2s &
 DAEMON_PID=$!
 for _ in $(seq 1 100); do
     kill -0 "$DAEMON_PID" 2>/dev/null || {
@@ -90,6 +90,15 @@ grep -q '"trace_id": "t-123"' "$WORK/flight.json" || {
 
 echo "== graceful SIGTERM drain =="
 kill -TERM "$DAEMON_PID"
+# During the -drain-wait window the listener is still up but /healthz
+# must advertise draining with 503, so load balancers route away before
+# the socket closes.
+sleep 0.3
+DRAIN_CODE="$(curl -s -o "$WORK/drain.body" -w '%{http_code}' --max-time 2 "http://$ADDR/healthz" || true)"
+if [ "$DRAIN_CODE" != "503" ] || ! grep -q 'draining' "$WORK/drain.body"; then
+    echo "/healthz during drain = $DRAIN_CODE '$(cat "$WORK/drain.body" 2>/dev/null)', want 503 draining" >&2
+    exit 1
+fi
 STATUS=0
 wait "$DAEMON_PID" || STATUS=$?
 DAEMON_PID=""

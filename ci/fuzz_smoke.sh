@@ -29,5 +29,6 @@ fuzz ./internal/core FuzzLinearVsQuadratic
 fuzz ./internal/core FuzzBandedNeverBeatsOptimal
 fuzz ./internal/core FuzzEngineEquivalence
 fuzz ./internal/core FuzzNarrowWideEquivalence
+fuzz ./internal/admission/config FuzzAdmissionConfig
 
 echo "FUZZ SMOKE PASS"

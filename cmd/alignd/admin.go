@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"pimnw/internal/admission"
+	"pimnw/internal/admission/config"
+	"pimnw/internal/host"
+	"pimnw/internal/obs"
+)
+
+// The /admin surface: live configuration and manual control over the
+// admission stack.
+//
+//	GET  /admin/config  the live config in its canonical file form —
+//	                    exactly what POST accepts back.
+//	POST /admin/config  hot-reload the dynamic sections (limits, queues,
+//	                    shed). Changes to the static sections (server,
+//	                    align, session) are rejected with 400: those
+//	                    require a restart, and silently ignoring an
+//	                    attempted change would be worse than refusing it.
+//	GET  /admin/limits  rate-limiter, gate and shed statistics as JSON.
+//	GET  /admin/shed    current shed level, the automatic level tracking
+//	                    underneath, and any manual override.
+//	POST /admin/shed    pin the shed level ({"level":"reject-bulk"}) or
+//	                    return it to automatic control ({"level":"auto"}).
+//
+// When server.admin_token is configured, every /admin request must
+// carry it (X-Admin-Token or Authorization: Bearer).
+func (sv *server) registerAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("/admin/config", sv.adminAuth(sv.handleAdminConfig))
+	mux.HandleFunc("/admin/limits", sv.adminAuth(sv.handleAdminLimits))
+	mux.HandleFunc("/admin/shed", sv.adminAuth(sv.handleAdminShed))
+}
+
+func (sv *server) adminAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := sv.cfg.Load().Server.AdminToken
+		if token != "" {
+			got := r.Header.Get("X-Admin-Token")
+			if got == "" {
+				got = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+			}
+			if got != token {
+				http.Error(w, "admin token required", http.StatusUnauthorized)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+func (sv *server) handleAdminConfig(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		sv.cfg.Load().WriteTo(w)
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := sv.reloadConfig(body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+// reloadConfig parses and validates a full config file and applies its
+// dynamic sections atomically-enough: reloads are serialized, and each
+// component (limiter rates, gate sizing, shed thresholds) swaps its
+// parameters race-free. The static sections must match the running
+// config exactly.
+func (sv *server) reloadConfig(body []byte) error {
+	next, err := config.Parse(body)
+	if err != nil {
+		return err
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	sv.reloadMu.Lock()
+	defer sv.reloadMu.Unlock()
+	cur := sv.cfg.Load()
+	if next.Server != cur.Server {
+		return fmt.Errorf("config reload: the server section is static; restart to change it")
+	}
+	if next.Align != cur.Align {
+		return fmt.Errorf("config reload: the align section is static; restart to change it")
+	}
+	if next.Session != cur.Session {
+		return fmt.Errorf("config reload: the session section is static; restart to change it")
+	}
+	// Entry caps and background intervals are fixed at startup too; the
+	// rates, queue sizing and shed thresholds are the live knobs.
+	if next.Limits.MaxClientEntries != cur.Limits.MaxClientEntries ||
+		next.Limits.MaxIPEntries != cur.Limits.MaxIPEntries ||
+		next.Limits.CleanupInterval != cur.Limits.CleanupInterval {
+		return fmt.Errorf("config reload: limiter entry caps and cleanup_interval are static; restart to change them")
+	}
+	if next.Shed.SampleInterval != cur.Shed.SampleInterval {
+		return fmt.Errorf("config reload: shed.sample_interval is static; restart to change it")
+	}
+	if err := sv.rl.SetLimits(next.AdmissionLimits()); err != nil {
+		return err
+	}
+	if err := sv.pressure.SetConfig(next.PressureConfig()); err != nil {
+		return err
+	}
+	sv.gate.SetConfig(gateConfig(next))
+	sv.cfg.Store(next)
+	obs.Default().Counter("alignd_config_reloads_total").Add(1)
+	obs.Flight().Record("reload", "", "admin config reload applied")
+	obs.Info("config reloaded",
+		"slots", next.Queues.Slots,
+		"global_qps", next.Limits.GlobalQPS,
+		"client_qps", next.Limits.ClientQPS,
+		"ip_qps", next.Limits.IPQPS)
+	return nil
+}
+
+// shedStatus is the /admin/shed wire form.
+type shedStatus struct {
+	// Level is the effective level; Auto is what the pressure tracker
+	// would apply absent an override.
+	Level    string `json:"level"`
+	Auto     string `json:"auto"`
+	Override string `json:"override,omitempty"`
+	// Transitions counts effective-level changes since startup.
+	Transitions uint64 `json:"transitions"`
+}
+
+func (sv *server) shedStatus() shedStatus {
+	st := shedStatus{
+		Level:       sv.pressure.Level().String(),
+		Auto:        sv.pressure.AutoLevel().String(),
+		Transitions: sv.pressure.Transitions(),
+	}
+	if o, ok := sv.pressure.Override(); ok {
+		st.Override = o.String()
+	}
+	return st
+}
+
+func (sv *server) handleAdminShed(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		var req struct {
+			Level string `json:"level"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("decoding shed request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.Level == "auto" {
+			sv.pressure.ClearOverride()
+		} else {
+			l, err := admission.ParseShedLevel(req.Level)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := sv.pressure.SetOverride(l); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sv.shedStatus())
+}
+
+func (sv *server) handleAdminLimits(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	out := struct {
+		Limits admission.Stats `json:"limits"`
+		Gate   host.GateStats  `json:"gate"`
+		Shed   shedStatus      `json:"shed"`
+	}{sv.rl.Stats(), sv.gate.Stats(), sv.shedStatus()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

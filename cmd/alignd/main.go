@@ -5,6 +5,16 @@
 // linger deadline) and streams results back in submission order as
 // NDJSON while later pairs are still being admitted.
 //
+// Requests pass a layered admission stack before a session is built:
+// token-bucket rate limiting (global, per-client key, per-IP), then the
+// pressure-driven shed ladder, then a two-class priority gate.
+// Interactive requests (X-Priority: interactive; score-only) are
+// granted capacity before bulk (CIGAR) work; under sustained overload
+// the daemon degrades bulk service in explicit rungs — narrow
+// score-only kernel, then no host verify, then 429 for bulk — with
+// every downgrade labelled on the results and every 429 carrying a
+// Retry-After computed from the observed drain rate.
+//
 // Every request carries a trace ID — the caller's X-Trace-Id header if
 // given, minted otherwise — echoed on the response, stamped on each
 // NDJSON result line, and threaded through logs, flight-recorder entries
@@ -15,30 +25,35 @@
 //	POST /align         body: JSON array of pairs, or NDJSON (one pair
 //	                    object per line): {"id":0,"a":"ACGT...","b":"..."}.
 //	                    Response: NDJSON, one result per pair in submission
-//	                    order. 429 + Retry-After when at capacity.
+//	                    order. 429 + Retry-After when refused by admission.
 //	GET  /metrics       Prometheus-text serving metrics (queue depth,
-//	                    micro-batch occupancy, admission rejects, latency,
-//	                    per-stage alignd_stage_seconds histograms).
-//	GET  /healthz       liveness probe.
+//	                    micro-batch occupancy, admission rejects, shed
+//	                    level, latency, per-stage histograms).
+//	GET  /healthz       liveness probe; 503 "draining" during shutdown.
+//	GET  /admin/config  live config in canonical file form.
+//	POST /admin/config  hot-reload the dynamic sections (limits, queues,
+//	                    shed).
+//	GET  /admin/limits  limiter/gate/shed statistics as JSON.
+//	GET  /admin/shed    shed ladder state; POST pins or releases it.
 //	GET  /debug/vars    metrics snapshot + Go runtime stats as JSON.
-//	GET  /debug/flight  flight-recorder dump: the last -flight-events
-//	                    notable events (admissions, rejections, faults,
-//	                    escalations, abandonments, slow requests) as JSON.
+//	GET  /debug/flight  flight-recorder dump: the last notable events
+//	                    (admissions, rejections, shed transitions,
+//	                    faults, escalations, slow requests) as JSON.
 //	GET  /debug/trace   live Perfetto capture of the next ?sec=N seconds
 //	                    of host wall-clock spans (default 1, max 60).
 //	GET  /debug/pprof/  standard Go profiling endpoints.
 //
-// SIGTERM/SIGINT drains in-flight requests, logs the latency summary
-// and exits 0.
+// SIGTERM/SIGINT advertises draining on /healthz for -drain-wait, then
+// drains in-flight requests, logs the latency summary and exits 0.
 //
 // Usage:
 //
-//	alignd [-addr 127.0.0.1:7433] [-addr-file FILE] [-max-requests N]
-//	       [-band 128] [-ranks 40] [-score-only]
-//	       [-batch-pairs N] [-linger DUR] [-queue-limit N] [-max-concurrent N]
-//	       [-escalation] [-max-band W] [-verify]
-//	       [-fault-rate P] [-fault-seed N] [-max-retries N] [-batch-deadline SEC]
-//	       [-log-json] [-slow-request DUR] [-flight-events N] [-v]
+//	alignd [-config align.yaml] [-check-config] [flags...]
+//
+// Configuration comes from -config (see internal/admission/config for
+// the format); every flag overrides its config field when set
+// explicitly. -check-config validates and prints the effective config
+// in canonical form, then exits without serving.
 //
 // Client mode: alignd -post URL -a queries.fa -b targets.fa sends the
 // FASTA pairs to a running daemon and prints results in pimalign's
@@ -56,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"pimnw/internal/admission/config"
 	"pimnw/internal/core"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
@@ -73,9 +89,13 @@ func main() {
 
 func run() error {
 	var (
+		configPath  = flag.String("config", "", "configuration file (strict YAML subset; flags override its fields)")
+		checkConfig = flag.Bool("check-config", false, "validate the effective config, print its canonical form, and exit")
+
 		addr        = flag.String("addr", "127.0.0.1:7433", "listen address (host:port; port 0 picks a free port)")
 		addrFile    = flag.String("addr-file", "", "write the bound address to FILE once listening (for scripts using port 0)")
-		maxRequests = flag.Int("max-requests", 4, "align requests served concurrently; beyond this POST /align returns 429")
+		maxRequests = flag.Int("max-requests", 4, "align requests served concurrently (queues.slots); beyond this requests queue, then 429")
+		drainWait   = flag.Duration("drain-wait", 500*time.Millisecond, "how long /healthz advertises draining (503) after SIGTERM before the listener closes")
 
 		band      = flag.Int("band", 128, "band size (cells per anti-diagonal / row)")
 		ranks     = flag.Int("ranks", 40, "PiM ranks")
@@ -109,50 +129,90 @@ func run() error {
 	if *verbose {
 		obs.SetVerbosity(1)
 	}
-	obs.SetLogJSON(*logJSON)
 	if *post != "" {
 		return runClient(*post, *aPath, *bPath)
 	}
 
-	laneWidth, err := kernel.ParseLaneWidth(*lanesFlag)
-	if err != nil {
+	cfg := config.Default()
+	if *configPath != "" {
+		var err error
+		if cfg, err = config.Load(*configPath); err != nil {
+			return err
+		}
+	}
+	// Explicitly set flags override their config fields — the flag
+	// surface predates the config file and stays authoritative when used.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "addr":
+			cfg.Server.Addr = *addr
+		case "drain-wait":
+			cfg.Server.DrainWait = *drainWait
+		case "slow-request":
+			cfg.Server.SlowRequest = *slowRequest
+		case "flight-events":
+			cfg.Server.FlightEvents = *flightEvents
+		case "log-json":
+			cfg.Server.LogJSON = *logJSON
+		case "max-requests":
+			cfg.Queues.Slots = *maxRequests
+		case "band":
+			cfg.Align.Band = *band
+		case "ranks":
+			cfg.Align.Ranks = *ranks
+		case "score-only":
+			cfg.Align.ScoreOnly = *scoreOnly
+		case "lanes":
+			cfg.Align.Lanes = *lanesFlag
+		case "escalation":
+			cfg.Align.Escalation = *escalation
+		case "max-band":
+			cfg.Align.MaxBand = *maxBand
+		case "verify":
+			cfg.Align.Verify = *verify
+		case "fault-rate":
+			cfg.Align.FaultRate = *faultRate
+		case "fault-seed":
+			cfg.Align.FaultSeed = *faultSeed
+		case "max-retries":
+			cfg.Align.MaxRetries = *maxRetries
+		case "batch-deadline":
+			cfg.Align.BatchDeadline = *batchDeadline
+		case "batch-pairs":
+			cfg.Session.BatchPairs = *batchPairs
+		case "linger":
+			cfg.Session.Linger = *linger
+		case "queue-limit":
+			cfg.Session.QueueLimit = *queueLimit
+		case "max-concurrent":
+			cfg.Session.MaxConcurrent = *maxConcurrent
+		}
+	})
+	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	pimCfg := pim.DefaultConfig()
-	pimCfg.Ranks = *ranks
-	scfg := host.SessionConfig{
-		Host: host.Config{
-			PIM: pimCfg,
-			Kernel: kernel.Config{
-				Geometry:  kernel.DefaultGeometry(),
-				Band:      *band,
-				Params:    core.DefaultParams(),
-				Costs:     pim.Asm,
-				Traceback: !*scoreOnly,
-				LaneWidth: laneWidth,
-				PIM:       pimCfg,
-			},
-			Faults:           pim.FaultConfig{Rate: *faultRate, Seed: *faultSeed},
-			MaxRetries:       *maxRetries,
-			BatchDeadlineSec: *batchDeadline,
-			RetryBackoffSec:  1e-3,
-			Escalate:         *escalation,
-			MaxBand:          *maxBand,
-			Verify:           *verify && !*scoreOnly,
-		},
-		MaxBatchPairs:        *batchPairs,
-		MaxLinger:            *linger,
-		QueueLimit:           *queueLimit,
-		MaxConcurrentBatches: *maxConcurrent,
+	scfg, err := sessionConfig(cfg)
+	if err != nil {
+		return err
 	}
 	if err := scfg.Host.Validate(); err != nil {
 		return err
 	}
+	if *checkConfig {
+		_, err := cfg.WriteTo(os.Stdout)
+		return err
+	}
+	obs.SetLogJSON(cfg.Server.LogJSON)
 	obs.SetDefault(obs.NewRegistry())
-	obs.SetFlight(obs.NewFlightRecorder(*flightEvents))
+	obs.SetFlight(obs.NewFlightRecorder(cfg.Server.FlightEvents))
 
-	sv := newServer(scfg, *maxRequests, *slowRequest)
-	ln, err := net.Listen("tcp", *addr)
+	sv, err := newServer(cfg, scfg)
+	if err != nil {
+		return err
+	}
+	sv.start()
+	defer sv.Close()
+	ln, err := net.Listen("tcp", cfg.Server.Addr)
 	if err != nil {
 		return err
 	}
@@ -168,8 +228,8 @@ func run() error {
 	if effBatch == 0 {
 		effBatch = 4 * pim.DPUsPerRank
 	}
-	obs.Logf("serving on http://%s (%d ranks, band %d, micro-batches of %d pairs)",
-		bound, *ranks, *band, effBatch)
+	obs.Logf("serving on http://%s (%d ranks, band %d, micro-batches of %d pairs, %d request slots)",
+		bound, cfg.Align.Ranks, cfg.Align.Band, effBatch, cfg.Queues.Slots)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -180,7 +240,11 @@ func run() error {
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		obs.Logf("%s: draining in-flight requests", s)
+		// Advertise draining first so load balancers stop routing here,
+		// hold the listener open for the drain window, then shut down.
+		sv.draining.Store(true)
+		obs.Logf("%s: draining (healthz 503 for %s), then stopping", s, cfg.Server.DrainWait)
+		time.Sleep(cfg.Server.DrainWait)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -189,6 +253,42 @@ func run() error {
 	}
 	logServingSummary()
 	return nil
+}
+
+// sessionConfig assembles the per-request session template from the
+// align and session sections.
+func sessionConfig(cfg *config.Config) (host.SessionConfig, error) {
+	laneWidth, err := kernel.ParseLaneWidth(cfg.Align.Lanes)
+	if err != nil {
+		return host.SessionConfig{}, err
+	}
+	pimCfg := pim.DefaultConfig()
+	pimCfg.Ranks = cfg.Align.Ranks
+	return host.SessionConfig{
+		Host: host.Config{
+			PIM: pimCfg,
+			Kernel: kernel.Config{
+				Geometry:  kernel.DefaultGeometry(),
+				Band:      cfg.Align.Band,
+				Params:    core.DefaultParams(),
+				Costs:     pim.Asm,
+				Traceback: !cfg.Align.ScoreOnly,
+				LaneWidth: laneWidth,
+				PIM:       pimCfg,
+			},
+			Faults:           pim.FaultConfig{Rate: cfg.Align.FaultRate, Seed: cfg.Align.FaultSeed},
+			MaxRetries:       cfg.Align.MaxRetries,
+			BatchDeadlineSec: cfg.Align.BatchDeadline,
+			RetryBackoffSec:  1e-3,
+			Escalate:         cfg.Align.Escalation,
+			MaxBand:          cfg.Align.MaxBand,
+			Verify:           cfg.Align.Verify && !cfg.Align.ScoreOnly,
+		},
+		MaxBatchPairs:        cfg.Session.BatchPairs,
+		MaxLinger:            cfg.Session.Linger,
+		QueueLimit:           cfg.Session.QueueLimit,
+		MaxConcurrentBatches: cfg.Session.MaxConcurrent,
+	}, nil
 }
 
 // logServingSummary reports the session-layer latency distribution at

@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"pimnw/internal/admission/config"
 	"pimnw/internal/core"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
@@ -19,6 +23,20 @@ import (
 	"pimnw/internal/pim"
 	"pimnw/internal/seq"
 )
+
+// newTestServer builds a server on the default config with the given
+// slot count, without starting the background loops (tests drive the
+// pressure controller and limiter directly).
+func newTestServer(t *testing.T, scfg host.SessionConfig, slots int) *server {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Queues.Slots = slots
+	sv, err := newServer(cfg, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
 
 func testSessionConfig(t *testing.T) host.SessionConfig {
 	t.Helper()
@@ -108,7 +126,7 @@ func TestServerBitIdenticalToAlignPairs(t *testing.T) {
 		wantByID[r.ID] = toWireResult(r, "")
 	}
 
-	ts := httptest.NewServer(newServer(scfg, 2, time.Second).mux())
+	ts := httptest.NewServer(newTestServer(t, scfg, 2).mux())
 	defer ts.Close()
 
 	arrayBody, _ := json.Marshal(wires)
@@ -137,7 +155,7 @@ func TestServerBitIdenticalToAlignPairs(t *testing.T) {
 					t.Fatalf("pair %d: streamed result missing a trace ID", r.ID)
 				}
 				r.TraceID = "" // minted per request; everything else must match exactly
-				if r != wantByID[r.ID] {
+				if !reflect.DeepEqual(r, wantByID[r.ID]) {
 					t.Fatalf("pair %d diverges from one-shot AlignPairs:\n got %+v\nwant %+v", r.ID, r, wantByID[r.ID])
 				}
 			}
@@ -145,18 +163,29 @@ func TestServerBitIdenticalToAlignPairs(t *testing.T) {
 	}
 }
 
-// TestServerBackpressure429: with the admission gate pre-filled the next
-// align request must bounce with 429 + Retry-After, and succeed again
-// once capacity frees up.
+// TestServerBackpressure429: with the admission gate pre-filled and the
+// waiting queues sized to zero, the next align request must bounce with
+// 429 + a computed Retry-After within [1, max_retry_after] seconds, and
+// succeed again once capacity frees up.
 func TestServerBackpressure429(t *testing.T) {
 	obs.SetDefault(obs.NewRegistry()) // the daemon's run() does this; mirror it for /metrics
-	sv := newServer(testSessionConfig(t), 2, time.Second)
+	cfg := config.Default()
+	cfg.Queues.Slots = 2
+	cfg.Queues.Interactive = 0
+	cfg.Queues.Bulk = 0
+	sv, err := newServer(cfg, testSessionConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(sv.mux())
 	defer ts.Close()
 	_, wires := testWorkload(t, 2)
 	body, _ := json.Marshal(wires)
 
-	sv.active.Add(2) // both slots deterministically busy
+	// Both slots deterministically busy.
+	ctx := context.Background()
+	sv.gate.Acquire(ctx, host.ClassBulk)
+	sv.gate.Acquire(ctx, host.ClassBulk)
 	resp, err := http.Post(ts.URL+"/align", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -166,11 +195,16 @@ func TestServerBackpressure429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("POST at capacity = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("429 Retry-After %q is not integer seconds: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if maxRA := int(cfg.Queues.MaxRetryAfter / time.Second); ra < 1 || ra > maxRA {
+		t.Fatalf("computed Retry-After %ds outside [1, %d]", ra, maxRA)
 	}
 
-	sv.active.Add(-2)
+	sv.gate.Release()
+	sv.gate.Release()
 	if got := postAlign(t, ts, body, "application/json"); len(got) != len(wires) {
 		t.Fatalf("%d results after capacity freed, want %d", len(got), len(wires))
 	}
@@ -187,7 +221,7 @@ func TestServerBackpressure429(t *testing.T) {
 }
 
 func TestServerEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newServer(testSessionConfig(t), 1, time.Second).mux())
+	ts := httptest.NewServer(newTestServer(t, testSessionConfig(t), 1).mux())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -284,7 +318,13 @@ func TestServerTraceIDPropagation(t *testing.T) {
 	defer obs.SetLogOutput(os.Stderr)
 	defer obs.SetLogJSON(false)
 
-	sv := newServer(testSessionConfig(t), 1, 0) // threshold 0: every request logs its breakdown
+	cfg := config.Default()
+	cfg.Queues.Slots = 1
+	cfg.Server.SlowRequest = 0 // threshold 0: every request logs its breakdown
+	sv, err := newServer(cfg, testSessionConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(sv.mux())
 	defer ts.Close()
 
@@ -398,7 +438,7 @@ func TestServerStreamsManyMicroBatches(t *testing.T) {
 	scfg := testSessionConfig(t)
 	scfg.MaxBatchPairs = 4
 	scfg.MaxConcurrentBatches = 3
-	ts := httptest.NewServer(newServer(scfg, 1, time.Second).mux())
+	ts := httptest.NewServer(newTestServer(t, scfg, 1).mux())
 	defer ts.Close()
 	_, wires := testWorkload(t, 30)
 	body, _ := json.Marshal(wires)

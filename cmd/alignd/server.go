@@ -6,10 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"pimnw/internal/admission"
+	"pimnw/internal/admission/config"
 	"pimnw/internal/host"
 	"pimnw/internal/obs"
 	"pimnw/internal/seq"
@@ -24,18 +30,21 @@ type wirePair struct {
 
 // wireResult is one streamed response line, stamped with the request's
 // trace ID so any line can be correlated with server logs, flight-recorder
-// entries and Perfetto slices. Err is set only on the trailing line of a
-// request that failed mid-stream.
+// entries and Perfetto slices. Degraded lists the typed downgrades the
+// shed ladder applied to this request (empty when served at full
+// fidelity) — a degraded result is always labelled, never silent. Err is
+// set only on the trailing line of a request that failed mid-stream.
 type wireResult struct {
-	ID         int    `json:"id"`
-	Score      int32  `json:"score"`
-	InBand     bool   `json:"in_band"`
-	Cigar      string `json:"cigar,omitempty"`
-	Status     string `json:"status,omitempty"`
-	Trusted    bool   `json:"trusted"`
-	Provenance string `json:"provenance,omitempty"`
-	TraceID    string `json:"trace_id,omitempty"`
-	Err        string `json:"error,omitempty"`
+	ID         int      `json:"id"`
+	Score      int32    `json:"score"`
+	InBand     bool     `json:"in_band"`
+	Cigar      string   `json:"cigar,omitempty"`
+	Status     string   `json:"status,omitempty"`
+	Trusted    bool     `json:"trusted"`
+	Provenance string   `json:"provenance,omitempty"`
+	TraceID    string   `json:"trace_id,omitempty"`
+	Degraded   []string `json:"degraded,omitempty"`
+	Err        string   `json:"error,omitempty"`
 }
 
 func toWireResult(r host.Result, traceID string) wireResult {
@@ -63,49 +72,191 @@ func toHostPair(p wirePair) (host.Pair, error) {
 	return host.Pair{ID: p.ID, A: a, B: b}, nil
 }
 
-// server owns the session template and the request-level admission gate.
-// Every align request runs its own streaming session (micro-batching
-// within the request); maxRequests bounds how many run at once, and
-// beyond it admission answers 429 + Retry-After — the HTTP face of the
-// session layer's backpressure.
+// server owns the session template and the admission stack. A request
+// passes, in order: the rate-limit tiers (global, then per-client key,
+// then per-IP), the shed ladder's reject rung (bulk only), and the
+// two-class priority gate whose slots bound concurrent sessions. Every
+// refusal is a 429 with a Retry-After computed from the gate's drain
+// rate (or the violated bucket's refill time); every downgrade the shed
+// ladder applies on the way through is surfaced as a typed label on the
+// results. The dynamic sections of the config (limits, queues, shed)
+// are hot-reloadable through the /admin API.
 type server struct {
-	scfg        host.SessionConfig
-	maxRequests int64
-	slow        time.Duration // log a stage breakdown for requests at/over this; negative disables
-	active      atomic.Int64
+	cfg  atomic.Pointer[config.Config]
+	scfg host.SessionConfig // session template from the align/session sections
+
+	gate     *host.Gate
+	rl       *admission.Controller
+	pressure *admission.Pressure
+
+	draining atomic.Bool
+
+	reloadMu sync.Mutex // serializes admin config reloads
+
+	stop chan struct{} // pressure sampler lifecycle (start/Close)
+	done chan struct{}
 }
 
-func newServer(scfg host.SessionConfig, maxRequests int, slow time.Duration) *server {
-	if maxRequests < 1 {
-		maxRequests = 1
+func newServer(cfg *config.Config, scfg host.SessionConfig) (*server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &server{scfg: scfg, maxRequests: int64(maxRequests), slow: slow}
+	sv := &server{scfg: scfg}
+	sv.cfg.Store(cfg)
+	sv.gate = host.NewGate(gateConfig(cfg))
+	rl, err := admission.NewController(cfg.AdmissionLimits())
+	if err != nil {
+		return nil, err
+	}
+	sv.rl = rl
+	sv.pressure, err = admission.NewPressure(cfg.PressureConfig(), func(from, to admission.ShedLevel, reason string) {
+		reg := obs.Default()
+		reg.Gauge("alignd_shed_level").Set(float64(to))
+		reg.Counter("alignd_shed_transitions_total").Add(1)
+		obs.Flight().Recordf("shed", "", "shed level %s -> %s (%s)", from, to, reason)
+		obs.Info("shed level change", "from", from.String(), "to", to.String(), "reason", reason)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sv, nil
+}
+
+func gateConfig(cfg *config.Config) host.GateConfig {
+	return host.GateConfig{
+		Slots:            cfg.Queues.Slots,
+		InteractiveQueue: cfg.Queues.Interactive,
+		BulkQueue:        cfg.Queues.Bulk,
+		MaxRetryAfter:    cfg.Queues.MaxRetryAfter,
+	}
+}
+
+// start launches the background loops: the limiter's idle-entry sweep
+// and the pressure sampler feeding gate load into the shed ladder.
+// Close undoes it. Tests that never start the loops need no Close.
+func (sv *server) start() {
+	cfg := sv.cfg.Load()
+	sv.rl.Start(cfg.Limits.CleanupInterval)
+	sv.stop = make(chan struct{})
+	sv.done = make(chan struct{})
+	go func() {
+		defer close(sv.done)
+		t := time.NewTicker(cfg.Shed.SampleInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				st := sv.gate.Stats()
+				reg := obs.Default()
+				reg.Gauge("alignd_gate_load").Set(st.Load)
+				reg.Gauge("alignd_gate_queued").Set(float64(st.QueuedInteractive + st.QueuedBulk))
+				reg.Gauge("alignd_shed_level").Set(float64(sv.pressure.Sample(st.Load)))
+			case <-sv.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (sv *server) Close() {
+	if sv.stop != nil {
+		close(sv.stop)
+		<-sv.done
+		sv.stop = nil
+	}
+	sv.rl.Close()
 }
 
 func (sv *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/align", sv.handleAlign)
 	mux.HandleFunc("/metrics", sv.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("/healthz", sv.handleHealthz)
+	sv.registerAdmin(mux)
 	registerDebug(mux)
 	return mux
 }
 
-func (sv *server) acquire() bool {
-	if sv.active.Add(1) > sv.maxRequests {
-		sv.active.Add(-1)
-		return false
+// handleHealthz flips to 503 "draining" the moment shutdown begins, so
+// load balancers stop routing here during the drain window while
+// in-flight requests finish.
+func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if sv.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
 	}
-	return true
+	io.WriteString(w, "ok\n")
 }
-
-func (sv *server) release() { sv.active.Add(-1) }
 
 func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default().WritePrometheus(w)
+}
+
+// retryAfterSecs renders a Retry-After duration as whole seconds, never
+// below 1 (a "0" invites an immediate, pointless retry).
+func retryAfterSecs(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// reject answers 429 with the computed Retry-After, counts the refusal
+// under its reason, and flight-records it.
+func (sv *server) reject(w http.ResponseWriter, tid, reason, body string, retryAfter time.Duration) {
+	reg := obs.Default()
+	reg.Counter("alignd_requests_rejected_total").Add(1)
+	reg.Counter(`alignd_rejects_total{reason="` + reason + `"}`).Add(1)
+	obs.Flight().Recordf("reject", tid, "align request rejected: %s", reason)
+	w.Header().Set("Retry-After", retryAfterSecs(retryAfter))
+	http.Error(w, body, http.StatusTooManyRequests)
+}
+
+// clientIP is the per-IP tier key: the host part of RemoteAddr.
+func clientIP(r *http.Request) string {
+	if ip, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return ip
+	}
+	return r.RemoteAddr
+}
+
+// requestPlan is the admitted request's serving parameters: its session
+// config after the shed ladder's downgrades, with each downgrade named.
+type requestPlan struct {
+	scfg     host.SessionConfig
+	degraded []string
+}
+
+// plan applies the class and shed level to the session template.
+// Interactive requests are score-only by definition (no CIGAR, no
+// verify) — that is their contract, not a degradation. Bulk requests
+// get the template, minus whatever the current shed rung takes away:
+// ShedScoreOnly forces the 16-bit narrow score-only kernel (scores stay
+// exact; the result just has no CIGAR), ShedNoVerify skips host-side
+// re-derivation. Each removal is recorded as a typed label.
+func (sv *server) plan(cls host.Class, level admission.ShedLevel) requestPlan {
+	p := requestPlan{scfg: sv.scfg}
+	k := &p.scfg.Host.Kernel
+	if cls == host.ClassInteractive {
+		k.Traceback = false
+		p.scfg.Host.Verify = false
+		return p
+	}
+	for _, d := range level.Degradations(k.Traceback, p.scfg.Host.Verify) {
+		p.degraded = append(p.degraded, string(d))
+		switch d {
+		case admission.DegradedScoreOnly:
+			k.Traceback = false
+			k.LaneWidth = 16
+			p.scfg.Host.Verify = false
+		case admission.DegradedNoVerify:
+			p.scfg.Host.Verify = false
+		}
+	}
+	return p
 }
 
 func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
@@ -122,19 +273,63 @@ func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		tid = obs.NewTraceID()
 	}
 	w.Header().Set("X-Trace-Id", tid)
-	if !sv.acquire() {
-		obs.Default().Counter("alignd_requests_rejected_total").Add(1)
-		obs.Flight().Record("reject", tid, "align request rejected: server at capacity")
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+	if sv.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	defer sv.release()
+	cls, err := host.ParseClass(r.Header.Get("X-Priority"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	reg := obs.Default()
+	cfg := sv.cfg.Load()
+
+	// Tiered rate limiting: global, then per-client key, then per-IP.
+	if d := sv.rl.Allow(r.Header.Get(cfg.Server.ClientHeader), clientIP(r)); !d.OK {
+		reg.Counter(`alignd_ratelimit_rejected_total{tier="` + string(d.Tier) + `"}`).Add(1)
+		sv.reject(w, tid, "ratelimit-"+string(d.Tier),
+			fmt.Sprintf("rate limited (%s tier), retry later", d.Tier), d.RetryAfter)
+		return
+	}
+
+	// The shed ladder's top rung refuses bulk work outright; interactive
+	// requests are still served.
+	level := sv.pressure.Level()
+	if level >= admission.ShedRejectBulk && cls == host.ClassBulk {
+		reg.Counter("alignd_shed_rejected_total").Add(1)
+		sv.reject(w, tid, "shed-bulk", "shedding bulk load, retry later", sv.gate.RetryAfter())
+		return
+	}
+
+	// The priority gate: slots bound concurrent sessions, each class
+	// waits in its own bounded queue, interactive is granted first.
+	if err := sv.gate.Acquire(r.Context(), cls); err != nil {
+		if errors.Is(err, host.ErrGateQueueFull) {
+			reg.Counter(`alignd_gate_rejected_total{class="` + cls.String() + `"}`).Add(1)
+			sv.reject(w, tid, "gate-"+cls.String(), "server at capacity, retry later", sv.gate.RetryAfter())
+			return
+		}
+		return // client gave up while queued; nothing to answer
+	}
+	defer sv.gate.Release()
+
+	plan := sv.plan(cls, level)
+	w.Header().Set("X-Shed-Level", level.String())
+	if len(plan.degraded) > 0 {
+		w.Header().Set("X-Degraded", strings.Join(plan.degraded, ","))
+		for _, d := range plan.degraded {
+			reg.Counter(`alignd_degraded_requests_total{mode="` + d + `"}`).Add(1)
+		}
+		obs.Flight().Recordf("degrade", tid, "request degraded under shed level %s: %s",
+			level, strings.Join(plan.degraded, ","))
+	}
+
 	reg.Counter("alignd_requests_total").Add(1)
+	reg.Counter(`alignd_class_requests_total{class="` + cls.String() + `"}`).Add(1)
 	reg.Gauge("alignd_inflight_requests").Add(1)
 	defer reg.Gauge("alignd_inflight_requests").Add(-1)
-	obs.Flight().Record("admit", tid, "align request admitted")
+	obs.Flight().Record("admit", tid, "align request admitted ("+cls.String()+")")
 	start := time.Now()
 
 	// The response streams while the request body is still being read;
@@ -156,7 +351,7 @@ func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s, err := host.NewSession(obs.WithTraceID(r.Context(), tid), sv.scfg)
+	s, err := host.NewSession(obs.WithTraceID(r.Context(), tid), plan.scfg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -181,7 +376,9 @@ func (sv *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
 	for res := range s.Results() {
-		if enc.Encode(toWireResult(res, tid)) != nil {
+		wr := toWireResult(res, tid)
+		wr.Degraded = plan.degraded
+		if enc.Encode(wr) != nil {
 			break // client went away; session cleanup follows via r.Context()
 		}
 		if fl != nil {
@@ -224,7 +421,8 @@ func (sv *server) observeRequest(tid string, start time.Time, s *host.Session) {
 	observe("escalation", st.EscalationSec)
 	observe("verify", st.VerifySec)
 	reg.Histogram("alignd_request_seconds", stageBuckets).Observe(elapsed)
-	if sv.slow >= 0 && elapsed >= sv.slow.Seconds() {
+	slow := sv.cfg.Load().Server.SlowRequest
+	if slow >= 0 && elapsed >= slow.Seconds() {
 		obs.Info("slow request", "trace_id", tid,
 			"elapsed_sec", elapsed,
 			"pairs", rep.Alignments,

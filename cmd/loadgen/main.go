@@ -1,0 +1,353 @@
+// Command loadgen is a closed-loop load-test client for alignd: a pool
+// of interactive and bulk workers each posts an align request, waits
+// for the full result stream, and immediately posts the next. It
+// accounts per class — completions, 429s, latency percentiles — plus
+// every typed degradation label the daemon attached, and (with
+// -assert-shed) verifies the shed ladder's contract end to end:
+//
+//   - under sustained overload the ladder engages (observed via
+//     /admin/shed polling),
+//   - every result served without a requested CIGAR carries a typed
+//     degradation label — zero silent downgrades,
+//   - once the load stops, the ladder releases back to none.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:7433 [-duration 10s]
+//	        [-interactive 2] [-bulk 8] [-pairs 8] [-len 150]
+//	        [-api-key KEY] [-expect-cigar] [-assert-shed]
+//	        [-release-wait 30s] [-v]
+//
+// Exit status 0 when the run (and any assertions) passed, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pimnw/internal/seq"
+)
+
+type wirePair struct {
+	ID int    `json:"id"`
+	A  string `json:"a"`
+	B  string `json:"b"`
+}
+
+type wireResult struct {
+	ID       int      `json:"id"`
+	Score    int32    `json:"score"`
+	Cigar    string   `json:"cigar,omitempty"`
+	Status   string   `json:"status,omitempty"`
+	Degraded []string `json:"degraded,omitempty"`
+	Err      string   `json:"error,omitempty"`
+}
+
+// classStats is one priority class's tally, owned by the aggregator.
+type classStats struct {
+	requests   int
+	ok         int
+	rejected   int // 429
+	errors     int // transport errors, non-2xx other than 429, mid-stream errors
+	latencies  []float64
+	degraded   map[string]int
+	unlabelled int // results missing a requested CIGAR with no degradation label
+}
+
+func (s *classStats) percentile(p float64) float64 {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.latencies...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// oneRequest posts a workload and drains the stream, returning what the
+// aggregator needs. expectCigar marks bulk requests whose results must
+// either carry CIGARs or typed degradation labels.
+type outcome struct {
+	class      string
+	latency    float64
+	status     int // HTTP status; 200 with streamErr set counts as an error
+	streamErr  bool
+	degraded   []string
+	unlabelled int
+}
+
+type worker struct {
+	client      *http.Client
+	url         string
+	class       string
+	apiKey      string
+	pairs       int
+	seqLen      int
+	expectCigar bool
+	rng         *rand.Rand
+}
+
+func (w *worker) body() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < w.pairs; i++ {
+		a := seq.Random(w.rng, w.seqLen+w.rng.Intn(w.seqLen/4+1))
+		b := seq.UniformErrors(0.08).Apply(w.rng, a)
+		enc.Encode(wirePair{ID: i, A: a.String(), B: b.String()})
+	}
+	return buf.Bytes()
+}
+
+func (w *worker) run(ctx context.Context, out chan<- outcome) {
+	for ctx.Err() == nil {
+		o := w.once(ctx)
+		select {
+		case out <- o:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (w *worker) once(ctx context.Context) outcome {
+	o := outcome{class: w.class}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/align", bytes.NewReader(w.body()))
+	if err != nil {
+		o.status = -1
+		return o
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("X-Priority", w.class)
+	if w.apiKey != "" {
+		req.Header.Set("X-Api-Key", w.apiKey)
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		o.status = -1
+		return o
+	}
+	defer resp.Body.Close()
+	o.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return o
+	}
+	if deg := resp.Header.Get("X-Degraded"); deg != "" {
+		o.degraded = strings.Split(deg, ",")
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var r wireResult
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			o.streamErr = true
+			break
+		}
+		if r.Err != "" {
+			o.streamErr = true
+			break
+		}
+		// The silent-downgrade check: a bulk result that should carry a
+		// CIGAR but doesn't must be labelled, on the line itself.
+		if w.expectCigar && w.class == "bulk" && r.Cigar == "" && len(r.Degraded) == 0 {
+			o.unlabelled++
+		}
+	}
+	o.latency = time.Since(start).Seconds()
+	return o
+}
+
+// shedWatcher polls /admin/shed, tracking the highest level seen and
+// the current one.
+type shedWatcher struct {
+	mu      sync.Mutex
+	max     string
+	current string
+}
+
+var shedRank = map[string]int{"none": 0, "score-only": 1, "no-verify": 2, "reject-bulk": 3}
+
+func (sw *shedWatcher) poll(client *http.Client, url string) {
+	resp, err := client.Get(url + "/admin/shed")
+	if err != nil {
+		return
+	}
+	var st struct {
+		Level string `json:"level"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return
+	}
+	sw.mu.Lock()
+	sw.current = st.Level
+	if shedRank[st.Level] > shedRank[sw.max] {
+		sw.max = st.Level
+	}
+	sw.mu.Unlock()
+}
+
+func (sw *shedWatcher) snapshot() (max, current string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.max, sw.current
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:7433", "alignd base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		interactive = flag.Int("interactive", 2, "closed-loop interactive workers")
+		bulk        = flag.Int("bulk", 8, "closed-loop bulk workers")
+		pairs       = flag.Int("pairs", 8, "pairs per request")
+		seqLen      = flag.Int("len", 150, "base sequence length")
+		apiKey      = flag.String("api-key", "", "X-Api-Key sent with every request")
+		expectCigar = flag.Bool("expect-cigar", false, "bulk results must carry a CIGAR or a typed degradation label")
+		assertShed  = flag.Bool("assert-shed", false, "require the shed ladder to engage under load and release after it")
+		releaseWait = flag.Duration("release-wait", 30*time.Second, "how long to wait for the ladder to release after load stops")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		verbose     = flag.Bool("v", false, "log each worker outcome")
+	)
+	flag.Parse()
+	if err := run(*url, *duration, *interactive, *bulk, *pairs, *seqLen,
+		*apiKey, *expectCigar, *assertShed, *releaseWait, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, duration time.Duration, interactive, bulk, pairs, seqLen int,
+	apiKey string, expectCigar, assertShed bool, releaseWait time.Duration,
+	seed int64, verbose bool) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	out := make(chan outcome, 256)
+	var wg sync.WaitGroup
+	spawn := func(n int, class string) {
+		for i := 0; i < n; i++ {
+			w := &worker{
+				client: client, url: url, class: class, apiKey: apiKey,
+				pairs: pairs, seqLen: seqLen, expectCigar: expectCigar,
+				rng: rand.New(rand.NewSource(seed + int64(len(class))*1000 + int64(i))),
+			}
+			wg.Add(1)
+			go func() { defer wg.Done(); w.run(ctx, out) }()
+		}
+	}
+	spawn(interactive, "interactive")
+	spawn(bulk, "bulk")
+
+	watch := &shedWatcher{max: "none", current: "none"}
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				watch.poll(client, url)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	stats := map[string]*classStats{
+		"interactive": {degraded: map[string]int{}},
+		"bulk":        {degraded: map[string]int{}},
+	}
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for o := range out {
+			s := stats[o.class]
+			s.requests++
+			switch {
+			case o.status == http.StatusOK && !o.streamErr:
+				s.ok++
+				s.latencies = append(s.latencies, o.latency)
+			case o.status == http.StatusTooManyRequests:
+				s.rejected++
+			default:
+				s.errors++
+			}
+			for _, d := range o.degraded {
+				s.degraded[d]++
+			}
+			s.unlabelled += o.unlabelled
+			if verbose {
+				fmt.Printf("%-11s status=%d latency=%.1fms degraded=%v\n",
+					o.class, o.status, o.latency*1e3, o.degraded)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(out)
+	<-collectDone
+	<-watchDone
+
+	maxLevel, _ := watch.snapshot()
+	for _, class := range []string{"interactive", "bulk"} {
+		s := stats[class]
+		fmt.Printf("%-11s requests=%d ok=%d rejected=%d errors=%d p50=%.1fms p99=%.1fms",
+			class, s.requests, s.ok, s.rejected, s.errors,
+			s.percentile(0.50)*1e3, s.percentile(0.99)*1e3)
+		for mode, n := range s.degraded {
+			fmt.Printf(" degraded[%s]=%d", mode, n)
+		}
+		if s.unlabelled > 0 {
+			fmt.Printf(" UNLABELLED=%d", s.unlabelled)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("shed: max level seen %s\n", maxLevel)
+
+	total := stats["interactive"].requests + stats["bulk"].requests
+	if total == 0 {
+		return fmt.Errorf("no requests completed; is alignd up at %s?", url)
+	}
+	if n := stats["interactive"].unlabelled + stats["bulk"].unlabelled; n > 0 {
+		return fmt.Errorf("%d results were degraded without a typed label", n)
+	}
+	if !assertShed {
+		return nil
+	}
+
+	// The ladder must have engaged under load...
+	if shedRank[maxLevel] == 0 {
+		return fmt.Errorf("shed ladder never engaged under %d workers (max level %q)",
+			interactive+bulk, maxLevel)
+	}
+	// ...and release once the load is gone.
+	deadline := time.Now().Add(releaseWait)
+	for {
+		watch.poll(client, url)
+		_, cur := watch.snapshot()
+		if cur == "none" {
+			fmt.Println("shed: released to none after load stopped")
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shed ladder stuck at %q %s after load stopped", cur, releaseWait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,182 @@
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tier names a rate-limit layer, outermost first. They appear as the
+// {tier="..."} label on reject counters and in 429 bodies.
+type Tier string
+
+const (
+	TierGlobal Tier = "global"
+	TierClient Tier = "client"
+	TierIP     Tier = "ip"
+)
+
+// Decision is one admission verdict. A refusal names the violated tier
+// and carries the wait until that tier would admit again.
+type Decision struct {
+	OK         bool
+	Tier       Tier          // violated tier when !OK
+	RetryAfter time.Duration // time until the violated bucket refills one token
+}
+
+// tierCounters is one tier's accept/reject tallies.
+type tierCounters struct {
+	accepts atomic.Uint64
+	rejects atomic.Uint64
+}
+
+// Controller is the layered rate limiter: one global bucket, then the
+// per-client and per-IP keyed tiers, checked outermost first. Allow is
+// allocation-free for keys the tiers have already seen.
+type Controller struct {
+	limits atomic.Pointer[Limits]
+
+	global     tokenBucket
+	client, ip *TierLimiter
+
+	counters [3]tierCounters // indexed by tierIndex
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func tierIndex(t Tier) int {
+	switch t {
+	case TierGlobal:
+		return 0
+	case TierClient:
+		return 1
+	}
+	return 2
+}
+
+// NewController validates the limits and builds the tiers.
+func NewController(l Limits) (*Controller, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		client: NewTierLimiter(l.ClientQPS, l.ClientBurst, l.MaxClientEntries),
+		ip:     NewTierLimiter(l.IPQPS, l.IPBurst, l.MaxIPEntries),
+	}
+	c.limits.Store(&l)
+	c.global.tokens = l.GlobalBurst
+	c.global.last = time.Now()
+	return c, nil
+}
+
+// SetLimits hot-swaps the rates. Entry caps are fixed at construction
+// (the maps never grow past the larger of old and new caps anyway, and
+// keeping them immutable keeps eviction reasoning simple); rate changes
+// take effect on the next request.
+func (c *Controller) SetLimits(l Limits) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	c.limits.Store(&l)
+	c.client.SetLimits(l.ClientQPS, l.ClientBurst)
+	c.ip.SetLimits(l.IPQPS, l.IPBurst)
+	return nil
+}
+
+// Limits returns the live rates.
+func (c *Controller) Limits() Limits { return *c.limits.Load() }
+
+// Allow runs one request through the tiers at time.Now.
+func (c *Controller) Allow(clientKey, ip string) Decision {
+	return c.AllowAt(time.Now(), clientKey, ip)
+}
+
+// AllowAt is Allow at an explicit instant (deterministic tests).
+// Tiers are checked global → client → IP; the first refusal wins and
+// inner tiers are not charged for refused requests.
+func (c *Controller) AllowAt(now time.Time, clientKey, ip string) Decision {
+	l := c.limits.Load()
+	if l.GlobalQPS > 0 {
+		if ok, wait := c.global.take(now, l.GlobalQPS, l.GlobalBurst); !ok {
+			c.counters[tierIndex(TierGlobal)].rejects.Add(1)
+			return Decision{Tier: TierGlobal, RetryAfter: wait}
+		}
+	}
+	if ok, wait := c.client.Allow(clientKey, now); !ok {
+		c.counters[tierIndex(TierClient)].rejects.Add(1)
+		return Decision{Tier: TierClient, RetryAfter: wait}
+	}
+	if ok, wait := c.ip.Allow(ip, now); !ok {
+		c.counters[tierIndex(TierIP)].rejects.Add(1)
+		return Decision{Tier: TierIP, RetryAfter: wait}
+	}
+	for i := range c.counters {
+		c.counters[i].accepts.Add(1)
+	}
+	return Decision{OK: true}
+}
+
+// TierStats is one tier's snapshot for the admin API.
+type TierStats struct {
+	Accepts   uint64 `json:"accepts"`
+	Rejects   uint64 `json:"rejects"`
+	Entries   int    `json:"entries,omitempty"`
+	Evictions uint64 `json:"evictions,omitempty"`
+}
+
+// Stats is the controller snapshot, keyed by tier name.
+type Stats struct {
+	Global TierStats `json:"global"`
+	Client TierStats `json:"client"`
+	IP     TierStats `json:"ip"`
+}
+
+// Stats snapshots accepts/rejects and keyed-map occupancy.
+func (c *Controller) Stats() Stats {
+	tier := func(t Tier) TierStats {
+		i := tierIndex(t)
+		return TierStats{
+			Accepts: c.counters[i].accepts.Load(),
+			Rejects: c.counters[i].rejects.Load(),
+		}
+	}
+	s := Stats{Global: tier(TierGlobal), Client: tier(TierClient), IP: tier(TierIP)}
+	s.Client.Entries, s.Client.Evictions = c.client.Len(), c.client.Evictions()
+	s.IP.Entries, s.IP.Evictions = c.ip.Len(), c.ip.Evictions()
+	return s
+}
+
+// Start launches the periodic cleanup sweep that expires idle keyed
+// entries. interval <= 0 disables it. Close stops the sweep.
+func (c *Controller) Start(interval time.Duration) {
+	if interval <= 0 || c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				ttl := c.limits.Load().IdleTTL
+				c.client.Cleanup(now, ttl)
+				c.ip.Cleanup(now, ttl)
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the cleanup sweep, if running.
+func (c *Controller) Close() {
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.stop = nil
+}

@@ -1,0 +1,591 @@
+// Package config is alignd's validated configuration surface: a small,
+// strict YAML subset (two levels — section headers at column zero,
+// indented "key: value" entries, '#' comments) chosen so the daemon
+// needs no external parser dependency. Every key is known and typed;
+// unknown sections or keys are errors, not silent no-ops, so a typo in
+// a limits file cannot quietly disable admission control.
+//
+// WriteTo emits the canonical form of a Config, and Parse(WriteTo(c))
+// reproduces c exactly — the admin API leans on this: GET /admin/config
+// returns precisely the text POST /admin/config accepts.
+package config
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pimnw/internal/admission"
+	"pimnw/internal/kernel"
+	"pimnw/internal/obs"
+)
+
+// Config is the daemon configuration. Sections Server, Align and
+// Session are fixed at startup; Limits, Queues and Shed are dynamic and
+// may be hot-reloaded through the admin API.
+type Config struct {
+	Server  ServerConfig
+	Align   AlignConfig
+	Session SessionConfig
+	Limits  LimitsConfig
+	Queues  QueuesConfig
+	Shed    ShedConfig
+}
+
+// ServerConfig is the HTTP face of the daemon.
+type ServerConfig struct {
+	// Addr is the listen address (host:port; port 0 picks a free port).
+	Addr string
+	// DrainWait is how long /healthz advertises draining (503) after
+	// SIGTERM before the listener closes — the window load balancers
+	// get to route traffic away.
+	DrainWait time.Duration
+	// SlowRequest logs a stage breakdown for requests at/over this
+	// duration (0 = every request, negative = never).
+	SlowRequest time.Duration
+	// FlightEvents is the flight-recorder ring capacity.
+	FlightEvents int
+	// LogJSON switches to structured JSON log lines.
+	LogJSON bool
+	// ClientHeader names the header carrying the per-client key for the
+	// client rate-limit tier; requests without it share one anonymous
+	// bucket.
+	ClientHeader string
+	// AdminToken, when set, is required (Authorization: Bearer or
+	// X-Admin-Token) on every /admin request.
+	AdminToken string
+}
+
+// AlignConfig is the alignment engine configuration (the former
+// one-flag-per-knob surface).
+type AlignConfig struct {
+	Band          int
+	Ranks         int
+	ScoreOnly     bool
+	Lanes         string // auto, 16 or 64
+	Escalation    bool
+	MaxBand       int
+	Verify        bool
+	FaultRate     float64
+	FaultSeed     int64
+	MaxRetries    int
+	BatchDeadline float64 // modelled seconds; 0 = none
+}
+
+// SessionConfig tunes the per-request streaming session (zeros defer
+// to the host package's defaults).
+type SessionConfig struct {
+	BatchPairs    int
+	Linger        time.Duration
+	QueueLimit    int
+	MaxConcurrent int
+}
+
+// LimitsConfig is the rate-limit tier configuration (dynamic).
+type LimitsConfig struct {
+	GlobalQPS        float64
+	GlobalBurst      float64
+	ClientQPS        float64
+	ClientBurst      float64
+	IPQPS            float64
+	IPBurst          float64
+	MaxClientEntries int
+	MaxIPEntries     int
+	IdleTTL          time.Duration
+	CleanupInterval  time.Duration
+}
+
+// QueuesConfig sizes the priority admission gate (dynamic).
+type QueuesConfig struct {
+	// Slots is how many align requests are served concurrently (the
+	// former -max-requests).
+	Slots int
+	// Interactive/Bulk cap how many requests of each class may wait for
+	// a slot; beyond the cap the class gets 429 + computed Retry-After.
+	Interactive int
+	Bulk        int
+	// MaxRetryAfter clamps computed Retry-After values.
+	MaxRetryAfter time.Duration
+}
+
+// ShedConfig tunes the pressure controller (dynamic).
+type ShedConfig struct {
+	// SampleInterval is how often gate load is sampled.
+	SampleInterval time.Duration
+	HighWater      float64
+	LowWater       float64
+	RaiseAfter     int
+	ReleaseAfter   int
+}
+
+// Default is the configuration alignd runs with absent a -config file:
+// the pre-admission-control daemon's flag defaults, rate limiting
+// disabled, and a conservative shed ladder.
+func Default() *Config {
+	return &Config{
+		Server: ServerConfig{
+			Addr:         "127.0.0.1:7433",
+			DrainWait:    500 * time.Millisecond,
+			SlowRequest:  time.Second,
+			FlightEvents: obs.DefaultFlightEvents,
+			ClientHeader: "X-Api-Key",
+		},
+		Align: AlignConfig{
+			Band:       128,
+			Ranks:      40,
+			Lanes:      "auto",
+			FaultSeed:  1,
+			MaxRetries: 3,
+		},
+		Limits: LimitsConfig{
+			MaxClientEntries: 4096,
+			MaxIPEntries:     65536,
+			IdleTTL:          5 * time.Minute,
+			CleanupInterval:  time.Minute,
+		},
+		Queues: QueuesConfig{
+			Slots:         4,
+			Interactive:   16,
+			Bulk:          64,
+			MaxRetryAfter: 60 * time.Second,
+		},
+		Shed: ShedConfig{
+			SampleInterval: 100 * time.Millisecond,
+			HighWater:      0.9,
+			LowWater:       0.5,
+			RaiseAfter:     5,
+			ReleaseAfter:   20,
+		},
+	}
+}
+
+// AdmissionLimits converts the dynamic limits section for the
+// admission controller.
+func (c *Config) AdmissionLimits() admission.Limits {
+	return admission.Limits{
+		GlobalQPS: c.Limits.GlobalQPS, GlobalBurst: c.Limits.GlobalBurst,
+		ClientQPS: c.Limits.ClientQPS, ClientBurst: c.Limits.ClientBurst,
+		IPQPS: c.Limits.IPQPS, IPBurst: c.Limits.IPBurst,
+		MaxClientEntries: c.Limits.MaxClientEntries,
+		MaxIPEntries:     c.Limits.MaxIPEntries,
+		IdleTTL:          c.Limits.IdleTTL,
+	}
+}
+
+// PressureConfig converts the shed section for the pressure controller.
+func (c *Config) PressureConfig() admission.PressureConfig {
+	return admission.PressureConfig{
+		HighWater:    c.Shed.HighWater,
+		LowWater:     c.Shed.LowWater,
+		RaiseAfter:   c.Shed.RaiseAfter,
+		ReleaseAfter: c.Shed.ReleaseAfter,
+	}
+}
+
+// Validate checks every field's domain. It is the -check-config gate;
+// host/kernel geometry feasibility is validated separately when the
+// serving configuration is assembled.
+func (c *Config) Validate() error {
+	s := &c.Server
+	if s.Addr == "" {
+		return fmt.Errorf("config: server.addr must not be empty")
+	}
+	if s.DrainWait < 0 {
+		return fmt.Errorf("config: negative server.drain_wait %v", s.DrainWait)
+	}
+	if s.FlightEvents < 0 {
+		return fmt.Errorf("config: negative server.flight_events %d", s.FlightEvents)
+	}
+	if s.ClientHeader == "" {
+		return fmt.Errorf("config: server.client_header must not be empty")
+	}
+	a := &c.Align
+	if a.Band < 2 || a.Band%2 != 0 {
+		return fmt.Errorf("config: align.band %d must be even and >= 2", a.Band)
+	}
+	if a.Ranks < 1 {
+		return fmt.Errorf("config: align.ranks %d must be >= 1", a.Ranks)
+	}
+	if _, err := kernel.ParseLaneWidth(a.Lanes); err != nil {
+		return fmt.Errorf("config: align.lanes: %w", err)
+	}
+	if a.MaxBand < 0 {
+		return fmt.Errorf("config: negative align.max_band %d", a.MaxBand)
+	}
+	if a.FaultRate < 0 || a.FaultRate > 1 || a.FaultRate != a.FaultRate {
+		return fmt.Errorf("config: align.fault_rate %v outside [0,1]", a.FaultRate)
+	}
+	if a.MaxRetries < 0 {
+		return fmt.Errorf("config: negative align.max_retries %d", a.MaxRetries)
+	}
+	if a.BatchDeadline < 0 || a.BatchDeadline != a.BatchDeadline {
+		return fmt.Errorf("config: negative align.batch_deadline %v", a.BatchDeadline)
+	}
+	se := &c.Session
+	if se.BatchPairs < 0 || se.QueueLimit < 0 || se.MaxConcurrent < 0 || se.Linger < 0 {
+		return fmt.Errorf("config: negative session parameters %+v", *se)
+	}
+	if err := c.AdmissionLimits().Validate(); err != nil {
+		return fmt.Errorf("config: limits: %w", err)
+	}
+	if c.Limits.CleanupInterval < 0 {
+		return fmt.Errorf("config: negative limits.cleanup_interval %v", c.Limits.CleanupInterval)
+	}
+	q := &c.Queues
+	if q.Slots < 1 {
+		return fmt.Errorf("config: queues.slots %d must be >= 1", q.Slots)
+	}
+	if q.Interactive < 0 || q.Bulk < 0 {
+		return fmt.Errorf("config: negative queue caps (interactive %d, bulk %d)", q.Interactive, q.Bulk)
+	}
+	if q.MaxRetryAfter < time.Second {
+		return fmt.Errorf("config: queues.max_retry_after %v must be >= 1s", q.MaxRetryAfter)
+	}
+	if c.Shed.SampleInterval <= 0 {
+		return fmt.Errorf("config: shed.sample_interval %v must be positive", c.Shed.SampleInterval)
+	}
+	if err := c.PressureConfig().Validate(); err != nil {
+		return fmt.Errorf("config: shed: %w", err)
+	}
+	return nil
+}
+
+// Load reads and parses path on top of the defaults. The file must
+// exist: a daemon pointed at a missing config starting with silent
+// defaults is an operational trap.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Parse applies the file's entries on top of Default. It is strict:
+// unknown sections or keys, malformed values and out-of-section entries
+// are errors carrying their line number.
+func Parse(data []byte) (*Config, error) {
+	c := Default()
+	section := ""
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indented := line[0] == ' ' || line[0] == '\t'
+		if !indented {
+			name, ok := strings.CutSuffix(trimmed, ":")
+			if !ok || strings.ContainsAny(name, " \t") {
+				return nil, fmt.Errorf("line %d: expected a section header like \"limits:\", got %q", lineNo+1, trimmed)
+			}
+			switch name {
+			case "server", "align", "session", "limits", "queues", "shed":
+				section = name
+			default:
+				return nil, fmt.Errorf("line %d: unknown section %q", lineNo+1, name)
+			}
+			continue
+		}
+		if section == "" {
+			return nil, fmt.Errorf("line %d: entry %q before any section header", lineNo+1, trimmed)
+		}
+		key, rest, ok := strings.Cut(trimmed, ":")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return nil, fmt.Errorf("line %d: expected \"key: value\", got %q", lineNo+1, trimmed)
+		}
+		val, err := parseValue(rest)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %s.%s: %w", lineNo+1, section, key, err)
+		}
+		if err := c.set(section, key, val); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	return c, nil
+}
+
+// parseValue extracts one scalar: a Go-quoted string (comment allowed
+// after the closing quote) or a bare token up to an optional
+// whitespace-preceded '#' comment.
+func parseValue(rest string) (string, error) {
+	v := strings.TrimSpace(rest)
+	if strings.HasPrefix(v, `"`) {
+		end := -1
+		for i := 1; i < len(v); i++ {
+			if v[i] == '\\' {
+				i++
+				continue
+			}
+			if v[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", fmt.Errorf("unterminated quoted string %q", v)
+		}
+		tail := strings.TrimSpace(v[end+1:])
+		if tail != "" && !strings.HasPrefix(tail, "#") {
+			return "", fmt.Errorf("trailing content %q after quoted string", tail)
+		}
+		s, err := strconv.Unquote(v[:end+1])
+		if err != nil {
+			return "", fmt.Errorf("bad quoted string %q: %w", v[:end+1], err)
+		}
+		return s, nil
+	}
+	if i := strings.Index(v, " #"); i >= 0 {
+		v = strings.TrimSpace(v[:i])
+	} else if i := strings.Index(v, "\t#"); i >= 0 {
+		v = strings.TrimSpace(v[:i])
+	}
+	if v == "" {
+		return "", fmt.Errorf("empty value")
+	}
+	return v, nil
+}
+
+// set routes one parsed key/value into the config. Every key is
+// enumerated; anything else is an error.
+func (c *Config) set(section, key, val string) error {
+	unknown := func() error {
+		return fmt.Errorf("unknown key %s.%s", section, key)
+	}
+	var err error
+	switch section {
+	case "server":
+		switch key {
+		case "addr":
+			c.Server.Addr = val
+		case "drain_wait":
+			c.Server.DrainWait, err = parseDur(val)
+		case "slow_request":
+			c.Server.SlowRequest, err = parseDur(val)
+		case "flight_events":
+			c.Server.FlightEvents, err = parseInt(val)
+		case "log_json":
+			c.Server.LogJSON, err = parseBool(val)
+		case "client_header":
+			c.Server.ClientHeader = val
+		case "admin_token":
+			c.Server.AdminToken = val
+		default:
+			return unknown()
+		}
+	case "align":
+		switch key {
+		case "band":
+			c.Align.Band, err = parseInt(val)
+		case "ranks":
+			c.Align.Ranks, err = parseInt(val)
+		case "score_only":
+			c.Align.ScoreOnly, err = parseBool(val)
+		case "lanes":
+			c.Align.Lanes = val
+		case "escalation":
+			c.Align.Escalation, err = parseBool(val)
+		case "max_band":
+			c.Align.MaxBand, err = parseInt(val)
+		case "verify":
+			c.Align.Verify, err = parseBool(val)
+		case "fault_rate":
+			c.Align.FaultRate, err = parseFloat(val)
+		case "fault_seed":
+			c.Align.FaultSeed, err = parseInt64(val)
+		case "max_retries":
+			c.Align.MaxRetries, err = parseInt(val)
+		case "batch_deadline":
+			c.Align.BatchDeadline, err = parseFloat(val)
+		default:
+			return unknown()
+		}
+	case "session":
+		switch key {
+		case "batch_pairs":
+			c.Session.BatchPairs, err = parseInt(val)
+		case "linger":
+			c.Session.Linger, err = parseDur(val)
+		case "queue_limit":
+			c.Session.QueueLimit, err = parseInt(val)
+		case "max_concurrent":
+			c.Session.MaxConcurrent, err = parseInt(val)
+		default:
+			return unknown()
+		}
+	case "limits":
+		switch key {
+		case "global_qps":
+			c.Limits.GlobalQPS, err = parseFloat(val)
+		case "global_burst":
+			c.Limits.GlobalBurst, err = parseFloat(val)
+		case "client_qps":
+			c.Limits.ClientQPS, err = parseFloat(val)
+		case "client_burst":
+			c.Limits.ClientBurst, err = parseFloat(val)
+		case "ip_qps":
+			c.Limits.IPQPS, err = parseFloat(val)
+		case "ip_burst":
+			c.Limits.IPBurst, err = parseFloat(val)
+		case "max_client_entries":
+			c.Limits.MaxClientEntries, err = parseInt(val)
+		case "max_ip_entries":
+			c.Limits.MaxIPEntries, err = parseInt(val)
+		case "idle_ttl":
+			c.Limits.IdleTTL, err = parseDur(val)
+		case "cleanup_interval":
+			c.Limits.CleanupInterval, err = parseDur(val)
+		default:
+			return unknown()
+		}
+	case "queues":
+		switch key {
+		case "slots":
+			c.Queues.Slots, err = parseInt(val)
+		case "interactive":
+			c.Queues.Interactive, err = parseInt(val)
+		case "bulk":
+			c.Queues.Bulk, err = parseInt(val)
+		case "max_retry_after":
+			c.Queues.MaxRetryAfter, err = parseDur(val)
+		default:
+			return unknown()
+		}
+	case "shed":
+		switch key {
+		case "sample_interval":
+			c.Shed.SampleInterval, err = parseDur(val)
+		case "high_water":
+			c.Shed.HighWater, err = parseFloat(val)
+		case "low_water":
+			c.Shed.LowWater, err = parseFloat(val)
+		case "raise_after":
+			c.Shed.RaiseAfter, err = parseInt(val)
+		case "release_after":
+			c.Shed.ReleaseAfter, err = parseInt(val)
+		default:
+			return unknown()
+		}
+	default:
+		return fmt.Errorf("unknown section %q", section)
+	}
+	if err != nil {
+		return fmt.Errorf("%s.%s: %w", section, key, err)
+	}
+	return nil
+}
+
+func parseInt(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("want an integer, got %q", v)
+	}
+	return n, nil
+}
+
+func parseInt64(v string) (int64, error) {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want an integer, got %q", v)
+	}
+	return n, nil
+}
+
+func parseFloat(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("want a finite number, got %q", v)
+	}
+	return f, nil
+}
+
+func parseBool(v string) (bool, error) {
+	switch v {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	return false, fmt.Errorf("want true or false, got %q", v)
+}
+
+func parseDur(v string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("want a duration like 500ms or 1m, got %q", v)
+	}
+	return d, nil
+}
+
+// WriteTo emits the canonical file form; Parse(that) reproduces c
+// exactly. The admin API serves this as the live config.
+func (c *Config) WriteTo(w io.Writer) (int64, error) {
+	var b bytes.Buffer
+	sec := func(name string) { fmt.Fprintf(&b, "%s:\n", name) }
+	str := func(k, v string) { fmt.Fprintf(&b, "  %s: %q\n", k, v) }
+	num := func(k string, v float64) { fmt.Fprintf(&b, "  %s: %g\n", k, v) }
+	inte := func(k string, v int64) { fmt.Fprintf(&b, "  %s: %d\n", k, v) }
+	boo := func(k string, v bool) { fmt.Fprintf(&b, "  %s: %t\n", k, v) }
+	dur := func(k string, v time.Duration) { fmt.Fprintf(&b, "  %s: %s\n", k, v) }
+
+	sec("server")
+	str("addr", c.Server.Addr)
+	dur("drain_wait", c.Server.DrainWait)
+	dur("slow_request", c.Server.SlowRequest)
+	inte("flight_events", int64(c.Server.FlightEvents))
+	boo("log_json", c.Server.LogJSON)
+	str("client_header", c.Server.ClientHeader)
+	str("admin_token", c.Server.AdminToken)
+	sec("align")
+	inte("band", int64(c.Align.Band))
+	inte("ranks", int64(c.Align.Ranks))
+	boo("score_only", c.Align.ScoreOnly)
+	str("lanes", c.Align.Lanes)
+	boo("escalation", c.Align.Escalation)
+	inte("max_band", int64(c.Align.MaxBand))
+	boo("verify", c.Align.Verify)
+	num("fault_rate", c.Align.FaultRate)
+	inte("fault_seed", c.Align.FaultSeed)
+	inte("max_retries", int64(c.Align.MaxRetries))
+	num("batch_deadline", c.Align.BatchDeadline)
+	sec("session")
+	inte("batch_pairs", int64(c.Session.BatchPairs))
+	dur("linger", c.Session.Linger)
+	inte("queue_limit", int64(c.Session.QueueLimit))
+	inte("max_concurrent", int64(c.Session.MaxConcurrent))
+	sec("limits")
+	num("global_qps", c.Limits.GlobalQPS)
+	num("global_burst", c.Limits.GlobalBurst)
+	num("client_qps", c.Limits.ClientQPS)
+	num("client_burst", c.Limits.ClientBurst)
+	num("ip_qps", c.Limits.IPQPS)
+	num("ip_burst", c.Limits.IPBurst)
+	inte("max_client_entries", int64(c.Limits.MaxClientEntries))
+	inte("max_ip_entries", int64(c.Limits.MaxIPEntries))
+	dur("idle_ttl", c.Limits.IdleTTL)
+	dur("cleanup_interval", c.Limits.CleanupInterval)
+	sec("queues")
+	inte("slots", int64(c.Queues.Slots))
+	inte("interactive", int64(c.Queues.Interactive))
+	inte("bulk", int64(c.Queues.Bulk))
+	dur("max_retry_after", c.Queues.MaxRetryAfter)
+	sec("shed")
+	dur("sample_interval", c.Shed.SampleInterval)
+	num("high_water", c.Shed.HighWater)
+	num("low_water", c.Shed.LowWater)
+	inte("raise_after", int64(c.Shed.RaiseAfter))
+	inte("release_after", int64(c.Shed.ReleaseAfter))
+
+	n, err := w.Write(b.Bytes())
+	return int64(n), err
+}

@@ -1,0 +1,244 @@
+// Package admission implements layered admission control for the
+// serving path: token-bucket rate limiting at global, per-client and
+// per-IP tiers, typed priority classes, and a pressure controller that
+// sheds load in explicit, labelled rungs under sustained saturation.
+//
+// The accept fast path — a request that every tier admits against
+// already-known keys — performs no allocations: tier lookups are
+// read-locked map hits and the token arithmetic runs under a small
+// per-entry mutex. New keys take a write-locked slow path that creates
+// the bucket and, at the configured entry cap, evicts the stalest of a
+// small sample so the maps stay bounded no matter how many distinct
+// clients or addresses show up.
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limits is the tier configuration: refill rates and burst capacities
+// per tier, and the bounds on the keyed entry maps. A tier with
+// QPS <= 0 is disabled (admits everything and keeps no state).
+type Limits struct {
+	// GlobalQPS/GlobalBurst bound the whole daemon's admitted request
+	// rate, regardless of origin.
+	GlobalQPS   float64 `json:"global_qps"`
+	GlobalBurst float64 `json:"global_burst"`
+	// ClientQPS/ClientBurst bound each client key (API key header); all
+	// requests without a key share the anonymous bucket.
+	ClientQPS   float64 `json:"client_qps"`
+	ClientBurst float64 `json:"client_burst"`
+	// IPQPS/IPBurst bound each remote address.
+	IPQPS   float64 `json:"ip_qps"`
+	IPBurst float64 `json:"ip_burst"`
+	// MaxClientEntries/MaxIPEntries cap the keyed maps; at the cap an
+	// insert evicts the least-recently-used of a sampled handful.
+	MaxClientEntries int `json:"max_client_entries"`
+	MaxIPEntries     int `json:"max_ip_entries"`
+	// IdleTTL is how long an unused entry survives periodic cleanup.
+	IdleTTL time.Duration `json:"idle_ttl"`
+}
+
+// Validate rejects nonsensical limits. Zero rates (disabled tiers) are
+// fine; negative anything is not.
+func (l Limits) Validate() error {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"global_qps", l.GlobalQPS}, {"global_burst", l.GlobalBurst},
+		{"client_qps", l.ClientQPS}, {"client_burst", l.ClientBurst},
+		{"ip_qps", l.IPQPS}, {"ip_burst", l.IPBurst},
+	} {
+		if v.v < 0 || math.IsNaN(v.v) || math.IsInf(v.v, 0) {
+			return fmt.Errorf("admission: %s must be a finite non-negative number, got %v", v.name, v.v)
+		}
+	}
+	if l.GlobalQPS > 0 && l.GlobalBurst < 1 {
+		return fmt.Errorf("admission: global_burst must be >= 1 when global_qps is set")
+	}
+	if l.ClientQPS > 0 && l.ClientBurst < 1 {
+		return fmt.Errorf("admission: client_burst must be >= 1 when client_qps is set")
+	}
+	if l.IPQPS > 0 && l.IPBurst < 1 {
+		return fmt.Errorf("admission: ip_burst must be >= 1 when ip_qps is set")
+	}
+	if l.MaxClientEntries < 1 || l.MaxIPEntries < 1 {
+		return fmt.Errorf("admission: entry caps must be >= 1 (client %d, ip %d)",
+			l.MaxClientEntries, l.MaxIPEntries)
+	}
+	if l.IdleTTL < 0 {
+		return fmt.Errorf("admission: negative idle_ttl %v", l.IdleTTL)
+	}
+	return nil
+}
+
+// tokenBucket is one refillable bucket. The mutex covers the token
+// arithmetic only; map membership is the owning limiter's concern.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	// used is the last-use instant (unix nanos), read lock-free by the
+	// evictor and the cleanup sweep.
+	used atomic.Int64
+}
+
+// take refills the bucket to now and consumes one token if available.
+// On refusal it also reports how long until a token accrues, which the
+// caller turns into an honest Retry-After.
+func (b *tokenBucket) take(now time.Time, qps, burst float64) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * qps
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.mu.Unlock()
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	b.mu.Unlock()
+	return false, time.Duration(deficit / qps * float64(time.Second))
+}
+
+// tierLimits is the hot-reloadable rate pair, swapped atomically so the
+// fast path never takes a config lock.
+type tierLimits struct {
+	qps, burst float64
+}
+
+// evictSample bounds the LRU scan on an at-cap insert: the stalest of
+// this many sampled entries is evicted, O(1) regardless of map size.
+const evictSample = 8
+
+// TierLimiter is one keyed tier: a bounded map of token buckets with
+// sampled-LRU eviction at the cap and TTL cleanup between requests.
+type TierLimiter struct {
+	limits     atomic.Pointer[tierLimits]
+	maxEntries int
+
+	mu      sync.RWMutex
+	entries map[string]*tokenBucket
+
+	evictions atomic.Uint64
+}
+
+// NewTierLimiter builds a tier admitting qps sustained with the given
+// burst, holding at most maxEntries keyed buckets.
+func NewTierLimiter(qps, burst float64, maxEntries int) *TierLimiter {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	t := &TierLimiter{
+		maxEntries: maxEntries,
+		entries:    make(map[string]*tokenBucket),
+	}
+	t.limits.Store(&tierLimits{qps: qps, burst: burst})
+	return t
+}
+
+// SetLimits swaps the tier's rate without touching existing buckets —
+// the hot-reload path. Disabling a tier (qps <= 0) stops state growth;
+// existing entries age out via Cleanup.
+func (t *TierLimiter) SetLimits(qps, burst float64) {
+	t.limits.Store(&tierLimits{qps: qps, burst: burst})
+}
+
+// Allow admits or refuses one request for key at now. Disabled tiers
+// admit everything. The refusal wait is the time until the key's bucket
+// accrues one token.
+func (t *TierLimiter) Allow(key string, now time.Time) (ok bool, wait time.Duration) {
+	lim := t.limits.Load()
+	if lim.qps <= 0 {
+		return true, 0
+	}
+	t.mu.RLock()
+	b := t.entries[key]
+	t.mu.RUnlock()
+	if b == nil {
+		b = t.insert(key, now, lim)
+	}
+	b.used.Store(now.UnixNano())
+	return b.take(now, lim.qps, lim.burst)
+}
+
+// insert is the new-key slow path: create the bucket (full burst minus
+// nothing — take consumes the first token) and, at the cap, evict the
+// least-recently-used of a small sample first.
+func (t *TierLimiter) insert(key string, now time.Time, lim *tierLimits) *tokenBucket {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b := t.entries[key]; b != nil { // raced with another insert
+		return b
+	}
+	if len(t.entries) >= t.maxEntries {
+		t.evictStalestLocked()
+	}
+	b := &tokenBucket{tokens: lim.burst, last: now}
+	b.used.Store(now.UnixNano())
+	t.entries[key] = b
+	return b
+}
+
+// evictStalestLocked removes the least-recently-used entry of up to
+// evictSample map-order samples. Map iteration order is randomized, so
+// repeated at-cap inserts spread the sampling across the whole table.
+func (t *TierLimiter) evictStalestLocked() {
+	var (
+		victim string
+		oldest int64 = math.MaxInt64
+		seen   int
+	)
+	for k, b := range t.entries {
+		if u := b.used.Load(); u < oldest {
+			oldest = u
+			victim = k
+		}
+		if seen++; seen >= evictSample {
+			break
+		}
+	}
+	if seen > 0 {
+		delete(t.entries, victim)
+		t.evictions.Add(1)
+	}
+}
+
+// Cleanup deletes entries idle longer than ttl and returns how many it
+// removed. A ttl <= 0 disables the sweep.
+func (t *TierLimiter) Cleanup(now time.Time, ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-ttl).UnixNano()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	for k, b := range t.entries {
+		if b.used.Load() < cutoff {
+			delete(t.entries, k)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Len is the current entry count.
+func (t *TierLimiter) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Evictions counts entries displaced by at-cap inserts (TTL cleanup not
+// included).
+func (t *TierLimiter) Evictions() uint64 { return t.evictions.Load() }

@@ -1,0 +1,294 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testLimits() Limits {
+	return Limits{
+		GlobalQPS: 1000, GlobalBurst: 100,
+		ClientQPS: 100, ClientBurst: 10,
+		IPQPS: 50, IPBurst: 5,
+		MaxClientEntries: 64,
+		MaxIPEntries:     64,
+		IdleTTL:          time.Minute,
+	}
+}
+
+func TestLimitsValidate(t *testing.T) {
+	if err := testLimits().Validate(); err != nil {
+		t.Fatalf("valid limits rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Limits){
+		"negative qps":        func(l *Limits) { l.IPQPS = -1 },
+		"zero burst with qps": func(l *Limits) { l.ClientBurst = 0 },
+		"zero entry cap":      func(l *Limits) { l.MaxIPEntries = 0 },
+		"negative ttl":        func(l *Limits) { l.IdleTTL = -time.Second },
+	} {
+		l := testLimits()
+		mutate(&l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, l)
+		}
+	}
+}
+
+// TestTierLimiterBurstAndRefill pins the token-bucket arithmetic: a
+// fresh key admits exactly burst back-to-back requests, refuses the
+// next with a wait consistent with the refill rate, and admits again
+// after that wait.
+func TestTierLimiterBurstAndRefill(t *testing.T) {
+	tl := NewTierLimiter(10, 3, 16) // 10 QPS, burst 3
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := tl.Allow("k", now); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, wait := tl.Allow("k", now)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("refusal wait = %v, want (0, 100ms] at 10 QPS", wait)
+	}
+	if ok, _ := tl.Allow("k", now.Add(wait)); !ok {
+		t.Fatal("request after the advertised wait still refused")
+	}
+	// A disabled tier admits everything and keeps no state.
+	off := NewTierLimiter(0, 0, 4)
+	for i := 0; i < 100; i++ {
+		if ok, _ := off.Allow(fmt.Sprintf("k%d", i), now); !ok {
+			t.Fatal("disabled tier refused a request")
+		}
+	}
+	if off.Len() != 0 {
+		t.Fatalf("disabled tier grew %d entries", off.Len())
+	}
+}
+
+// TestTierLimiterEvictionCap proves the keyed map never exceeds its
+// configured entry cap, whatever the key churn, and that eviction
+// prefers stale entries.
+func TestTierLimiterEvictionCap(t *testing.T) {
+	const cap = 32
+	tl := NewTierLimiter(1000, 1000, cap)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10*cap; i++ {
+		tl.Allow(fmt.Sprintf("key-%d", i), now.Add(time.Duration(i)*time.Millisecond))
+		if n := tl.Len(); n > cap {
+			t.Fatalf("after %d inserts the map holds %d entries, cap %d", i+1, n, cap)
+		}
+	}
+	if tl.Len() != cap {
+		t.Fatalf("map holds %d entries after churn, want the cap %d", tl.Len(), cap)
+	}
+	if tl.Evictions() == 0 {
+		t.Fatal("churn past the cap recorded no evictions")
+	}
+	// A key kept hot survives the churn: refresh it between every insert.
+	hot := "hot-key"
+	tl2 := NewTierLimiter(1e6, 1e6, cap)
+	tl2.Allow(hot, now)
+	for i := 0; i < 10*cap; i++ {
+		ts := now.Add(time.Duration(i+1) * time.Millisecond)
+		tl2.Allow(hot, ts)
+		tl2.Allow(fmt.Sprintf("cold-%d", i), ts)
+		if n := tl2.Len(); n > cap {
+			t.Fatalf("map exceeded cap: %d > %d", n, cap)
+		}
+	}
+	tl2.mu.RLock()
+	_, alive := tl2.entries[hot]
+	tl2.mu.RUnlock()
+	if !alive {
+		t.Fatal("constantly-used key was evicted ahead of stale ones")
+	}
+}
+
+func TestTierLimiterCleanup(t *testing.T) {
+	tl := NewTierLimiter(100, 100, 64)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		tl.Allow(fmt.Sprintf("k%d", i), now)
+	}
+	tl.Allow("fresh", now.Add(10*time.Second))
+	if got := tl.Cleanup(now.Add(11*time.Second), 5*time.Second); got != 10 {
+		t.Fatalf("Cleanup removed %d entries, want the 10 idle ones", got)
+	}
+	if tl.Len() != 1 {
+		t.Fatalf("%d entries survive cleanup, want 1", tl.Len())
+	}
+	if got := tl.Cleanup(now, 0); got != 0 {
+		t.Fatalf("ttl=0 cleanup removed %d entries, want disabled", got)
+	}
+}
+
+// TestControllerTierOrder checks that the first violated tier names the
+// refusal and that inner tiers are not charged for it.
+func TestControllerTierOrder(t *testing.T) {
+	l := testLimits()
+	l.ClientQPS, l.ClientBurst = 1000, 2 // client trips before IP (burst 5)
+	c, err := NewController(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if d := c.AllowAt(now, "alice", "10.0.0.1"); !d.OK {
+			t.Fatalf("request %d refused at tier %s", i, d.Tier)
+		}
+	}
+	d := c.AllowAt(now, "alice", "10.0.0.1")
+	if d.OK || d.Tier != TierClient {
+		t.Fatalf("decision = %+v, want a client-tier refusal", d)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatal("refusal carries no Retry-After wait")
+	}
+	s := c.Stats()
+	if s.Client.Rejects != 1 || s.IP.Rejects != 0 || s.Global.Rejects != 0 {
+		t.Fatalf("rejects global/client/ip = %d/%d/%d, want 0/1/0",
+			s.Global.Rejects, s.Client.Rejects, s.IP.Rejects)
+	}
+	if s.Global.Accepts != 2 || s.Client.Accepts != 2 || s.IP.Accepts != 2 {
+		t.Fatalf("accepts global/client/ip = %d/%d/%d, want 2/2/2",
+			s.Global.Accepts, s.Client.Accepts, s.IP.Accepts)
+	}
+	// A different client is unaffected by alice's exhaustion.
+	if d := c.AllowAt(now, "bob", "10.0.0.2"); !d.OK {
+		t.Fatalf("unrelated client refused: %+v", d)
+	}
+}
+
+func TestControllerSetLimits(t *testing.T) {
+	c, err := NewController(testLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	l := c.Limits()
+	l.IPQPS, l.IPBurst = 1000, 1
+	if err := c.SetLimits(l); err != nil {
+		t.Fatal(err)
+	}
+	// The new burst applies to fresh keys immediately.
+	if d := c.AllowAt(now, "", "10.9.9.9"); !d.OK {
+		t.Fatalf("first request refused: %+v", d)
+	}
+	if d := c.AllowAt(now, "", "10.9.9.9"); d.OK || d.Tier != TierIP {
+		t.Fatalf("decision = %+v, want an ip-tier refusal at burst 1", d)
+	}
+	l.GlobalBurst = 0 // invalid with qps set
+	if err := c.SetLimits(l); err == nil {
+		t.Fatal("SetLimits accepted an invalid config")
+	}
+}
+
+// TestControllerAllowZeroAlloc pins the acceptance criterion: the
+// accept fast path (every tier admits, keys already known) performs no
+// heap allocations.
+func TestControllerAllowZeroAlloc(t *testing.T) {
+	l := testLimits()
+	l.GlobalQPS, l.GlobalBurst = 1e9, 1e9
+	l.ClientQPS, l.ClientBurst = 1e9, 1e9
+	l.IPQPS, l.IPBurst = 1e9, 1e9
+	c, err := NewController(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Allow("alice", "10.0.0.1") // warm the keyed tiers
+	allocs := testing.AllocsPerRun(1000, func() {
+		if d := c.Allow("alice", "10.0.0.1"); !d.OK {
+			t.Fatal("warm request refused")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("accept fast path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestControllerConcurrentStress hammers every tier from many
+// goroutines under -race: distinct clients and IPs (exercising insert
+// and eviction), shared hot keys (exercising bucket contention), and a
+// concurrent limit reload and cleanup sweep.
+func TestControllerConcurrentStress(t *testing.T) {
+	l := testLimits()
+	l.MaxClientEntries, l.MaxIPEntries = 16, 16
+	l.GlobalQPS, l.GlobalBurst = 1e6, 1e6
+	c, err := NewController(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0: // churn: unique keys force insert+evict
+					c.Allow(fmt.Sprintf("c%d-%d", g, i), fmt.Sprintf("10.%d.%d.%d", g, i/251, i%251))
+				case 1: // hot shared keys
+					c.Allow("shared", "10.0.0.1")
+				default: // per-goroutine keys
+					c.Allow(fmt.Sprintf("g%d", g), fmt.Sprintf("10.0.1.%d", g))
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // concurrent reload + sweep, as the admin API would drive
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			nl := c.Limits()
+			nl.ClientQPS = float64(50 + i)
+			if err := c.SetLimits(nl); err != nil {
+				t.Error(err)
+				return
+			}
+			c.client.Cleanup(time.Now(), time.Nanosecond)
+			c.ip.Cleanup(time.Now(), time.Nanosecond)
+		}
+	}()
+	wg.Wait()
+	if n := c.client.Len(); n > 16 {
+		t.Fatalf("client map holds %d entries after stress, cap 16", n)
+	}
+	if n := c.ip.Len(); n > 16 {
+		t.Fatalf("ip map holds %d entries after stress, cap 16", n)
+	}
+	s := c.Stats()
+	if s.Global.Accepts == 0 {
+		t.Fatal("stress admitted nothing")
+	}
+}
+
+func TestControllerCleanupLoop(t *testing.T) {
+	l := testLimits()
+	l.IdleTTL = time.Nanosecond
+	c, err := NewController(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Allow("k", "10.0.0.1")
+	c.Start(time.Millisecond)
+	defer c.Close()
+	deadline := time.After(2 * time.Second)
+	for c.client.Len()+c.ip.Len() > 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("cleanup loop never swept the idle entries (client %d, ip %d)",
+				c.client.Len(), c.ip.Len())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	c.Close() // idempotent
+}

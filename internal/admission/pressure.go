@@ -1,0 +1,254 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The shed ladder. Under sustained pressure the daemon degrades service
+// in explicit rungs rather than falling over: first bulk requests lose
+// their traceback (forced onto the 16-bit narrow score-only kernel —
+// cheap, still exact for the score), then the host-side verify
+// double-check is dropped, and only then are bulk requests refused
+// outright with 429 and an honest Retry-After. Interactive requests are
+// score-only by definition and are never degraded — the ladder exists
+// to keep their latency bounded. Every rung a request is served under
+// is surfaced as a typed degradation label on its results; nothing is
+// silently downgraded.
+
+// ShedLevel is the current rung of the load-shedding ladder.
+type ShedLevel int32
+
+const (
+	// ShedNone: full service.
+	ShedNone ShedLevel = iota
+	// ShedScoreOnly: bulk requests are forced onto the 16-bit
+	// narrow-lane score-only kernel; their results carry no CIGAR and
+	// are labelled DegradedScoreOnly.
+	ShedScoreOnly
+	// ShedNoVerify: additionally, host-side CIGAR re-derivation
+	// (verify) is disabled for newly admitted requests.
+	ShedNoVerify
+	// ShedRejectBulk: additionally, bulk requests are rejected with
+	// 429 + Retry-After computed from the queue drain rate.
+	ShedRejectBulk
+
+	maxShedLevel = ShedRejectBulk
+)
+
+var shedLevelNames = [...]string{
+	ShedNone:       "none",
+	ShedScoreOnly:  "score-only",
+	ShedNoVerify:   "no-verify",
+	ShedRejectBulk: "reject-bulk",
+}
+
+func (l ShedLevel) String() string {
+	if l < 0 || int(l) >= len(shedLevelNames) {
+		return fmt.Sprintf("shed(%d)", int(l))
+	}
+	return shedLevelNames[l]
+}
+
+// ParseShedLevel inverts String (the admin API's override format);
+// "auto" is not a level and is handled by the caller.
+func ParseShedLevel(s string) (ShedLevel, error) {
+	for i, name := range shedLevelNames {
+		if s == name {
+			return ShedLevel(i), nil
+		}
+	}
+	return 0, fmt.Errorf("admission: unknown shed level %q (want none, score-only, no-verify or reject-bulk)", s)
+}
+
+// Degradation is one typed service downgrade applied to a request.
+type Degradation string
+
+const (
+	// DegradedScoreOnly: the request asked for CIGARs but was served
+	// score-only (narrow lanes) by the shed ladder.
+	DegradedScoreOnly Degradation = "score-only"
+	// DegradedNoVerify: host-side verify was configured but skipped for
+	// this request by the shed ladder.
+	DegradedNoVerify Degradation = "no-verify"
+)
+
+// Degradations lists the typed downgrades rung l applies to a bulk
+// request that asked for traceback (wantTB) against a daemon configured
+// to verify (wantVerify). Interactive requests pass wantTB=false and
+// collect at most DegradedNoVerify — which is also vacuous for them, so
+// in practice they return nil.
+func (l ShedLevel) Degradations(wantTB, wantVerify bool) []Degradation {
+	var d []Degradation
+	if l >= ShedScoreOnly && wantTB {
+		d = append(d, DegradedScoreOnly)
+		wantVerify = false // verify re-derives CIGARs; score-only has none
+	}
+	if l >= ShedNoVerify && wantVerify {
+		d = append(d, DegradedNoVerify)
+	}
+	return d
+}
+
+// PressureConfig tunes the controller's hysteresis. Load is a fraction
+// in [0,1] — the max of inflight saturation and queue occupancy as
+// sampled by the server.
+type PressureConfig struct {
+	// HighWater: load at or above this counts toward raising the level.
+	HighWater float64 `json:"high_water"`
+	// LowWater: load strictly below this counts toward releasing.
+	LowWater float64 `json:"low_water"`
+	// RaiseAfter consecutive high samples climb one rung.
+	RaiseAfter int `json:"raise_after"`
+	// ReleaseAfter consecutive low samples descend one rung.
+	ReleaseAfter int `json:"release_after"`
+}
+
+// Validate rejects watermarks outside [0,1] or inverted, and
+// non-positive sample counts.
+func (c PressureConfig) Validate() error {
+	if math.IsNaN(c.HighWater) || math.IsNaN(c.LowWater) ||
+		c.LowWater < 0 || c.HighWater > 1 || c.LowWater >= c.HighWater {
+		return fmt.Errorf("admission: watermarks must satisfy 0 <= low_water < high_water <= 1 (low %v, high %v)",
+			c.LowWater, c.HighWater)
+	}
+	if c.RaiseAfter < 1 || c.ReleaseAfter < 1 {
+		return fmt.Errorf("admission: raise_after and release_after must be >= 1 (raise %d, release %d)",
+			c.RaiseAfter, c.ReleaseAfter)
+	}
+	return nil
+}
+
+// Pressure drives the shed ladder from periodic load samples, with
+// hysteresis in both directions so a single spike neither engages nor a
+// single quiet tick releases a rung. A manual override (admin API) pins
+// the level until cleared; automatic tracking continues underneath so
+// clearing the override lands on the level the load actually warrants.
+type Pressure struct {
+	cfg      atomic.Pointer[PressureConfig]
+	level    atomic.Int32 // automatic level
+	override atomic.Int32 // pinned level, or -1 for auto
+
+	mu        sync.Mutex // sample bookkeeping
+	hot, cool int
+
+	// onChange observes effective-level transitions (both automatic and
+	// override-driven) for metrics/flight wiring. Called outside locks.
+	onChange func(from, to ShedLevel, reason string)
+
+	transitions atomic.Uint64
+}
+
+// NewPressure builds a controller at ShedNone. onChange may be nil.
+func NewPressure(cfg PressureConfig, onChange func(from, to ShedLevel, reason string)) (*Pressure, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pressure{onChange: onChange}
+	p.cfg.Store(&cfg)
+	p.override.Store(-1)
+	return p, nil
+}
+
+// SetConfig hot-swaps the thresholds; the consecutive-sample counters
+// reset so stale streaks can't trip the new thresholds instantly.
+func (p *Pressure) SetConfig(cfg PressureConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.hot, p.cool = 0, 0
+	p.mu.Unlock()
+	p.cfg.Store(&cfg)
+	return nil
+}
+
+// Config returns the live thresholds.
+func (p *Pressure) Config() PressureConfig { return *p.cfg.Load() }
+
+// Level is the effective shed level: the override when pinned, the
+// automatic level otherwise.
+func (p *Pressure) Level() ShedLevel {
+	if o := p.override.Load(); o >= 0 {
+		return ShedLevel(o)
+	}
+	return ShedLevel(p.level.Load())
+}
+
+// AutoLevel is the automatic level regardless of override.
+func (p *Pressure) AutoLevel() ShedLevel { return ShedLevel(p.level.Load()) }
+
+// Override reports the pinned level, if any.
+func (p *Pressure) Override() (ShedLevel, bool) {
+	o := p.override.Load()
+	return ShedLevel(o), o >= 0
+}
+
+// SetOverride pins the effective level (admin control).
+func (p *Pressure) SetOverride(l ShedLevel) error {
+	if l < ShedNone || l > maxShedLevel {
+		return fmt.Errorf("admission: shed level %d out of range [0,%d]", l, maxShedLevel)
+	}
+	from := p.Level()
+	p.override.Store(int32(l))
+	p.noteChange(from, p.Level(), "override")
+	return nil
+}
+
+// ClearOverride returns control to the automatic level.
+func (p *Pressure) ClearOverride() {
+	from := p.Level()
+	p.override.Store(-1)
+	p.noteChange(from, p.Level(), "override-cleared")
+}
+
+// Transitions counts effective-level changes since construction.
+func (p *Pressure) Transitions() uint64 { return p.transitions.Load() }
+
+// Sample feeds one load observation (max of inflight saturation and
+// queue occupancy, in [0,1]) and returns the effective level after it.
+func (p *Pressure) Sample(load float64) ShedLevel {
+	cfg := p.cfg.Load()
+	p.mu.Lock()
+	from := ShedLevel(p.level.Load())
+	to := from
+	switch {
+	case load >= cfg.HighWater:
+		p.cool = 0
+		p.hot++
+		if p.hot >= cfg.RaiseAfter && to < maxShedLevel {
+			to++
+			p.hot = 0
+		}
+	case load < cfg.LowWater:
+		p.hot = 0
+		p.cool++
+		if p.cool >= cfg.ReleaseAfter && to > ShedNone {
+			to--
+			p.cool = 0
+		}
+	default: // between the watermarks: hold, break both streaks
+		p.hot, p.cool = 0, 0
+	}
+	if to != from {
+		p.level.Store(int32(to))
+	}
+	overridden := p.override.Load() >= 0
+	p.mu.Unlock()
+	if to != from && !overridden {
+		p.noteChange(from, to, "pressure")
+	}
+	return p.Level()
+}
+
+func (p *Pressure) noteChange(from, to ShedLevel, reason string) {
+	if from == to {
+		return
+	}
+	p.transitions.Add(1)
+	if p.onChange != nil {
+		p.onChange(from, to, reason)
+	}
+}

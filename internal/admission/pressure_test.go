@@ -1,0 +1,201 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+)
+
+func testPressureConfig() PressureConfig {
+	return PressureConfig{HighWater: 0.9, LowWater: 0.5, RaiseAfter: 3, ReleaseAfter: 2}
+}
+
+func TestPressureConfigValidate(t *testing.T) {
+	if err := testPressureConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, cfg := range map[string]PressureConfig{
+		"inverted watermarks": {HighWater: 0.4, LowWater: 0.5, RaiseAfter: 1, ReleaseAfter: 1},
+		"high > 1":            {HighWater: 1.5, LowWater: 0.5, RaiseAfter: 1, ReleaseAfter: 1},
+		"negative low":        {HighWater: 0.9, LowWater: -0.1, RaiseAfter: 1, ReleaseAfter: 1},
+		"zero raise":          {HighWater: 0.9, LowWater: 0.5, RaiseAfter: 0, ReleaseAfter: 1},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+}
+
+// TestPressureLadder walks the controller through the documented rungs:
+// sustained saturation climbs score-only → no-verify → reject-bulk one
+// rung per RaiseAfter streak, and sustained calm releases them one rung
+// per ReleaseAfter streak, with mid-band samples breaking both streaks.
+func TestPressureLadder(t *testing.T) {
+	var transitions []ShedLevel
+	p, err := NewPressure(testPressureConfig(), func(from, to ShedLevel, reason string) {
+		transitions = append(transitions, to)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level() != ShedNone {
+		t.Fatalf("initial level %v, want none", p.Level())
+	}
+	// Two hot samples are not enough (RaiseAfter 3).
+	p.Sample(1.0)
+	p.Sample(1.0)
+	if p.Level() != ShedNone {
+		t.Fatalf("level %v after 2 hot samples, want none", p.Level())
+	}
+	// A mid-band sample breaks the streak: three more needed.
+	p.Sample(0.7)
+	p.Sample(1.0)
+	p.Sample(1.0)
+	if p.Level() != ShedNone {
+		t.Fatalf("mid-band sample failed to break the raise streak (level %v)", p.Level())
+	}
+	climb := func(want ShedLevel) {
+		t.Helper()
+		for i := 0; i < 3; i++ {
+			p.Sample(0.95)
+		}
+		if p.Level() != want {
+			t.Fatalf("level %v, want %v", p.Level(), want)
+		}
+	}
+	climb(ShedScoreOnly)
+	climb(ShedNoVerify)
+	climb(ShedRejectBulk)
+	climb(ShedRejectBulk) // clamped at the top rung
+	// Release needs ReleaseAfter (2) consecutive cool samples per rung.
+	p.Sample(0.1)
+	if p.Level() != ShedRejectBulk {
+		t.Fatalf("one cool sample already released (level %v)", p.Level())
+	}
+	p.Sample(0.1)
+	if p.Level() != ShedNoVerify {
+		t.Fatalf("level %v after release streak, want no-verify", p.Level())
+	}
+	for i := 0; i < 4; i++ {
+		p.Sample(0.0)
+	}
+	if p.Level() != ShedNone {
+		t.Fatalf("level %v after sustained calm, want none", p.Level())
+	}
+	want := []ShedLevel{ShedScoreOnly, ShedNoVerify, ShedRejectBulk, ShedNoVerify, ShedScoreOnly, ShedNone}
+	if len(transitions) != len(want) {
+		t.Fatalf("observed transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+	if p.Transitions() != uint64(len(want)) {
+		t.Fatalf("Transitions() = %d, want %d", p.Transitions(), len(want))
+	}
+}
+
+func TestPressureOverride(t *testing.T) {
+	p, err := NewPressure(testPressureConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetOverride(ShedRejectBulk); err != nil {
+		t.Fatal(err)
+	}
+	if p.Level() != ShedRejectBulk {
+		t.Fatalf("overridden level %v, want reject-bulk", p.Level())
+	}
+	// Automatic tracking continues under the override.
+	for i := 0; i < 3; i++ {
+		p.Sample(1.0)
+	}
+	if p.AutoLevel() != ShedScoreOnly {
+		t.Fatalf("auto level %v under override, want score-only", p.AutoLevel())
+	}
+	if p.Level() != ShedRejectBulk {
+		t.Fatalf("override not pinning the level (got %v)", p.Level())
+	}
+	p.ClearOverride()
+	if p.Level() != ShedScoreOnly {
+		t.Fatalf("level %v after clearing override, want the tracked score-only", p.Level())
+	}
+	if _, ok := p.Override(); ok {
+		t.Fatal("Override() still pinned after ClearOverride")
+	}
+	if err := p.SetOverride(ShedLevel(99)); err == nil {
+		t.Fatal("SetOverride accepted an out-of-range level")
+	}
+}
+
+func TestPressureConcurrentSamples(t *testing.T) {
+	p, err := NewPressure(PressureConfig{HighWater: 0.9, LowWater: 0.5, RaiseAfter: 1, ReleaseAfter: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if (g+i)%2 == 0 {
+					p.Sample(1.0)
+				} else {
+					p.Sample(0.0)
+				}
+				p.Level()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l := p.Level(); l < ShedNone || l > ShedRejectBulk {
+		t.Fatalf("level %d out of range after concurrent sampling", l)
+	}
+}
+
+func TestShedLevelStringsAndDegradations(t *testing.T) {
+	for l, want := range map[ShedLevel]string{
+		ShedNone: "none", ShedScoreOnly: "score-only",
+		ShedNoVerify: "no-verify", ShedRejectBulk: "reject-bulk",
+	} {
+		if l.String() != want {
+			t.Errorf("ShedLevel(%d).String() = %q, want %q", l, l.String(), want)
+		}
+		got, err := ParseShedLevel(want)
+		if err != nil || got != l {
+			t.Errorf("ParseShedLevel(%q) = %v, %v; want %v", want, got, err, l)
+		}
+	}
+	if _, err := ParseShedLevel("bogus"); err == nil {
+		t.Error("ParseShedLevel accepted a bogus level")
+	}
+
+	cases := []struct {
+		level      ShedLevel
+		tb, verify bool
+		want       []Degradation
+	}{
+		{ShedNone, true, true, nil},
+		{ShedScoreOnly, true, true, []Degradation{DegradedScoreOnly}},
+		{ShedScoreOnly, false, true, nil},                            // interactive: nothing to degrade
+		{ShedNoVerify, true, true, []Degradation{DegradedScoreOnly}}, // score-only subsumes verify
+		{ShedNoVerify, true, false, []Degradation{DegradedScoreOnly}},
+		{ShedNoVerify, false, true, []Degradation{DegradedNoVerify}},
+		{ShedRejectBulk, true, true, []Degradation{DegradedScoreOnly}},
+	}
+	for _, tc := range cases {
+		got := tc.level.Degradations(tc.tb, tc.verify)
+		if len(got) != len(tc.want) {
+			t.Errorf("%v.Degradations(tb=%v, verify=%v) = %v, want %v",
+				tc.level, tc.tb, tc.verify, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v.Degradations(tb=%v, verify=%v) = %v, want %v",
+					tc.level, tc.tb, tc.verify, got, tc.want)
+			}
+		}
+	}
+}

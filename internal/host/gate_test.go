@@ -1,0 +1,299 @@
+package host
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseClass(t *testing.T) {
+	for s, want := range map[string]Class{
+		"": ClassBulk, "bulk": ClassBulk, "interactive": ClassInteractive,
+	} {
+		got, err := ParseClass(s)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseClass("urgent"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+	if ClassInteractive.String() != "interactive" || ClassBulk.String() != "bulk" {
+		t.Error("class names diverge from the wire form")
+	}
+}
+
+func TestGateImmediateAndQueueFull(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 2, InteractiveQueue: 0, BulkQueue: 1})
+	ctx := context.Background()
+	if err := g.Acquire(ctx, ClassBulk); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx, ClassInteractive); err != nil {
+		t.Fatal(err)
+	}
+	// Gate full; interactive queue cap 0 refuses immediately.
+	if err := g.Acquire(ctx, ClassInteractive); err != ErrGateQueueFull {
+		t.Fatalf("interactive beyond slots = %v, want ErrGateQueueFull", err)
+	}
+	// Bulk queue has one seat: a waiter parks, the next is refused.
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx, ClassBulk) }()
+	waitForQueued(t, g, 1)
+	if err := g.Acquire(ctx, ClassBulk); err != ErrGateQueueFull {
+		t.Fatalf("bulk beyond queue cap = %v, want ErrGateQueueFull", err)
+	}
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("parked bulk acquire = %v after a release", err)
+	}
+	st := g.Stats()
+	if st.Inflight != 2 || st.QueuedBulk != 0 {
+		t.Fatalf("stats after handoff = %+v", st)
+	}
+	g.Release()
+	g.Release()
+	if st := g.Stats(); st.Inflight != 0 {
+		t.Fatalf("inflight %d after all releases", st.Inflight)
+	}
+}
+
+func waitForQueued(t *testing.T, g *Gate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := g.Stats()
+		if st.QueuedInteractive+st.QueuedBulk >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never parked: %+v", st)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestGatePriority pins the scheduling property the shed ladder depends
+// on: when both classes are waiting, every freed slot goes to an
+// interactive request first.
+func TestGatePriority(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 1, InteractiveQueue: 4, BulkQueue: 4})
+	ctx := context.Background()
+	if err := g.Acquire(ctx, ClassBulk); err != nil {
+		t.Fatal(err)
+	}
+	var order []Class
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	park := func(cls Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(ctx, cls); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, cls)
+			mu.Unlock()
+			g.Release()
+		}()
+	}
+	// Park bulk first so FIFO would serve it first; priority must not.
+	park(ClassBulk)
+	waitForQueued(t, g, 1)
+	park(ClassInteractive)
+	park(ClassInteractive)
+	waitForQueued(t, g, 3)
+	g.Release() // slot cascades through all three waiters
+	wg.Wait()
+	if len(order) != 3 || order[0] != ClassInteractive || order[1] != ClassInteractive || order[2] != ClassBulk {
+		t.Fatalf("grant order %v, want both interactive requests before bulk", order)
+	}
+}
+
+func TestGateAcquireCancel(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 1, BulkQueue: 2})
+	if err := g.Acquire(context.Background(), ClassBulk); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx, ClassBulk) }()
+	waitForQueued(t, g, 1)
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	if st := g.Stats(); st.QueuedBulk != 0 {
+		t.Fatalf("cancelled waiter still queued: %+v", st)
+	}
+	g.Release()
+	// The slot freed by the release is usable despite the cancellation.
+	if err := g.Acquire(context.Background(), ClassInteractive); err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+// TestGateRetryAfterBounds pins the computed Retry-After: depth divided
+// by the observed drain rate, never below 1s, never above the
+// configured clamp, and the clamp ceiling when no drain has been seen.
+func TestGateRetryAfterBounds(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 2, InteractiveQueue: 8, BulkQueue: 8, MaxRetryAfter: 30 * time.Second})
+	now := time.Unix(1000, 0)
+	g.mu.Lock()
+	g.now = func() time.Time { return now }
+	g.winStart = now
+	g.mu.Unlock()
+
+	// Cold gate, no drain observed: the honest answer is the ceiling.
+	if got := g.RetryAfter(); got != 30*time.Second {
+		t.Fatalf("cold RetryAfter = %v, want the 30s clamp", got)
+	}
+
+	// Simulate 4 completions/sec of drain: acquire+release 4 slots in the
+	// previous window, then step into the next one.
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := g.Acquire(ctx, ClassBulk); err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	}
+	now = now.Add(gateDrainWindow) // the 4-completion window is now "previous"
+
+	// Empty gate: depth 0 → floor of 1s.
+	if got := g.RetryAfter(); got != time.Second {
+		t.Fatalf("idle RetryAfter = %v, want the 1s floor", got)
+	}
+
+	// Load the gate: 2 inflight + 6 parked = depth 8 at 4/sec → 2s.
+	var wg sync.WaitGroup
+	var parked atomic.Int32
+	g.Acquire(ctx, ClassBulk)
+	g.Acquire(ctx, ClassBulk)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parked.Add(1)
+			if err := g.Acquire(ctx, ClassBulk); err == nil {
+				g.Release()
+			}
+		}()
+	}
+	waitForQueued(t, g, 6)
+	if got := g.RetryAfter(); got != 2*time.Second {
+		t.Fatalf("RetryAfter at depth 8, drain 4/s = %v, want 2s", got)
+	}
+
+	// A stalled drain (windows age out) returns to the ceiling.
+	now = now.Add(10 * gateDrainWindow)
+	if got := g.RetryAfter(); got != 30*time.Second {
+		t.Fatalf("stalled RetryAfter = %v, want the 30s clamp", got)
+	}
+	g.Release()
+	g.Release()
+	wg.Wait()
+	_ = parked.Load()
+}
+
+func TestGateSetConfigGrowGrantsWaiters(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 1, InteractiveQueue: 2, BulkQueue: 2})
+	ctx := context.Background()
+	g.Acquire(ctx, ClassBulk)
+	granted := make(chan Class, 2)
+	for _, cls := range []Class{ClassBulk, ClassInteractive} {
+		cls := cls
+		go func() {
+			if err := g.Acquire(ctx, cls); err == nil {
+				granted <- cls
+			}
+		}()
+	}
+	waitForQueued(t, g, 2)
+	g.SetConfig(GateConfig{Slots: 3, InteractiveQueue: 2, BulkQueue: 2})
+	got := map[Class]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case c := <-granted:
+			got[c] = true
+		case <-time.After(2 * time.Second):
+			t.Fatal("grown gate never granted the parked waiters")
+		}
+	}
+	if !got[ClassBulk] || !got[ClassInteractive] {
+		t.Fatalf("granted classes %v, want both", got)
+	}
+	if st := g.Stats(); st.Inflight != 3 {
+		t.Fatalf("inflight %d after grow, want 3", st.Inflight)
+	}
+	// Shrink: releases converge inflight down without going negative.
+	g.SetConfig(GateConfig{Slots: 1, InteractiveQueue: 2, BulkQueue: 2})
+	g.Release()
+	g.Release()
+	g.Release()
+	if st := g.Stats(); st.Inflight != 0 {
+		t.Fatalf("inflight %d after shrink and drain, want 0", st.Inflight)
+	}
+}
+
+func TestGateStatsLoad(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 2, InteractiveQueue: 2, BulkQueue: 2})
+	if l := g.Stats().Load; l != 0 {
+		t.Fatalf("idle load %v, want 0", l)
+	}
+	ctx := context.Background()
+	g.Acquire(ctx, ClassBulk)
+	if l := g.Stats().Load; l != 0.5 {
+		t.Fatalf("half-full load %v, want 0.5", l)
+	}
+	g.Acquire(ctx, ClassBulk)
+	done := make(chan struct{})
+	go func() { g.Acquire(ctx, ClassBulk); close(done) }()
+	waitForQueued(t, g, 1)
+	st := g.Stats()
+	if st.Load != 1 {
+		t.Fatalf("slot-saturated load %v, want 1 (stats %+v)", st.Load, st)
+	}
+	g.Release()
+	<-done
+	g.Release()
+	g.Release()
+}
+
+func TestGateConcurrentStress(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 4, InteractiveQueue: 64, BulkQueue: 64})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cls := ClassBulk
+			if w%2 == 0 {
+				cls = ClassInteractive
+			}
+			for i := 0; i < 200; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				err := g.Acquire(ctx, cls)
+				cancel()
+				if err == nil {
+					served.Add(1)
+					g.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.Inflight != 0 || st.QueuedInteractive != 0 || st.QueuedBulk != 0 {
+		t.Fatalf("gate not drained after stress: %+v", st)
+	}
+	if served.Load() == 0 {
+		t.Fatal("stress served nothing")
+	}
+}
