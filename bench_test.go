@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"pimnw/internal/baseline"
+	"pimnw/internal/cache"
 	"pimnw/internal/core"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
@@ -356,6 +357,78 @@ func BenchmarkExactSimulator(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pim.ExactSimulate(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit10k measures the full serving-path cache hit: digest
+// both operands, derive the content-addressed key, and look it up in the
+// hot tier — the work a duplicate submission costs instead of a kernel
+// dispatch. The lookup is alloc-gated: a hit must not allocate.
+func BenchmarkCacheHit10k(b *testing.B) {
+	c, err := cache.Open(cache.Options{
+		Dir: b.TempDir(), Fsync: cache.FsyncNever, HotEntries: 1 << 14,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(99))
+	const n = 10_000
+	type pair struct{ a, bs seq.Seq }
+	pairs := make([]pair, n)
+	params := core.DefaultParams()
+	for i := range pairs {
+		a := seq.Random(rng, 200)
+		bs := seq.UniformErrors(0.05).Apply(rng, a)
+		pairs[i] = pair{a, bs}
+		k := cache.Key{
+			A: seq.DigestSeq(a), B: seq.DigestSeq(bs),
+			Params: params, Band: 128, Lanes: 64,
+		}
+		v := cache.Value{Score: int32(i), InBand: true, Status: "ok", Provenance: "pim"}
+		if err := c.Insert(k, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%n]
+		k := cache.Key{
+			A: seq.DigestSeq(p.a), B: seq.DigestSeq(p.bs),
+			Params: params, Band: 128, Lanes: 64,
+		}
+		if _, ok := c.Lookup(k); !ok {
+			b.Fatal("miss on an inserted key")
+		}
+	}
+}
+
+// BenchmarkWALAppend measures one cache insert — frame encode, checksum,
+// WAL append, index update — with fsync off, so the number is the CPU
+// cost of the durable path, not the disk's.
+func BenchmarkWALAppend(b *testing.B) {
+	c, err := cache.Open(cache.Options{
+		Dir: b.TempDir(), Fsync: cache.FsyncNever,
+		MaxEntries: 1 << 30, HotEntries: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	k := cache.Key{
+		A:      seq.Digest{Hi: 0x1111, Lo: 0},
+		B:      seq.Digest{Hi: 0x2222, Lo: 0x3333},
+		Params: core.DefaultParams(), Band: 128, Lanes: 64,
+	}
+	v := cache.Value{Score: 1234, InBand: true, Status: "ok", Provenance: "pim", Cigar: []byte("120M1D79M")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.A.Lo = uint64(i) // every record unique: appends, never overwrites
+		if err := c.Insert(k, v); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -107,4 +107,91 @@ if [ "$STATUS" -ne 0 ]; then
     exit 1
 fi
 
+echo "== cache-enabled daemon =="
+# Result-cache replay contract: the same FASTA batch served twice by a
+# cache-enabled daemon must render byte-identically (hits keep the
+# original score, status and provenance — the cache never relabels), the
+# raw NDJSON of a replayed pair must carry the cached marker, and after
+# a kill -9 the daemon must reopen the WAL and keep serving the same
+# answers.
+"$WORK/alignd" -addr 127.0.0.1:0 -addr-file "$WORK/addr3" -ranks 2 -band 128 \
+    -drain-wait 1s -cache-dir "$WORK/rcache" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "cache-enabled alignd died during startup" >&2; exit 1; }
+    [ -s "$WORK/addr3" ] && break
+    sleep 0.05
+done
+[ -s "$WORK/addr3" ] || { echo "cache-enabled alignd never wrote its address" >&2; exit 1; }
+ADDR="$(cat "$WORK/addr3")"
+for _ in $(seq 1 100); do
+    if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.05
+done
+
+echo "== replay the batch twice ($ADDR) =="
+"$WORK/alignd" -post "http://$ADDR/align" -a "$A" -b "$B" > "$WORK/run1.out"
+"$WORK/alignd" -post "http://$ADDR/align" -a "$A" -b "$B" > "$WORK/run2.out"
+diff -u "$WORK/run1.out" "$WORK/run2.out" || {
+    echo "cached replay diverged from the first serving" >&2; exit 1; }
+[ -s "$WORK/run1.out" ] || { echo "cached run output is empty" >&2; exit 1; }
+
+echo "== cached marker on the wire =="
+BODY='{"id":0,"a":"ACGTACGTACGTACGTACGT","b":"ACGTACGAACGTACGTACGT"}'
+printf '%s\n' "$BODY" | curl -fsS -X POST -H 'X-Trace-Id: t-cache' \
+    --data-binary @- "http://$ADDR/align" > "$WORK/miss.ndjson"
+printf '%s\n' "$BODY" | curl -fsS -X POST -H 'X-Trace-Id: t-cache' \
+    --data-binary @- "http://$ADDR/align" > "$WORK/hit.ndjson"
+grep -q '"cached":true' "$WORK/hit.ndjson" || {
+    echo "replayed pair missing the cached marker" >&2
+    cat "$WORK/hit.ndjson" >&2; exit 1; }
+grep -q '"cached"' "$WORK/miss.ndjson" && {
+    echo "first serving of a pair unexpectedly marked cached" >&2; exit 1; }
+# Apart from the marker, a hit line is the miss line: same score, same
+# status, same provenance.
+sed 's/,"cached":true//' "$WORK/hit.ndjson" > "$WORK/hit.stripped"
+diff -u "$WORK/miss.ndjson" "$WORK/hit.stripped" || {
+    echo "cache hit relabelled the result" >&2; exit 1; }
+
+curl -fsS "http://$ADDR/debug/vars" > "$WORK/cache_vars.json"
+grep -q '"cache_hits_total"' "$WORK/cache_vars.json" || {
+    echo "/debug/vars missing the cache hit counter" >&2; exit 1; }
+
+echo "== kill -9 and WAL reopen =="
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+rm -f "$WORK/addr3"
+"$WORK/alignd" -addr 127.0.0.1:0 -addr-file "$WORK/addr3" -ranks 2 -band 128 \
+    -drain-wait 1s -cache-dir "$WORK/rcache" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "alignd died reopening the crashed cache" >&2; exit 1; }
+    [ -s "$WORK/addr3" ] && break
+    sleep 0.05
+done
+ADDR="$(cat "$WORK/addr3")"
+for _ in $(seq 1 100); do
+    if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.05
+done
+"$WORK/alignd" -post "http://$ADDR/align" -a "$A" -b "$B" > "$WORK/run3.out"
+diff -u "$WORK/run1.out" "$WORK/run3.out" || {
+    echo "post-crash serving diverged from the pre-crash answers" >&2; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+DAEMON_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "cache-enabled alignd exited $STATUS on SIGTERM, want 0" >&2
+    exit 1
+fi
+
 echo "ALIGND SMOKE PASS"

@@ -30,5 +30,6 @@ fuzz ./internal/core FuzzBandedNeverBeatsOptimal
 fuzz ./internal/core FuzzEngineEquivalence
 fuzz ./internal/core FuzzNarrowWideEquivalence
 fuzz ./internal/admission/config FuzzAdmissionConfig
+fuzz ./internal/cache FuzzWALRecordRoundTrip
 
 echo "FUZZ SMOKE PASS"

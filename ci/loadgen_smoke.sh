@@ -94,4 +94,92 @@ if [ "$STATUS" -ne 0 ]; then
     exit 1
 fi
 
+echo "== cache config =="
+# Phase two: the result-cache latency contract. A fresh daemon with a
+# cache directory and no admission pressure (plenty of slots, shed
+# watermarks out of reach) serves two runs of the same closed-loop
+# workload: a cold one with all-unique pairs (every request computes)
+# and a warm one drawing every pair from loadgen's fixed duplicate pool
+# (after the first few requests, every pair is a cache hit). The hit
+# path must keep the interactive p99 below the cold-path p99, with zero
+# unlabelled degradations in either run. Escalation is on so the long
+# noisy pairs certify via the band ladder — clipped results are
+# uncacheable by design, so without it the warm run would never hit.
+cat > "$WORK/cache.yaml" <<'EOF'
+server:
+  addr: "127.0.0.1:0"
+  drain_wait: 200ms
+align:
+  ranks: 1
+  escalation: true
+  max_band: 2048
+queues:
+  slots: 8
+  interactive: 16
+  bulk: 16
+shed:
+  sample_interval: 50ms
+  high_water: 0.99
+  low_water: 0.98
+cache:
+  fsync: interval
+EOF
+
+echo "== cache daemon =="
+"$WORK/alignd" -config "$WORK/cache.yaml" -cache-dir "$WORK/cache" \
+    -addr-file "$WORK/addr2" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "cache-enabled alignd died during startup" >&2; exit 1; }
+    [ -s "$WORK/addr2" ] && break
+    sleep 0.05
+done
+[ -s "$WORK/addr2" ] || { echo "cache-enabled alignd never wrote its address" >&2; exit 1; }
+ADDR="$(cat "$WORK/addr2")"
+for _ in $(seq 1 100); do
+    if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.05
+done
+
+echo "== cold run ($ADDR) =="
+# Interactive-weighted and compute-heavy (12 long pairs per request), so
+# the cold path's kernel time dominates the HTTP/session overhead both
+# runs share — the p99 comparison below then measures the hit path, not
+# scheduling noise.
+"$WORK/loadgen" -url "http://$ADDR" -duration 4s \
+    -interactive 4 -bulk 1 -pairs 12 -len 2000 \
+    -dup-fraction 0 -expect-cigar | tee "$WORK/cold.txt"
+
+echo "== warm run ($ADDR) =="
+"$WORK/loadgen" -url "http://$ADDR" -duration 4s \
+    -interactive 4 -bulk 1 -pairs 12 -len 2000 \
+    -dup-fraction 1 -expect-cigar | tee "$WORK/warm.txt"
+
+echo "== cache latency contract =="
+p99() { awk -v c="$2" '$1 == c { for (i = 1; i <= NF; i++) if ($i ~ /^p99=/) { sub(/^p99=/, "", $i); sub(/ms$/, "", $i); print $i } }' "$1"; }
+COLD_P99="$(p99 "$WORK/cold.txt" interactive)"
+WARM_P99="$(p99 "$WORK/warm.txt" interactive)"
+[ -n "$COLD_P99" ] && [ -n "$WARM_P99" ] || {
+    echo "could not extract interactive p99 from loadgen output" >&2; exit 1; }
+awk -v warm="$WARM_P99" -v cold="$COLD_P99" 'BEGIN { exit !(warm < cold) }' || {
+    echo "cache-hit interactive p99 (${WARM_P99}ms) not below cold-path p99 (${COLD_P99}ms)" >&2
+    exit 1; }
+echo "interactive p99: cold ${COLD_P99}ms, warm ${WARM_P99}ms"
+
+curl -fsS "http://$ADDR/metrics" > "$WORK/cache_metrics.txt"
+awk '$1 == "host_cache_hits_total" { hits = $2 } END { exit !(hits > 0) }' "$WORK/cache_metrics.txt" || {
+    echo "warm run recorded no cache hits" >&2; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+DAEMON_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "cache-enabled alignd exited $STATUS on SIGTERM, want 0" >&2
+    exit 1
+fi
+
 echo "LOADGEN SMOKE PASS"

@@ -110,6 +110,14 @@ func (sv *server) reloadConfig(body []byte) error {
 	if next.Shed.SampleInterval != cur.Shed.SampleInterval {
 		return fmt.Errorf("config reload: shed.sample_interval is static; restart to change it")
 	}
+	// Cache placement and durability are static (the WAL handle and the
+	// background loops bind at Open); the size limits are live.
+	if next.Cache.Dir != cur.Cache.Dir ||
+		next.Cache.Fsync != cur.Cache.Fsync ||
+		next.Cache.FsyncInterval != cur.Cache.FsyncInterval ||
+		next.Cache.CompactInterval != cur.Cache.CompactInterval {
+		return fmt.Errorf("config reload: the cache placement and durability fields are static; restart to change them")
+	}
 	if err := sv.rl.SetLimits(next.AdmissionLimits()); err != nil {
 		return err
 	}
@@ -117,6 +125,9 @@ func (sv *server) reloadConfig(body []byte) error {
 		return err
 	}
 	sv.gate.SetConfig(gateConfig(next))
+	if c := sv.scfg.Cache; c != nil {
+		c.SetLimits(next.Cache.MaxEntries, next.Cache.HotEntries)
+	}
 	sv.cfg.Store(next)
 	obs.Default().Counter("alignd_config_reloads_total").Add(1)
 	obs.Flight().Record("reload", "", "admin config reload applied")

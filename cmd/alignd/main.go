@@ -72,6 +72,7 @@ import (
 	"time"
 
 	"pimnw/internal/admission/config"
+	"pimnw/internal/cache"
 	"pimnw/internal/core"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
@@ -106,6 +107,8 @@ func run() error {
 		linger        = flag.Duration("linger", 0, "max time a pair may wait for its micro-batch to fill (0 = 2ms)")
 		queueLimit    = flag.Int("queue-limit", 0, "per-request cap on admitted-but-undelivered pairs (0 = 8 micro-batches)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "micro-batches in flight per request (0 = 2)")
+
+		cacheDir = flag.String("cache-dir", "", "directory for the persistent result cache (empty = caching disabled)")
 
 		escalation = flag.Bool("escalation", false, "re-dispatch clipped/out-of-band pairs at wider bands, degrading to score-only then the exact CPU baseline")
 		maxBand    = flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
@@ -178,6 +181,8 @@ func run() error {
 			cfg.Align.MaxRetries = *maxRetries
 		case "batch-deadline":
 			cfg.Align.BatchDeadline = *batchDeadline
+		case "cache-dir":
+			cfg.Cache.Dir = *cacheDir
 		case "batch-pairs":
 			cfg.Session.BatchPairs = *batchPairs
 		case "linger":
@@ -205,6 +210,21 @@ func run() error {
 	obs.SetLogJSON(cfg.Server.LogJSON)
 	obs.SetDefault(obs.NewRegistry())
 	obs.SetFlight(obs.NewFlightRecorder(cfg.Server.FlightEvents))
+
+	// The cache opens after the metrics registry exists (its counters bind
+	// at Open) and attaches to the session template, so every request's
+	// plan inherits the shared handle.
+	if cfg.Cache.Dir != "" {
+		c, err := openCache(cfg)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		scfg.Cache = c
+		st := c.Stats()
+		obs.Logf("result cache at %s: %d entries, %d WAL bytes, %d repairs (fsync %s)",
+			cfg.Cache.Dir, st.Entries, st.WALBytes, st.Repairs, cfg.Cache.Fsync)
+	}
 
 	sv, err := newServer(cfg, scfg)
 	if err != nil {
@@ -253,6 +273,22 @@ func run() error {
 	}
 	logServingSummary()
 	return nil
+}
+
+// openCache builds the result cache from the config's cache section.
+func openCache(cfg *config.Config) (*cache.Cache, error) {
+	pol, err := cache.ParseFsyncPolicy(cfg.Cache.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	return cache.Open(cache.Options{
+		Dir:             cfg.Cache.Dir,
+		Fsync:           pol,
+		FsyncInterval:   cfg.Cache.FsyncInterval,
+		MaxEntries:      cfg.Cache.MaxEntries,
+		HotEntries:      cfg.Cache.HotEntries,
+		CompactInterval: cfg.Cache.CompactInterval,
+	})
 }
 
 // sessionConfig assembles the per-request session template from the

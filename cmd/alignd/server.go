@@ -43,6 +43,7 @@ type wireResult struct {
 	Trusted    bool     `json:"trusted"`
 	Provenance string   `json:"provenance,omitempty"`
 	TraceID    string   `json:"trace_id,omitempty"`
+	Cached     bool     `json:"cached,omitempty"`
 	Degraded   []string `json:"degraded,omitempty"`
 	Err        string   `json:"error,omitempty"`
 }
@@ -57,6 +58,7 @@ func toWireResult(r host.Result, traceID string) wireResult {
 		Trusted:    r.Status.Trusted(),
 		Provenance: r.Provenance,
 		TraceID:    traceID,
+		Cached:     r.Cached,
 	}
 }
 
@@ -255,6 +257,13 @@ func (sv *server) plan(cls host.Class, level admission.ShedLevel) requestPlan {
 		case admission.DegradedNoVerify:
 			p.scfg.Host.Verify = false
 		}
+	}
+	// A shed-degraded plan may still read the cache (hits are full-fidelity
+	// answers certified under better conditions) but must never write it:
+	// results produced with verification or traceback stripped would
+	// otherwise be replayed to future well-resourced requests.
+	if len(p.degraded) > 0 {
+		p.scfg.CacheNoStore = true
 	}
 	return p
 }

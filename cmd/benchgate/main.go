@@ -52,6 +52,8 @@ var gated = []string{
 	"HostEscalation",
 	"LPT",
 	"FluidSimulator",
+	"CacheHit10k",
+	"WALAppend",
 }
 
 // allocGated is the subset whose allocs/op must never exceed the baseline:
@@ -66,6 +68,7 @@ var allocGated = []string{
 	"AdaptiveBandScore/w64",
 	"AdaptiveBandScore/w256",
 	"AdaptiveBandAlign/w128",
+	"CacheHit10k",
 }
 
 // baselineFile is the committed reference measurement set.

@@ -8,6 +8,7 @@
 //	            [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //	            [-fault-rate P] [-fault-seed N] [-max-retries N]
 //	            [-batch-deadline SEC] [-escalation] [-max-band W] [-verify]
+//	            [-cache-dir DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Accuracy numbers come from running the real aligners on sampled pairs;
@@ -55,6 +56,7 @@ func main() {
 	maxBand := flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
 	verify := flag.Bool("verify", false, "re-derive traceback results' scores from their CIGARs in the simulated batch runs")
 	lanesFlag := flag.String("lanes", "auto", "DP lane width for the simulated DPU kernels: auto, 16 or 64")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache used by the batch experiments (empty = caching disabled)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC snapshot at exit) to FILE")
 	flag.Parse()
@@ -85,8 +87,9 @@ func main() {
 		FaultRate: *faultRate, FaultSeed: *faultSeed,
 		MaxRetries: *maxRetries, BatchDeadlineSec: *batchDeadline,
 		Escalate: *escalation, MaxBand: *maxBand, Verify: *verify,
-		LaneWidth: laneWidth,
+		LaneWidth: laneWidth, CacheDir: *cacheDir,
 	})
+	defer runner.Close()
 	ids := []string{*table}
 	if *table == "all" {
 		ids = xp.TableIDs()
@@ -97,7 +100,8 @@ func main() {
 		t, err := runner.Table(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: table %s: %v\n", id, err)
-			stopProfiles() // deferred calls do not survive os.Exit
+			runner.Close() // deferred calls do not survive os.Exit
+			stopProfiles()
 			os.Exit(1)
 		}
 		tables = append(tables, t)
@@ -110,6 +114,7 @@ func main() {
 	}
 	if err := writeArtifacts(tables, *metrics, *traceOut, *reportJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		runner.Close()
 		stopProfiles()
 		os.Exit(1)
 	}

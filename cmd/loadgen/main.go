@@ -15,8 +15,8 @@
 //
 //	loadgen -url http://127.0.0.1:7433 [-duration 10s]
 //	        [-interactive 2] [-bulk 8] [-pairs 8] [-len 150]
-//	        [-api-key KEY] [-expect-cigar] [-assert-shed]
-//	        [-release-wait 30s] [-v]
+//	        [-dup-fraction 0.5] [-api-key KEY] [-expect-cigar]
+//	        [-assert-shed] [-release-wait 30s] [-v]
 //
 // Exit status 0 when the run (and any assertions) passed, 1 otherwise.
 package main
@@ -96,17 +96,43 @@ type worker struct {
 	seqLen      int
 	expectCigar bool
 	rng         *rand.Rand
+	// dupFraction of each request's pairs are drawn from dupPool, a small
+	// deterministic pool shared by every worker — the duplicates recur
+	// across requests and workers, which is what makes them hit a
+	// result cache on the daemon side.
+	dupFraction float64
+	dupPool     []wirePair
 }
 
 func (w *worker) body() []byte {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for i := 0; i < w.pairs; i++ {
+		if len(w.dupPool) > 0 && w.rng.Float64() < w.dupFraction {
+			p := w.dupPool[w.rng.Intn(len(w.dupPool))]
+			p.ID = i
+			enc.Encode(p)
+			continue
+		}
 		a := seq.Random(w.rng, w.seqLen+w.rng.Intn(w.seqLen/4+1))
 		b := seq.UniformErrors(0.08).Apply(w.rng, a)
 		enc.Encode(wirePair{ID: i, A: a.String(), B: b.String()})
 	}
 	return buf.Bytes()
+}
+
+// dupPool builds the shared duplicate pool: n fixed pairs derived from the
+// workload seed alone, so every worker (and every loadgen invocation with
+// the same seed) re-submits the same sequences.
+func dupPool(seed int64, n, seqLen int) []wirePair {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed0001))
+	pool := make([]wirePair, n)
+	for i := range pool {
+		a := seq.Random(rng, seqLen+rng.Intn(seqLen/4+1))
+		b := seq.UniformErrors(0.08).Apply(rng, a)
+		pool[i] = wirePair{A: a.String(), B: b.String()}
+	}
+	return pool
 }
 
 func (w *worker) run(ctx context.Context, out chan<- outcome) {
@@ -216,6 +242,7 @@ func main() {
 		pairs       = flag.Int("pairs", 8, "pairs per request")
 		seqLen      = flag.Int("len", 150, "base sequence length")
 		apiKey      = flag.String("api-key", "", "X-Api-Key sent with every request")
+		dupFraction = flag.Float64("dup-fraction", 0, "fraction of each request's pairs drawn from a fixed shared pool (recurring duplicates exercise the daemon's result cache)")
 		expectCigar = flag.Bool("expect-cigar", false, "bulk results must carry a CIGAR or a typed degradation label")
 		assertShed  = flag.Bool("assert-shed", false, "require the shed ladder to engage under load and release after it")
 		releaseWait = flag.Duration("release-wait", 30*time.Second, "how long to wait for the ladder to release after load stops")
@@ -223,7 +250,11 @@ func main() {
 		verbose     = flag.Bool("v", false, "log each worker outcome")
 	)
 	flag.Parse()
-	if err := run(*url, *duration, *interactive, *bulk, *pairs, *seqLen,
+	if *dupFraction < 0 || *dupFraction > 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -dup-fraction must be in [0,1]")
+		os.Exit(1)
+	}
+	if err := run(*url, *duration, *interactive, *bulk, *pairs, *seqLen, *dupFraction,
 		*apiKey, *expectCigar, *assertShed, *releaseWait, *seed, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -231,12 +262,16 @@ func main() {
 }
 
 func run(url string, duration time.Duration, interactive, bulk, pairs, seqLen int,
-	apiKey string, expectCigar, assertShed bool, releaseWait time.Duration,
-	seed int64, verbose bool) error {
+	dupFraction float64, apiKey string, expectCigar, assertShed bool,
+	releaseWait time.Duration, seed int64, verbose bool) error {
 	client := &http.Client{Timeout: 2 * time.Minute}
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
 	defer cancel()
 
+	var pool []wirePair
+	if dupFraction > 0 {
+		pool = dupPool(seed, 16, seqLen)
+	}
 	out := make(chan outcome, 256)
 	var wg sync.WaitGroup
 	spawn := func(n int, class string) {
@@ -244,7 +279,8 @@ func run(url string, duration time.Duration, interactive, bulk, pairs, seqLen in
 			w := &worker{
 				client: client, url: url, class: class, apiKey: apiKey,
 				pairs: pairs, seqLen: seqLen, expectCigar: expectCigar,
-				rng: rand.New(rand.NewSource(seed + int64(len(class))*1000 + int64(i))),
+				rng:         rand.New(rand.NewSource(seed + int64(len(class))*1000 + int64(i))),
+				dupFraction: dupFraction, dupPool: pool,
 			}
 			wg.Add(1)
 			go func() { defer wg.Done(); w.run(ctx, out) }()

@@ -10,7 +10,7 @@
 //
 //	pimalign -a queries.fa -b targets.fa [-engine pim|cpu] [-band 128]
 //	         [-static] [-ranks 40] [-score-only] [-threads N] [-v]
-//	         [-escalation] [-max-band W] [-verify]
+//	         [-escalation] [-max-band W] [-verify] [-cache-dir DIR]
 //	         [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //	         [-fault-rate P] [-fault-seed N] [-max-retries N]
 //	         [-batch-deadline SEC] [-cpuprofile FILE] [-memprofile FILE]
@@ -43,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ import (
 	"strings"
 
 	"pimnw/internal/baseline"
+	"pimnw/internal/cache"
 	"pimnw/internal/core"
 	"pimnw/internal/host"
 	"pimnw/internal/kernel"
@@ -92,6 +94,8 @@ func run() error {
 		metrics    = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to FILE (\"-\" = stdout; pim engine)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file to FILE for Perfetto (pim engine)")
 		reportJSON = flag.String("report-json", "", "write the machine-readable run report to FILE (pim engine)")
+
+		cacheDir = flag.String("cache-dir", "", "directory for the persistent result cache (pim engine, pairs mode; empty = caching disabled)")
 
 		escalation = flag.Bool("escalation", false, "re-dispatch clipped/out-of-band pairs at wider bands, degrading to score-only then the exact CPU baseline (pim engine, pairs mode)")
 		maxBand    = flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
@@ -163,10 +167,13 @@ func run() error {
 
 	switch *engine {
 	case "pim":
-		return runPiM(queries, targets, *band, *ranks, laneWidth, !*scoreOnly, *timeline, art, faults, integrity)
+		return runPiM(queries, targets, *band, *ranks, laneWidth, !*scoreOnly, *timeline, art, faults, integrity, *cacheDir)
 	case "cpu":
 		if art.any() {
 			obs.Logf("note: -metrics/-trace-out/-report-json apply to the pim engine only")
+		}
+		if *cacheDir != "" {
+			obs.Logf("note: -cache-dir applies to the pim engine only")
 		}
 		if faults.rate > 0 {
 			obs.Logf("note: -fault-rate applies to the pim engine only")
@@ -285,7 +292,7 @@ type integrityOpts struct {
 	verify   bool
 }
 
-func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback, timeline bool, art artifacts, faults faultOpts, integrity integrityOpts) error {
+func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback, timeline bool, art artifacts, faults faultOpts, integrity integrityOpts, cacheDir string) error {
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
@@ -314,9 +321,32 @@ func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback
 	for i := range queries {
 		pairs[i] = host.Pair{ID: i, A: queries[i].Seq, B: targets[i].Seq}
 	}
-	rep, results, err := host.AlignPairs(cfg, pairs)
-	if err != nil {
-		return err
+	var rep *host.Report
+	var results []host.Result
+	if cacheDir != "" {
+		// With a cache attached, the run goes through the streaming
+		// session (cache lookups happen at admission); MaxBatchPairs =
+		// len(pairs) keeps the whole workload one micro-batch, so a cold
+		// cache run is bit-identical to the plain AlignPairs path.
+		c, err := cache.Open(cache.Options{Dir: cacheDir})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		rep, results, err = host.AlignPairsStream(context.Background(), host.SessionConfig{
+			Host:          cfg,
+			MaxBatchPairs: len(pairs),
+			Cache:         c,
+		}, pairs)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		rep, results, err = host.AlignPairs(cfg, pairs)
+		if err != nil {
+			return err
+		}
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
 	for _, r := range results {
@@ -337,6 +367,10 @@ func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback
 	}
 	if cfg.Verify {
 		obs.Logf("verify: %d results checked, %d mismatches", rep.VerifyChecked, rep.VerifyFailures)
+	}
+	if cacheDir != "" {
+		obs.Logf("result cache: %d hits, %d misses, %d in-batch duplicates deduped",
+			rep.CacheHits, rep.CacheMisses, rep.DedupedPairs)
 	}
 	if timeline {
 		fmt.Fprint(os.Stderr, rep.Timeline(72))

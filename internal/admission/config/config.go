@@ -26,12 +26,14 @@ import (
 )
 
 // Config is the daemon configuration. Sections Server, Align and
-// Session are fixed at startup; Limits, Queues and Shed are dynamic and
-// may be hot-reloaded through the admin API.
+// Session are fixed at startup, as are the cache section's placement and
+// durability fields; the cache size limits, Limits, Queues and Shed are
+// dynamic and may be hot-reloaded through the admin API.
 type Config struct {
 	Server  ServerConfig
 	Align   AlignConfig
 	Session SessionConfig
+	Cache   CacheConfig
 	Limits  LimitsConfig
 	Queues  QueuesConfig
 	Shed    ShedConfig
@@ -84,6 +86,25 @@ type SessionConfig struct {
 	Linger        time.Duration
 	QueueLimit    int
 	MaxConcurrent int
+}
+
+// CacheConfig configures the persistent result cache. Dir, Fsync,
+// FsyncInterval and CompactInterval are fixed at startup; MaxEntries and
+// HotEntries are dynamic (hot-reloadable size limits).
+type CacheConfig struct {
+	// Dir is the cache directory; empty disables the cache entirely.
+	Dir string
+	// Fsync is the WAL durability policy: always, interval or never.
+	Fsync string
+	// FsyncInterval is the background sync period under the interval
+	// policy.
+	FsyncInterval time.Duration
+	// MaxEntries bounds the in-memory index; HotEntries bounds the
+	// in-process hot tier.
+	MaxEntries int
+	HotEntries int
+	// CompactInterval enables background WAL compaction when positive.
+	CompactInterval time.Duration
 }
 
 // LimitsConfig is the rate-limit tier configuration (dynamic).
@@ -141,6 +162,13 @@ func Default() *Config {
 			Lanes:      "auto",
 			FaultSeed:  1,
 			MaxRetries: 3,
+		},
+		Cache: CacheConfig{
+			Fsync:           "interval",
+			FsyncInterval:   time.Second,
+			MaxEntries:      1 << 20,
+			HotEntries:      4096,
+			CompactInterval: time.Minute,
 		},
 		Limits: LimitsConfig{
 			MaxClientEntries: 4096,
@@ -230,6 +258,24 @@ func (c *Config) Validate() error {
 	if se.BatchPairs < 0 || se.QueueLimit < 0 || se.MaxConcurrent < 0 || se.Linger < 0 {
 		return fmt.Errorf("config: negative session parameters %+v", *se)
 	}
+	ca := &c.Cache
+	switch ca.Fsync {
+	case "always", "interval", "never":
+	default:
+		return fmt.Errorf("config: cache.fsync %q must be always, interval or never", ca.Fsync)
+	}
+	if ca.Fsync == "interval" && ca.FsyncInterval <= 0 {
+		return fmt.Errorf("config: cache.fsync_interval %v must be positive", ca.FsyncInterval)
+	}
+	if ca.FsyncInterval < 0 || ca.CompactInterval < 0 {
+		return fmt.Errorf("config: negative cache intervals %+v", *ca)
+	}
+	if ca.MaxEntries < 1 {
+		return fmt.Errorf("config: cache.max_entries %d must be >= 1", ca.MaxEntries)
+	}
+	if ca.HotEntries < 0 {
+		return fmt.Errorf("config: negative cache.hot_entries %d", ca.HotEntries)
+	}
 	if err := c.AdmissionLimits().Validate(); err != nil {
 		return fmt.Errorf("config: limits: %w", err)
 	}
@@ -289,7 +335,7 @@ func Parse(data []byte) (*Config, error) {
 				return nil, fmt.Errorf("line %d: expected a section header like \"limits:\", got %q", lineNo+1, trimmed)
 			}
 			switch name {
-			case "server", "align", "session", "limits", "queues", "shed":
+			case "server", "align", "session", "cache", "limits", "queues", "shed":
 				section = name
 			default:
 				return nil, fmt.Errorf("line %d: unknown section %q", lineNo+1, name)
@@ -420,6 +466,23 @@ func (c *Config) set(section, key, val string) error {
 			c.Session.QueueLimit, err = parseInt(val)
 		case "max_concurrent":
 			c.Session.MaxConcurrent, err = parseInt(val)
+		default:
+			return unknown()
+		}
+	case "cache":
+		switch key {
+		case "dir":
+			c.Cache.Dir = val
+		case "fsync":
+			c.Cache.Fsync = val
+		case "fsync_interval":
+			c.Cache.FsyncInterval, err = parseDur(val)
+		case "max_entries":
+			c.Cache.MaxEntries, err = parseInt(val)
+		case "hot_entries":
+			c.Cache.HotEntries, err = parseInt(val)
+		case "compact_interval":
+			c.Cache.CompactInterval, err = parseDur(val)
 		default:
 			return unknown()
 		}
@@ -563,6 +626,13 @@ func (c *Config) WriteTo(w io.Writer) (int64, error) {
 	dur("linger", c.Session.Linger)
 	inte("queue_limit", int64(c.Session.QueueLimit))
 	inte("max_concurrent", int64(c.Session.MaxConcurrent))
+	sec("cache")
+	str("dir", c.Cache.Dir)
+	str("fsync", c.Cache.Fsync)
+	dur("fsync_interval", c.Cache.FsyncInterval)
+	inte("max_entries", int64(c.Cache.MaxEntries))
+	inte("hot_entries", int64(c.Cache.HotEntries))
+	dur("compact_interval", c.Cache.CompactInterval)
 	sec("limits")
 	num("global_qps", c.Limits.GlobalQPS)
 	num("global_burst", c.Limits.GlobalBurst)

@@ -1,0 +1,339 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, opts Options) *Cache {
+	t.Helper()
+	opts.Dir = dir
+	opts.Fsync = FsyncNever
+	c, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCacheInsertLookup(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{})
+	k, v := testKey(1), testValue(1)
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	if err := c.Insert(k, v); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup(k)
+	if !ok || !valueEq(got, v) {
+		t.Fatalf("lookup after insert: ok=%v got=%+v", ok, got)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 || s.Entries != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCachePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{})
+	for i := 1; i <= 50; i++ {
+		if err := c.Insert(testKey(uint64(i)), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite one key: the later append must win on replay.
+	updated := testValue(7)
+	updated.Score = 12345
+	if err := c.Insert(testKey(7), updated); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openTest(t, dir, Options{})
+	if s := c2.Stats(); s.Entries != 50 || s.Repairs != 0 {
+		t.Fatalf("reopen stats %+v", s)
+	}
+	for i := 1; i <= 50; i++ {
+		want := testValue(i)
+		if i == 7 {
+			want = updated
+		}
+		got, ok := c2.Lookup(testKey(uint64(i)))
+		if !ok || !valueEq(got, want) {
+			t.Fatalf("key %d after reopen: ok=%v got=%+v want=%+v", i, ok, got, want)
+		}
+	}
+}
+
+// TestCacheDiskHitAfterHotEviction exercises the disk path: a key pushed
+// out of the hot tier must still hit via the index, then be promoted back.
+func TestCacheDiskHitAfterHotEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{HotEntries: 4})
+	for i := 1; i <= 64; i++ {
+		if err := c.Insert(testKey(uint64(i)), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitAll := func() {
+		for i := 1; i <= 64; i++ {
+			got, ok := c.Lookup(testKey(uint64(i)))
+			if !ok || !valueEq(got, testValue(i)) {
+				t.Fatalf("key %d: ok=%v got=%+v", i, ok, got)
+			}
+		}
+	}
+	hitAll()
+	c.mu.RLock()
+	hotLen := len(c.hot)
+	c.mu.RUnlock()
+	if hotLen > 4 {
+		t.Fatalf("hot tier grew to %d entries, bound is 4", hotLen)
+	}
+	hitAll()
+	if s := c.Stats(); s.Hits != 128 || s.Misses != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheIndexEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{MaxEntries: 10, HotEntries: 2})
+	for i := 1; i <= 30; i++ {
+		if err := c.Insert(testKey(uint64(i)), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 10 || s.Evictions != 20 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.LiveBytes >= s.WALBytes {
+		t.Fatalf("eviction left no dead bytes: %+v", s)
+	}
+	hits := 0
+	for i := 1; i <= 30; i++ {
+		if _, ok := c.Lookup(testKey(uint64(i))); ok {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("%d hits after eviction, want 10", hits)
+	}
+}
+
+func TestCacheSetLimits(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{MaxEntries: 100, HotEntries: 100})
+	for i := 1; i <= 50; i++ {
+		if err := c.Insert(testKey(uint64(i)), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetLimits(8, 3)
+	s := c.Stats()
+	if s.Entries != 8 || s.HotEntries > 3 {
+		t.Fatalf("after SetLimits(8,3): %+v", s)
+	}
+	// Loosening must not evict further.
+	c.SetLimits(1000, 1000)
+	if s := c.Stats(); s.Entries != 8 {
+		t.Fatalf("after loosening: %+v", s)
+	}
+}
+
+func TestCacheCompact(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{MaxEntries: 10})
+	for i := 1; i <= 40; i++ {
+		if err := c.Insert(testKey(uint64(i)), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Stats()
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.WALBytes >= before.WALBytes {
+		t.Fatalf("compaction did not shrink the WAL: %d -> %d", before.WALBytes, after.WALBytes)
+	}
+	if after.Entries != 10 || after.Compactions != 1 {
+		t.Fatalf("after compact: %+v", after)
+	}
+	// Entries must survive compaction, through the new file...
+	live := 0
+	for i := 1; i <= 40; i++ {
+		if v, ok := c.Lookup(testKey(uint64(i))); ok {
+			if !valueEq(v, testValue(i)) {
+				t.Fatalf("key %d corrupted by compaction: %+v", i, v)
+			}
+			live++
+		}
+	}
+	if live != 10 {
+		t.Fatalf("%d live after compaction, want 10", live)
+	}
+	// ...and inserts/reopen must keep working against the renamed file.
+	if err := c.Insert(testKey(1000), testValue(17)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c2 := openTest(t, dir, Options{})
+	if s := c2.Stats(); s.Entries != 11 || s.Repairs != 0 {
+		t.Fatalf("reopen after compact: %+v", s)
+	}
+	if v, ok := c2.Lookup(testKey(1000)); !ok || !valueEq(v, testValue(17)) {
+		t.Fatalf("post-compact insert lost: ok=%v v=%+v", ok, v)
+	}
+}
+
+// TestCacheCrashRecovery simulates a kill -9 mid-append: the WAL gets a
+// torn final frame, reopen must repair it and serve every earlier record.
+func TestCacheCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{})
+	for i := 1; i <= 20; i++ {
+		if err := c.Insert(testKey(uint64(i)), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	// Tear the tail: chop 3 bytes off the last frame without telling anyone.
+	path := filepath.Join(dir, "cache.wal")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openTest(t, dir, Options{})
+	s := c2.Stats()
+	if s.Repairs != 1 || s.Entries != 19 {
+		t.Fatalf("recovery stats %+v, want 1 repair, 19 entries", s)
+	}
+	for i := 1; i <= 19; i++ {
+		v, ok := c2.Lookup(testKey(uint64(i)))
+		if !ok || !valueEq(v, testValue(i)) {
+			t.Fatalf("key %d after crash recovery: ok=%v v=%+v", i, ok, v)
+		}
+	}
+	if _, ok := c2.Lookup(testKey(20)); ok {
+		t.Fatal("torn record 20 was served")
+	}
+}
+
+func TestCacheFsyncPolicies(t *testing.T) {
+	for _, pol := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(Options{Dir: dir, Fsync: pol, FsyncInterval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Insert(testKey(1), testValue(1)); err != nil {
+				t.Fatal(err)
+			}
+			if pol == FsyncInterval {
+				time.Sleep(20 * time.Millisecond) // let the ticker sync once
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			c2 := openTest(t, dir, Options{})
+			if _, ok := c2.Lookup(testKey(1)); !ok {
+				t.Fatal("entry lost")
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"", FsyncInterval, true},
+		{"never", FsyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseFsyncPolicy(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+// TestCacheConcurrent hammers lookups, inserts, stats, limit changes and
+// a compaction from many goroutines; run under -race this proves the
+// locking discipline.
+func TestCacheConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{MaxEntries: 256, HotEntries: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := testKey(uint64(g*1000 + i%50))
+				if i%3 == 0 {
+					if err := c.Insert(k, testValue(i)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if v, ok := c.Lookup(k); ok && v.Provenance == "" {
+					t.Error("hit returned empty provenance")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = c.Stats()
+			c.SetLimits(200+i, 16+i)
+			if i == 10 {
+				if err := c.Compact(); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCacheHotLookupZeroAlloc pins the satellite requirement: a hot-tier
+// hit performs zero allocations.
+func TestCacheHotLookupZeroAlloc(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, Options{})
+	k := testKey(1)
+	if err := c.Insert(k, testValue(1)); err != nil {
+		t.Fatal(err)
+	}
+	var sink Value
+	allocs := testing.AllocsPerRun(200, func() {
+		sink, _ = c.Lookup(k)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot lookup allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}

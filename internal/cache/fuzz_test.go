@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"testing"
+
+	"pimnw/internal/core"
+	"pimnw/internal/seq"
+)
+
+// FuzzWALRecordRoundTrip fuzzes the frame codec from both directions:
+// any record must survive encode∘decode byte-exactly, and any single
+// corrupted byte of the encoding must be rejected (no frame may decode
+// to a different-but-plausible record).
+func FuzzWALRecordRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4),
+		int32(2), int32(-4), int32(4), int32(2),
+		int32(32), int32(1024), int32(64), uint8(3),
+		int32(100), true, "ok", "dpu-banded@64", []byte{0, 1, 2}, uint16(5))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0),
+		int32(0), int32(0), int32(0), int32(0),
+		int32(0), int32(0), int32(0), uint8(0),
+		int32(-1), false, "", "", []byte(nil), uint16(0))
+	f.Fuzz(func(t *testing.T,
+		aHi, aLo, bHi, bLo uint64,
+		match, mismatch, gapOpen, gapExt int32,
+		band, maxBand, lanes int32, flags uint8,
+		score int32, inBand bool, status, provenance string, cigar []byte,
+		corrupt uint16) {
+
+		k := Key{
+			A:      seq.Digest{Hi: aHi, Lo: aLo},
+			B:      seq.Digest{Hi: bHi, Lo: bLo},
+			Params: core.Params{Match: match, Mismatch: mismatch, GapOpen: gapOpen, GapExt: gapExt},
+			Band:   band, MaxBand: maxBand, Lanes: lanes, Flags: flags,
+		}
+		v := Value{Score: score, InBand: inBand, Status: status, Provenance: provenance, Cigar: cigar}
+
+		buf, err := appendFrame(nil, k, v)
+		if err != nil {
+			// Only over-long variable fields may fail to encode.
+			if len(status) <= 0xff && len(provenance) <= 0xff && len(cigar) <= maxRecordBytes {
+				t.Fatalf("appendFrame rejected an encodable record: %v", err)
+			}
+			return
+		}
+
+		gk, gv, n, err := parseFrame(buf)
+		if err != nil {
+			t.Fatalf("decode of a fresh frame failed: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("frameLen %d, want %d", n, len(buf))
+		}
+		if gk != k {
+			t.Fatalf("key mismatch:\n got %+v\nwant %+v", gk, k)
+		}
+		if !valueEq(gv, v) {
+			t.Fatalf("value mismatch:\n got %+v\nwant %+v", gv, v)
+		}
+
+		// Corrupt one byte (position and xor pattern drawn from the fuzz
+		// input) — the parse must now fail, not return a mutated record.
+		pos := int(corrupt) % len(buf)
+		pat := byte(corrupt>>8) | 1 // never a zero xor
+		mut := append([]byte(nil), buf...)
+		mut[pos] ^= pat
+		if mk, mv, _, err := parseFrame(mut); err == nil {
+			t.Fatalf("corrupt byte %d (xor %#x) accepted: k=%+v v=%+v", pos, pat, mk, mv)
+		}
+	})
+}

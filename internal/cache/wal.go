@@ -1,0 +1,330 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The on-disk write-ahead log. The file is append-only: an 8-byte magic
+// header followed by length-prefixed, checksummed records —
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// all little-endian. The payload is the versioned key/value encoding
+// below. A record is durable iff its full frame made it to disk with a
+// matching checksum; startup repair scans from the header, stops at the
+// first torn or corrupt frame, and truncates the file there, so a
+// kill -9 mid-append (or a torn sector) costs at most the tail records,
+// never serves garbage, and never poisons later appends.
+
+// walMagic identifies (and versions) the file format; bump the trailing
+// digits on any incompatible change to the record encoding or to
+// seq.DigestSeq (whose values are baked into every stored key).
+const walMagic = "PIMNWC1\n"
+
+// recordVersion is the payload encoding version byte.
+const recordVersion = 1
+
+// maxRecordBytes bounds one record's payload: a corrupt length prefix
+// must not provoke a gigabyte allocation. 16 MiB comfortably covers the
+// longest CIGAR any supported pair can produce.
+const maxRecordBytes = 16 << 20
+
+// frameHeaderBytes is the length + checksum prefix of every record.
+const frameHeaderBytes = 8
+
+// Frame parse errors. errTornFrame means the buffer ends before the
+// frame does (a torn append — expected after a crash); the others mean
+// the bytes are positively wrong (bit rot, overwrite, format drift).
+var (
+	errTornFrame    = errors.New("cache: torn record frame")
+	errBadChecksum  = errors.New("cache: record checksum mismatch")
+	errBadRecord    = errors.New("cache: malformed record payload")
+	errRecordTooBig = errors.New("cache: record exceeds the size bound")
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes one record onto dst and returns the grown buffer.
+// It fails (leaving dst's contents unspecified) when a variable-length
+// field exceeds its encoding's bounds.
+func appendFrame(dst []byte, k Key, v Value) ([]byte, error) {
+	if len(v.Status) > 0xff || len(v.Provenance) > 0xff {
+		return dst, fmt.Errorf("%w: status/provenance over 255 bytes", errBadRecord)
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header, patched below
+	p := len(dst)                             // payload start
+
+	dst = append(dst, recordVersion)
+	var u [8]byte
+	le64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(u[:], x)
+		dst = append(dst, u[:8]...)
+	}
+	le32 := func(x uint32) {
+		binary.LittleEndian.PutUint32(u[:4], x)
+		dst = append(dst, u[:4]...)
+	}
+	le64(k.A.Hi)
+	le64(k.A.Lo)
+	le64(k.B.Hi)
+	le64(k.B.Lo)
+	le32(uint32(k.Params.Match))
+	le32(uint32(k.Params.Mismatch))
+	le32(uint32(k.Params.GapOpen))
+	le32(uint32(k.Params.GapExt))
+	le32(uint32(k.Band))
+	le32(uint32(k.MaxBand))
+	le32(uint32(k.Lanes))
+	dst = append(dst, k.Flags)
+	le32(uint32(v.Score))
+	if v.InBand {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = append(dst, byte(len(v.Status)))
+	dst = append(dst, v.Status...)
+	dst = append(dst, byte(len(v.Provenance)))
+	dst = append(dst, v.Provenance...)
+	le32(uint32(len(v.Cigar)))
+	dst = append(dst, v.Cigar...)
+
+	payload := dst[p:]
+	if len(payload) > maxRecordBytes {
+		return dst[:start], errRecordTooBig
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst, nil
+}
+
+// parseFrame decodes the frame at the start of buf, returning the frame's
+// total size in bytes. errTornFrame means buf is a prefix of a valid-
+// so-far frame; any other error means the frame is corrupt.
+func parseFrame(buf []byte) (k Key, v Value, frameLen int, err error) {
+	if len(buf) < frameHeaderBytes {
+		return k, v, 0, errTornFrame
+	}
+	payLen := int(binary.LittleEndian.Uint32(buf))
+	if payLen > maxRecordBytes {
+		return k, v, 0, errRecordTooBig
+	}
+	sum := binary.LittleEndian.Uint32(buf[4:])
+	if len(buf) < frameHeaderBytes+payLen {
+		return k, v, 0, errTornFrame
+	}
+	payload := buf[frameHeaderBytes : frameHeaderBytes+payLen]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return k, v, 0, errBadChecksum
+	}
+	k, v, err = decodePayload(payload)
+	if err != nil {
+		return k, v, 0, err
+	}
+	return k, v, frameHeaderBytes + payLen, nil
+}
+
+// decodePayload decodes one checksum-validated payload. It is strict:
+// short fields, an unknown version, or trailing bytes are all errBadRecord
+// — a checksummed payload that still fails structurally indicates format
+// drift, and serving a half-decoded result would be worse than a miss.
+func decodePayload(b []byte) (k Key, v Value, err error) {
+	bad := func(what string) (Key, Value, error) {
+		return Key{}, Value{}, fmt.Errorf("%w: %s", errBadRecord, what)
+	}
+	if len(b) < 1 || b[0] != recordVersion {
+		return bad("version byte")
+	}
+	b = b[1:]
+	need := func(n int) bool { return len(b) >= n }
+	u64 := func() uint64 {
+		x := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		return x
+	}
+	i32 := func() int32 {
+		x := int32(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		return x
+	}
+	// Fixed section: 4 digest words, 4 params, band/maxband/lanes, flags,
+	// score, in-band.
+	if !need(4*8 + 7*4 + 1 + 4 + 1) {
+		return bad("fixed section")
+	}
+	k.A.Hi, k.A.Lo = u64(), u64()
+	k.B.Hi, k.B.Lo = u64(), u64()
+	k.Params.Match, k.Params.Mismatch = i32(), i32()
+	k.Params.GapOpen, k.Params.GapExt = i32(), i32()
+	k.Band, k.MaxBand, k.Lanes = i32(), i32(), i32()
+	k.Flags = b[0]
+	b = b[1:]
+	v.Score = i32()
+	switch b[0] {
+	case 0:
+	case 1:
+		v.InBand = true
+	default:
+		return bad("in-band byte")
+	}
+	b = b[1:]
+	str := func() (string, bool) {
+		if len(b) < 1 {
+			return "", false
+		}
+		n := int(b[0])
+		if len(b) < 1+n {
+			return "", false
+		}
+		s := string(b[1 : 1+n])
+		b = b[1+n:]
+		return s, true
+	}
+	var ok bool
+	if v.Status, ok = str(); !ok {
+		return bad("status")
+	}
+	if v.Provenance, ok = str(); !ok {
+		return bad("provenance")
+	}
+	if !need(4) {
+		return bad("cigar length")
+	}
+	n := int(uint32(i32()))
+	if n > len(b) {
+		return bad("cigar")
+	}
+	if n > 0 {
+		v.Cigar = append([]byte(nil), b[:n]...)
+	}
+	b = b[n:]
+	if len(b) != 0 {
+		return bad("trailing bytes")
+	}
+	return k, v, nil
+}
+
+// recRef locates one live record's frame inside the WAL.
+type recRef struct {
+	off int64
+	n   int32
+}
+
+// openWAL opens (or creates) the log file and replays it into the index
+// via add, truncating at the first torn or corrupt record. It returns
+// the file positioned for appends, the validated size, and how many
+// repairs (truncations) were performed.
+func openWAL(path string, add func(Key, Value, recRef)) (f *os.File, size int64, repairs int, err error) {
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	switch {
+	case st.Size() == 0:
+		if _, err = f.WriteString(walMagic); err != nil {
+			return nil, 0, 0, err
+		}
+		return f, int64(len(walMagic)), 0, nil
+	case st.Size() < int64(len(walMagic)):
+		// A crash between create and header write: rebuild the header.
+		if err = rewindWAL(f, 0); err != nil {
+			return nil, 0, 0, err
+		}
+		if _, err = f.WriteString(walMagic); err != nil {
+			return nil, 0, 0, err
+		}
+		return f, int64(len(walMagic)), 1, nil
+	}
+	hdr := make([]byte, len(walMagic))
+	if _, err = io.ReadFull(f, hdr); err != nil {
+		return nil, 0, 0, err
+	}
+	if string(hdr) != walMagic {
+		// Wrong magic means the file is not (this version of) a cache WAL.
+		// Refusing beats repairing: truncating an operator's unrelated file
+		// to 8 bytes would be data loss, not recovery.
+		return nil, 0, 0, fmt.Errorf("cache: %s is not a result-cache WAL (bad magic)", path)
+	}
+	size, repairs, err = replayWAL(f, st.Size(), add)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if _, err = f.Seek(size, io.SeekStart); err != nil {
+		return nil, 0, 0, err
+	}
+	return f, size, repairs, nil
+}
+
+// replayWAL scans records from just past the header, feeding valid ones
+// to add. On the first torn or corrupt frame it truncates the file to the
+// last valid boundary and stops — everything past a bad frame is
+// unreachable by construction (frames carry no resync marker), and a
+// truncated tail is re-earned by recomputation, which is always safe.
+func replayWAL(f *os.File, fileSize int64, add func(Key, Value, recRef)) (size int64, repairs int, err error) {
+	off := int64(len(walMagic))
+	buf := make([]byte, 0, 1<<20)
+	// Read the whole tail in chunks, parsing frames as they complete.
+	// (Records are bounded by maxRecordBytes, so the carry buffer is too.)
+	const chunk = 1 << 20
+	tmp := make([]byte, chunk)
+	pos := off // file offset of buf[0]
+	for {
+		n, rerr := f.ReadAt(tmp, pos+int64(len(buf)))
+		buf = append(buf, tmp[:n]...)
+		for {
+			k, v, fl, perr := parseFrame(buf)
+			if perr == errTornFrame {
+				break
+			}
+			if perr != nil {
+				// Corrupt: truncate here and stop the replay.
+				if terr := rewindWAL(f, pos); terr != nil {
+					return 0, 0, terr
+				}
+				return pos, 1, nil
+			}
+			add(k, v, recRef{off: pos, n: int32(fl)})
+			pos += int64(fl)
+			buf = buf[fl:]
+		}
+		if rerr == io.EOF || pos+int64(len(buf)) >= fileSize {
+			break
+		}
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+	}
+	if len(buf) > 0 {
+		// Torn tail: the file ends mid-frame.
+		if terr := rewindWAL(f, pos); terr != nil {
+			return 0, 0, terr
+		}
+		return pos, 1, nil
+	}
+	return pos, 0, nil
+}
+
+// rewindWAL truncates the file to size and syncs the truncation, so a
+// repaired boundary survives the next crash too.
+func rewindWAL(f *os.File, size int64) error {
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,84 @@
+package host
+
+import (
+	"pimnw/internal/cache"
+	"pimnw/internal/kernel"
+	"pimnw/internal/seq"
+)
+
+// The session side of the persistent result cache: key derivation from a
+// run configuration, replay of stored values as Results, and the
+// certification filter deciding what may be inserted.
+
+// cacheKeyFor derives the content-addressed cache key for one pair under
+// one run configuration. The key carries everything that can change the
+// answer: the operand digests, the scoring model, the band policy
+// (initial band plus the escalation ceiling when the ladder is armed),
+// the *effective* lane width — resolved through kernel.Config.Lanes so
+// an explicit -lanes=16 and an auto pick that lands on 16 share entries,
+// while runs the auto rule would execute differently do not — and the
+// traceback/escalation mode flags.
+func cacheKeyFor(cfg *Config, p Pair) cache.Key {
+	k := cache.Key{
+		A:      seq.DigestSeq(p.A),
+		B:      seq.DigestSeq(p.B),
+		Params: cfg.Kernel.Params,
+		Band:   int32(cfg.Kernel.Band),
+		Lanes:  int32(cfg.Kernel.Lanes(cfg.Kernel.Band, cfg.Kernel.Traceback)),
+	}
+	if cfg.Kernel.Traceback {
+		k.Flags |= cache.FlagTraceback
+	}
+	if cfg.Escalate {
+		k.Flags |= cache.FlagEscalate
+		k.MaxBand = int32(cfg.maxBand())
+	}
+	return k
+}
+
+// resultFromCache replays one stored value as a streamed Result, or nil
+// when the record cannot be trusted (unknown or untrusted status — both
+// treated as a miss; the cache never gets to relabel or launder an
+// answer). Rank/DPU are -1: nothing executed. The stored Cigar slice is
+// shared with the cache's hot tier and must be treated as read-only.
+func resultFromCache(id int, v cache.Value) *Result {
+	st, ok := ParsePairStatus(v.Status)
+	if !ok || !st.Trusted() {
+		return nil
+	}
+	return &Result{
+		PairResult: kernel.PairResult{
+			ID:     id,
+			Score:  v.Score,
+			InBand: v.InBand,
+			Cigar:  v.Cigar,
+		},
+		Rank: -1, DPU: -1,
+		Status:     st,
+		Provenance: v.Provenance,
+		Cached:     true,
+	}
+}
+
+// cacheInsertable reports whether a computed result may be inserted:
+// only certified-optimal, non-degraded answers qualify. StatusOK and
+// StatusEscalated are exact banded answers for the requested contract;
+// the degraded statuses (score-only fallback, CPU fallback) and every
+// failure status are excluded — a degraded answer served from the cache
+// would silently downgrade future well-resourced requests, and PR-8's
+// shed-degraded plans additionally set SessionConfig.CacheNoStore so
+// even their OK results stay out.
+func cacheInsertable(st PairStatus) bool {
+	return st == StatusOK || st == StatusEscalated
+}
+
+// valueFromResult builds the stored form of one computed result.
+func valueFromResult(r Result) cache.Value {
+	return cache.Value{
+		Score:      r.Score,
+		InBand:     r.InBand,
+		Status:     r.Status.String(),
+		Provenance: r.Provenance,
+		Cigar:      r.Cigar,
+	}
+}

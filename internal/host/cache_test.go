@@ -1,0 +1,310 @@
+package host
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pimnw/internal/cache"
+	"pimnw/internal/pim"
+)
+
+func openHostCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	c, err := cache.Open(cache.Options{Dir: t.TempDir(), Fsync: cache.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// streamAll drives pairs through a fresh session and returns the merged
+// report plus the streamed results in order.
+func streamAll(t *testing.T, cfg SessionConfig, pairs []Pair) (*Report, []Result) {
+	t.Helper()
+	rep, results, err := AlignPairsStream(context.Background(), cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("%d results for %d pairs", len(results), len(pairs))
+	}
+	return rep, results
+}
+
+// dupHeavyPairs builds an n-pair workload drawn from a small pool of
+// unique pairs — the all-against-all / consensus-polishing access pattern
+// the cache targets.
+func dupHeavyPairs(n, unique, length int) []Pair {
+	pool := makePairs(404, unique, length, 0.08)
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		p := pool[i%unique]
+		pairs[i] = Pair{ID: i, A: p.A, B: p.B}
+	}
+	return pairs
+}
+
+// TestSessionCacheWarmSpeedup pins the acceptance criterion: a
+// duplicate-heavy 10k-pair session against a warm cache must complete at
+// least 5× faster end-to-end than the same session cold. The workload is
+// sized so compute dominates by a wide margin (expected speedup is well
+// above 20×), keeping the 5× floor far from scheduler noise.
+func TestSessionCacheWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	pairs := dupHeavyPairs(10000, 250, 400)
+	cfg := SessionConfig{
+		Host:          testConfig(4, true),
+		MaxBatchPairs: 1024,
+		QueueLimit:    len(pairs),
+	}
+	// Escalation on: every pair resolves to a certified status, so every
+	// unique pair becomes insertable and the warm run is all hits.
+	cfg.Host.Escalate = true
+	cfg.Cache = openHostCache(t)
+
+	coldStart := time.Now()
+	coldRep, coldResults := streamAll(t, cfg, pairs)
+	cold := time.Since(coldStart)
+	if coldRep.CacheHits != 0 {
+		t.Fatalf("cold run reported %d cache hits", coldRep.CacheHits)
+	}
+	// The cold run itself dedups in-batch duplicates and hits on keys
+	// inserted by earlier micro-batches, so only require that every unique
+	// pair was actually computed and everything was delivered.
+	if coldRep.Alignments != len(pairs) {
+		t.Fatalf("cold run delivered %d alignments for %d pairs", coldRep.Alignments, len(pairs))
+	}
+
+	warmStart := time.Now()
+	warmRep, warmResults := streamAll(t, cfg, pairs)
+	warm := time.Since(warmStart)
+	if warmRep.CacheHits != len(pairs) {
+		t.Fatalf("warm run: %d hits for %d pairs", warmRep.CacheHits, len(pairs))
+	}
+	if warmRep.Batches != 0 || len(warmRep.Ranks) != 0 {
+		t.Fatalf("warm run touched the fabric: %d batches, %d rank executions",
+			warmRep.Batches, len(warmRep.Ranks))
+	}
+	for i := range warmResults {
+		if !warmResults[i].Cached {
+			t.Fatalf("warm result %d not marked cached", i)
+		}
+		if !sameAnswer(coldResults[i], warmResults[i]) {
+			t.Fatalf("warm result %d differs from cold:\ncold %+v\nwarm %+v",
+				i, coldResults[i], warmResults[i])
+		}
+	}
+	if warm*5 > cold {
+		t.Errorf("warm run %v is not 5x faster than cold %v", warm, cold)
+	}
+	t.Logf("cold %v, warm %v (%.1fx)", cold, warm, cold.Seconds()/warm.Seconds())
+}
+
+// sameAnswer compares everything a client consumes except the pair ID
+// (deduped siblings carry their own IDs), the Cached marker and the
+// execution placement.
+func sameAnswer(a, b Result) bool {
+	return a.Score == b.Score && a.InBand == b.InBand &&
+		string(a.Cigar) == string(b.Cigar) && a.Status == b.Status &&
+		a.Provenance == b.Provenance
+}
+
+// TestSessionCacheBitIdentical is the differential test: over a corpus of
+// varied pairs, results served from the cache must match recomputation
+// (a cache-less session over the same workload) bit for bit — score,
+// in-band flag, CIGAR, status and provenance.
+func TestSessionCacheBitIdentical(t *testing.T) {
+	pairs := makePairs(77, 120, 150, 0.10)
+	base := SessionConfig{Host: testConfig(2, true), MaxBatchPairs: 32, QueueLimit: len(pairs)}
+
+	_, oracle := streamAll(t, base, pairs) // no cache: pure recomputation
+
+	cached := base
+	cached.Cache = openHostCache(t)
+	_, fill := streamAll(t, cached, pairs)
+	filledRep, replay := streamAll(t, cached, pairs)
+	if filledRep.CacheHits == 0 {
+		t.Fatal("replay run hit nothing")
+	}
+	for i := range oracle {
+		if !sameAnswer(oracle[i], fill[i]) {
+			t.Errorf("fill result %d diverged from oracle:\noracle %+v\n  fill %+v",
+				i, oracle[i], fill[i])
+		}
+		if !sameAnswer(oracle[i], replay[i]) {
+			t.Errorf("replayed result %d diverged from oracle:\noracle %+v\nreplay %+v",
+				i, oracle[i], replay[i])
+		}
+	}
+}
+
+// TestSessionCacheNeverStoresDegraded: a run whose pairs resolve through
+// the degraded ladder rungs (score-only / CPU fallback) must insert
+// nothing for them, and an untrusted stored status must never be served.
+func TestSessionCacheNeverStoresDegraded(t *testing.T) {
+	// A tiny band with escalation on and a tight MaxBand forces pairs
+	// through clipped/out-of-band into the degraded rungs.
+	cfg := SessionConfig{MaxBatchPairs: 64}
+	cfg.Host = testConfig(1, true)
+	cfg.Host.Kernel.Band = 16
+	cfg.Host.Escalate = true
+	cfg.Host.MaxBand = 32
+	cfg.Cache = openHostCache(t)
+
+	pairs := makePairs(9, 60, 300, 0.25) // high error rate: band 16 cannot hold these
+	pairs = append(pairs, makePairs(10, 4, 60, 0.0)...)
+	for i := range pairs {
+		pairs[i].ID = i
+	}
+	rep, results := streamAll(t, cfg, pairs)
+	if rep.DegradedScoreOnly+rep.DegradedCPU == 0 {
+		t.Fatal("workload produced no degraded results; the test exercises nothing")
+	}
+	degraded := 0
+	for _, r := range results {
+		if r.Status == StatusDegradedScoreOnly || r.Status == StatusDegradedCPU {
+			degraded++
+		}
+	}
+	stats := cfg.Cache.Stats()
+	if int(stats.Inserts) != len(pairs)-degraded {
+		t.Errorf("%d inserts for %d pairs with %d degraded — degraded results were cached",
+			stats.Inserts, len(pairs), degraded)
+	}
+
+	// Replay: only the non-degraded pairs may hit.
+	rep2, results2 := streamAll(t, cfg, pairs)
+	if rep2.CacheHits != len(pairs)-degraded {
+		t.Errorf("replay: %d hits, want %d", rep2.CacheHits, len(pairs)-degraded)
+	}
+	for i, r := range results2 {
+		if r.Cached && (r.Status == StatusDegradedScoreOnly || r.Status == StatusDegradedCPU) {
+			t.Errorf("degraded result %d served from cache", i)
+		}
+		if !sameAnswer(results[i], r) {
+			t.Errorf("replay result %d diverged:\nfirst  %+v\nreplay %+v", i, results[i], r)
+		}
+	}
+}
+
+// TestSessionCacheNoStore: CacheNoStore serves hits but never inserts —
+// the shed-degraded serving mode.
+func TestSessionCacheNoStore(t *testing.T) {
+	pairs := makePairs(31, 40, 120, 0.05)
+	cfg := SessionConfig{Host: testConfig(1, true), MaxBatchPairs: 16, QueueLimit: len(pairs)}
+	cfg.Cache = openHostCache(t)
+	cfg.CacheNoStore = true
+
+	streamAll(t, cfg, pairs)
+	if stats := cfg.Cache.Stats(); stats.Inserts != 0 {
+		t.Fatalf("CacheNoStore session inserted %d records", stats.Inserts)
+	}
+
+	// Fill normally, then confirm a NoStore session still hits.
+	store := cfg
+	store.CacheNoStore = false
+	streamAll(t, store, pairs)
+	rep, _ := streamAll(t, cfg, pairs)
+	if rep.CacheHits != len(pairs) {
+		t.Fatalf("NoStore replay: %d hits for %d pairs", rep.CacheHits, len(pairs))
+	}
+}
+
+// TestSessionCacheInBatchDedup: duplicate submissions inside one
+// micro-batch share a single computation and all receive the answer.
+func TestSessionCacheInBatchDedup(t *testing.T) {
+	pairs := dupHeavyPairs(64, 4, 150) // one micro-batch, 16 copies of each
+	cfg := SessionConfig{Host: testConfig(1, true), MaxBatchPairs: 64, QueueLimit: 64}
+	cfg.Cache = openHostCache(t)
+
+	rep, results := streamAll(t, cfg, pairs)
+	if rep.DedupedPairs != 60 {
+		t.Fatalf("DedupedPairs = %d, want 60 (64 submissions, 4 unique)", rep.DedupedPairs)
+	}
+	if rep.Alignments != 64 {
+		t.Fatalf("Alignments = %d, want 64", rep.Alignments)
+	}
+	if stats := cfg.Cache.Stats(); stats.Inserts != 4 {
+		t.Fatalf("%d inserts, want 4", stats.Inserts)
+	}
+	for i, r := range results {
+		if r.ID != i {
+			t.Fatalf("result %d carries ID %d", i, r.ID)
+		}
+		if !sameAnswer(results[i%4], r) {
+			t.Fatalf("deduped result %d diverged from its sibling %d", i, i%4)
+		}
+	}
+}
+
+// TestSessionCacheConcurrentSessions runs several streaming sessions
+// sharing one cache at once; under -race this proves lookups, inserts and
+// hot-tier promotion race-cleanly against live dispatch.
+func TestSessionCacheConcurrentSessions(t *testing.T) {
+	c := openHostCache(t)
+	pool := makePairs(55, 30, 120, 0.06)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pairs := make([]Pair, 60)
+			for i := range pairs {
+				p := pool[(g*7+i)%len(pool)]
+				pairs[i] = Pair{ID: i, A: p.A, B: p.B}
+			}
+			cfg := SessionConfig{
+				Host:                 testConfig(1, true),
+				MaxBatchPairs:        16,
+				MaxConcurrentBatches: 2,
+				QueueLimit:           len(pairs),
+			}
+			cfg.Cache = c
+			_, results, err := AlignPairsStream(context.Background(), cfg, pairs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(results) != len(pairs) {
+				t.Errorf("session %d: %d results for %d pairs", g, len(results), len(pairs))
+			}
+		}(g)
+	}
+	wg.Wait()
+	stats := c.Stats()
+	if stats.Inserts == 0 || stats.Hits+stats.Misses == 0 {
+		t.Fatalf("shared cache saw no traffic: %+v", stats)
+	}
+}
+
+// TestSessionCacheSingleBatchMatchesOneShot: with a cache attached but
+// cold and no duplicates, a single-micro-batch session must still be
+// bit-identical to one-shot AlignPairs — the cache path must not perturb
+// the compute path.
+func TestSessionCacheSingleBatchMatchesOneShot(t *testing.T) {
+	pairs := makePairs(21, 40, 150, 0.05)
+	cfg := testConfig(2, true)
+	cfg.Faults = pim.FaultConfig{} // keep the one-shot/stream fault seeds aligned
+	_, oneShot, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := SessionConfig{Host: cfg, MaxBatchPairs: len(pairs), QueueLimit: len(pairs)}
+	scfg.Cache = openHostCache(t)
+	_, streamed := streamAll(t, scfg, pairs)
+	oneShotByID := make(map[int]Result, len(oneShot))
+	for _, r := range oneShot {
+		oneShotByID[r.ID] = r
+	}
+	for _, r := range streamed {
+		if !sameAnswer(oneShotByID[r.ID], r) {
+			t.Fatalf("pair %d diverged from one-shot:\none-shot %+v\nstreamed %+v",
+				r.ID, oneShotByID[r.ID], r)
+		}
+	}
+}

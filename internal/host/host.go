@@ -201,6 +201,20 @@ func (s PairStatus) Trusted() bool {
 	return false
 }
 
+// ParsePairStatus maps a status name back to its value — the inverse of
+// String, used when replaying cached results whose status is persisted
+// as the stable name rather than the enum ordinal. Unknown names (from a
+// future or corrupted record) report ok=false and must be treated as a
+// cache miss, never coerced to a status.
+func ParsePairStatus(name string) (PairStatus, bool) {
+	for s, n := range pairStatusNames {
+		if n == name {
+			return PairStatus(s), true
+		}
+	}
+	return 0, false
+}
+
 // Result is one completed alignment.
 type Result struct {
 	kernel.PairResult
@@ -210,6 +224,10 @@ type Result struct {
 	// or "cpu-exact".
 	Status     PairStatus
 	Provenance string
+	// Cached marks a result replayed from the persistent result cache
+	// rather than computed this run. Status and Provenance still describe
+	// the original computation — a hit never relabels.
+	Cached bool
 }
 
 // PairIssue is one pair that did not resolve cleanly on the first rung:
@@ -332,6 +350,16 @@ type Report struct {
 	Provenance map[string]int
 	Escalation []EscalationRound
 	Issues     []PairIssue
+	// Result-cache outcome of the run: CacheHits counts pairs served from
+	// the persistent result cache without reaching the balancer,
+	// CacheMisses counts pairs that went on to compute (only counted when
+	// a cache is attached), and DedupedPairs counts pairs that shared a
+	// computation with an identical in-batch sibling. Cache hits and
+	// deduped pairs still count in Alignments — every submission yields
+	// exactly one delivered result.
+	CacheHits    int
+	CacheMisses  int
+	DedupedPairs int
 	// TraceID is the request trace this run belongs to (Config.TraceID),
 	// stamped onto every Perfetto slice the report exports; "" when the
 	// run was untraced.

@@ -251,6 +251,9 @@ func (r *Report) publishMetrics() {
 	reg.Counter("host_verify_checked_total").Add(int64(r.VerifyChecked))
 	reg.Counter("host_verify_failures_total").Add(int64(r.VerifyFailures))
 	reg.Gauge("host_cpu_fallback_seconds").Set(r.CPUFallbackSec)
+	reg.Counter("host_cache_hits_total").Add(int64(r.CacheHits))
+	reg.Counter("host_cache_misses_total").Add(int64(r.CacheMisses))
+	reg.Counter("host_deduped_pairs_total").Add(int64(r.DedupedPairs))
 }
 
 // scheduleTimeline lays executed batches onto the simulated clock: a FIFO

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"pimnw/internal/cache"
 	"pimnw/internal/obs"
 	"pimnw/internal/pim"
 )
@@ -53,6 +54,18 @@ type SessionConfig struct {
 	// MaxConcurrentBatches bounds micro-batches dispatched concurrently
 	// (admission continues while they run). Zero means 2.
 	MaxConcurrentBatches int
+	// Cache, when non-nil, is the persistent result cache consulted at
+	// admission: a hit streams the stored result in submission order
+	// without the pair ever reaching the balancer, and certified-optimal
+	// non-degraded results (StatusOK / StatusEscalated) are inserted
+	// after compute. Within one micro-batch, distinct submissions of the
+	// same cache key share a single computation. The cache may be shared
+	// across concurrent sessions.
+	Cache *cache.Cache
+	// CacheNoStore serves hits but suppresses inserts — set by serving
+	// frontends when load shedding has degraded the request plan, so a
+	// shed-quality answer can never poison the cache.
+	CacheNoStore bool
 }
 
 func (c SessionConfig) maxBatchPairs() int {
@@ -83,10 +96,16 @@ func (c SessionConfig) maxConcurrent() int {
 	return 2
 }
 
-// submission is one admitted pair, stamped for latency accounting.
+// submission is one admitted pair, stamped for latency accounting. With
+// a cache attached, key is the pair's content-addressed identity and hit
+// carries the replayed result when the lookup succeeded at admission
+// (the submission still occupies its queue and batch slot, so ordering
+// and backpressure behave identically either way).
 type submission struct {
 	pair Pair
 	at   time.Time
+	key  cache.Key
+	hit  *Result
 }
 
 // microBatch is one flushed accumulation, sequenced for ordered delivery.
@@ -234,6 +253,16 @@ func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 // caller's: they are carried through to the streamed Result verbatim and
 // may repeat across submissions.
 func (s *Session) Submit(p Pair) error {
+	sub := submission{pair: p}
+	if c := s.cfg.Cache; c != nil {
+		// Key derivation and lookup run outside the session lock: the hot
+		// path of a warm cache is two digests and a map probe, and a miss
+		// costs the digests it would have needed at insert time anyway.
+		sub.key = cacheKeyFor(&s.cfg.Host, p)
+		if v, ok := c.Lookup(sub.key); ok {
+			sub.hit = resultFromCache(p.ID, v)
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -246,7 +275,8 @@ func (s *Session) Submit(p Pair) error {
 		return ErrQueueFull
 	}
 	s.inFlight++
-	s.cur = append(s.cur, submission{pair: p, at: time.Now()})
+	sub.at = time.Now()
+	s.cur = append(s.cur, sub)
 	arm := len(s.cur) == 1
 	var mb microBatch
 	full := len(s.cur) >= s.cfg.maxBatchPairs()

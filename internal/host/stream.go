@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"pimnw/internal/cache"
 	"pimnw/internal/kernel"
 	"pimnw/internal/obs"
 	"pimnw/internal/pim"
@@ -27,68 +28,138 @@ func (s *Session) runMicroBatch(mb microBatch) batchOutcome {
 		s.mu.Unlock()
 	}
 	cfg := s.cfg.Host
-	// Decorrelate fault draws across micro-batches: batch coordinates
-	// restart at 0 inside every micro-batch, so reusing the seed would
-	// make the same faults chase every batch — the same trick the
-	// escalation ladder plays for its rounds. Seq 0 keeps the base seed,
-	// which makes a single-micro-batch session bit-identical to one-shot
-	// AlignPairs, faults included.
-	cfg.Faults.Seed += int64(mb.seq) * 999983
-	model, err := pim.NewFaultModel(cfg.Faults)
-	if err != nil {
-		oc.err = err
-		return oc
-	}
-	cfg.faults = model
 
 	// The dispatch machinery and the escalation ladder need unique pair
 	// IDs; streaming clients may reuse theirs across (or even within)
 	// submissions, so the batch runs on dense internal IDs that are
-	// mapped back to the caller's on the way out.
-	pairs := make([]Pair, len(mb.subs))
+	// mapped back to the caller's on the way out. With a cache attached,
+	// two more classes of submission never reach the kernel at all:
+	// admission-time hits (slot -1), and in-batch duplicates, which map
+	// onto the dense ID of their first identical sibling and share its
+	// computation.
+	cch := s.cfg.Cache
+	slot := make([]int, len(mb.subs)) // submission -> dense pair ID, -1 = hit
+	var firstSub []int                // dense pair ID -> first submission index
+	var pairs []Pair
+	hits := 0
+	var keyOf map[cache.Key]int
+	if cch != nil {
+		keyOf = make(map[cache.Key]int, len(mb.subs))
+	}
 	for i, sub := range mb.subs {
-		pairs[i] = Pair{ID: i, A: sub.pair.A, B: sub.pair.B}
+		if sub.hit != nil {
+			slot[i] = -1
+			hits++
+			continue
+		}
+		if keyOf != nil {
+			if id, dup := keyOf[sub.key]; dup {
+				slot[i] = id
+				continue
+			}
+		}
+		id := len(pairs)
+		pairs = append(pairs, Pair{ID: id, A: sub.pair.A, B: sub.pair.B})
+		firstSub = append(firstSub, i)
+		slot[i] = id
+		if keyOf != nil {
+			keyOf[sub.key] = id
+		}
 	}
-	sp := obs.StartSpan("host.session_batch")
-	sp.SetAttrInt("batch", int64(mb.seq))
-	sp.SetAttrInt("pairs", int64(len(pairs)))
-	if cfg.TraceID != "" {
-		sp.SetAttr("trace_id", cfg.TraceID)
-	}
-	rep, results, err := alignOnce(cfg, pairs, sp)
-	sp.End()
-	if err != nil {
-		oc.err = err
-		return oc
+	dups := len(mb.subs) - hits - len(pairs)
+
+	var rep *Report
+	var results []Result
+	if len(pairs) > 0 {
+		// Decorrelate fault draws across micro-batches: batch coordinates
+		// restart at 0 inside every micro-batch, so reusing the seed would
+		// make the same faults chase every batch — the same trick the
+		// escalation ladder plays for its rounds. Seq 0 keeps the base seed,
+		// which makes a single-micro-batch session bit-identical to one-shot
+		// AlignPairs, faults included.
+		cfg.Faults.Seed += int64(mb.seq) * 999983
+		model, err := pim.NewFaultModel(cfg.Faults)
+		if err != nil {
+			oc.err = err
+			return oc
+		}
+		cfg.faults = model
+		sp := obs.StartSpan("host.session_batch")
+		sp.SetAttrInt("batch", int64(mb.seq))
+		sp.SetAttrInt("pairs", int64(len(pairs)))
+		if cfg.TraceID != "" {
+			sp.SetAttr("trace_id", cfg.TraceID)
+		}
+		rep, results, err = alignOnce(cfg, pairs, sp)
+		sp.End()
+		if err != nil {
+			oc.err = err
+			return oc
+		}
+	} else {
+		// Every submission hit: nothing executed, the fabric was never
+		// touched, and the report says so.
+		rep = &Report{UtilizationMin: 1, UtilizationMean: 1, TraceID: cfg.TraceID}
 	}
 
-	ordered := make([]Result, len(pairs))
-	have := make([]bool, len(pairs))
+	dense := make([]Result, len(pairs))
+	haveDense := make([]bool, len(pairs))
 	for _, r := range results {
-		i := r.ID
-		r.PairResult.ID = mb.subs[i].pair.ID
-		ordered[i] = r
-		have[i] = true
+		dense[r.ID] = r
+		haveDense[r.ID] = true
 	}
-	for i := range ordered {
-		if have[i] {
+	if cch != nil && !s.cfg.CacheNoStore {
+		for id, r := range dense {
+			if haveDense[id] && cacheInsertable(r.Status) {
+				if err := cch.Insert(mb.subs[firstSub[id]].key, valueFromResult(r)); err != nil {
+					obs.Flight().Recordf("cache", cfg.TraceID, "insert failed: %v", err)
+				}
+			}
+		}
+	}
+
+	ordered := make([]Result, len(mb.subs))
+	for i, sub := range mb.subs {
+		if slot[i] < 0 {
+			r := *sub.hit
+			rep.countProvenance(r.Provenance)
+			ordered[i] = r
+			continue
+		}
+		if id := slot[i]; haveDense[id] {
+			r := dense[id]
+			r.PairResult.ID = sub.pair.ID
+			if i != firstSub[id] {
+				// A deduped sibling: same answer, counted once per delivery.
+				rep.countProvenance(r.Provenance)
+			}
+			ordered[i] = r
 			continue
 		}
 		// Abandoned under faults with escalation off: the submission
 		// still yields exactly one streamed result, carrying the terminal
 		// status instead of silently vanishing from the stream.
 		ordered[i] = Result{
-			PairResult: kernel.PairResult{ID: mb.subs[i].pair.ID},
+			PairResult: kernel.PairResult{ID: sub.pair.ID},
 			Rank:       -1, DPU: -1,
 			Status: StatusAbandoned,
 		}
 	}
 	for i, id := range rep.AbandonedIDs {
-		rep.AbandonedIDs[i] = mb.subs[id].pair.ID
+		rep.AbandonedIDs[i] = mb.subs[firstSub[id]].pair.ID
 	}
 	for i := range rep.Issues {
-		rep.Issues[i].ID = mb.subs[rep.Issues[i].ID].pair.ID
+		rep.Issues[i].ID = mb.subs[firstSub[rep.Issues[i].ID]].pair.ID
 	}
+	rep.CacheHits += hits
+	if cch != nil {
+		rep.CacheMisses += len(mb.subs) - hits
+	}
+	rep.DedupedPairs += dups
+	// Every submission yields exactly one delivered result; hits and
+	// deduped siblings count in Alignments just like computed pairs, so
+	// Σ Provenance == Alignments holds with or without a cache.
+	rep.Alignments += hits + dups
 	oc.rep, oc.results = rep, ordered
 	return oc
 }
@@ -184,6 +255,9 @@ func mergeStreamReport(dst, src *Report) {
 	dst.DegradedScoreOnly += src.DegradedScoreOnly
 	dst.DegradedCPU += src.DegradedCPU
 	dst.CPUFallbackSec += src.CPUFallbackSec
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.DedupedPairs += src.DedupedPairs
 	for _, er := range src.Escalation {
 		er.StartSec += offset
 		er.EndSec += offset

@@ -15,11 +15,18 @@ import (
 // (host.AlignPairsStream) rather than calling host.AlignPairs directly:
 // the harness exercises the serving path, and because the whole workload
 // fits one micro-batch the report is bit-identical to the one-shot run —
-// the equivalence xp_stream_test.go pins.
-func alignBatch(cfg host.Config, pairs []host.Pair) (*host.Report, []host.Result, error) {
+// the equivalence xp_stream_test.go pins. With Options.CacheDir set the
+// session carries the runner's shared result cache, so re-runs of a suite
+// replay certified answers instead of recomputing them.
+func (r *Runner) alignBatch(cfg host.Config, pairs []host.Pair) (*host.Report, []host.Result, error) {
+	c, err := r.resultCache()
+	if err != nil {
+		return nil, nil, err
+	}
 	return host.AlignPairsStream(context.Background(), host.SessionConfig{
 		Host:          cfg,
 		MaxBatchPairs: len(pairs),
+		Cache:         c,
 	}, pairs)
 }
 
@@ -74,7 +81,7 @@ func (r *Runner) balanceTable() (Table, error) {
 		}
 		r.Opts.applyFaults(&cfg)
 		r.Opts.applyIntegrity(&cfg)
-		rep, _, err := alignBatch(cfg, pairs)
+		rep, _, err := r.alignBatch(cfg, pairs)
 		if err != nil {
 			return t, err
 		}

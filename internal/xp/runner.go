@@ -3,6 +3,7 @@ package xp
 import (
 	"fmt"
 
+	"pimnw/internal/cache"
 	"pimnw/internal/datasets"
 	"pimnw/internal/obs"
 	"pimnw/internal/pim"
@@ -10,11 +11,14 @@ import (
 
 // Runner executes experiments, memoising dataset samples and kernel
 // calibrations across tables (Table 7 reuses Tables 2-6's datasets under a
-// second cost table; Table 8 reuses Tables 5-6's projections).
+// second cost table; Table 8 reuses Tables 5-6's projections). With
+// Options.CacheDir set it also lazily opens the persistent result cache
+// for the experiments that run over the serving path; Close flushes it.
 type Runner struct {
 	Opts    Options
 	samples map[string][]datasets.Pair
 	cals    map[string]calibration
+	cache   *cache.Cache
 }
 
 // NewRunner creates a runner.
@@ -24,6 +28,30 @@ func NewRunner(opts Options) *Runner {
 		samples: map[string][]datasets.Pair{},
 		cals:    map[string]calibration{},
 	}
+}
+
+// resultCache lazily opens the persistent result cache named by
+// Options.CacheDir ("" = no cache, returns nil).
+func (r *Runner) resultCache() (*cache.Cache, error) {
+	if r.Opts.CacheDir == "" || r.cache != nil {
+		return r.cache, nil
+	}
+	c, err := cache.Open(cache.Options{Dir: r.Opts.CacheDir})
+	if err != nil {
+		return nil, fmt.Errorf("xp: opening result cache: %w", err)
+	}
+	r.cache = c
+	return c, nil
+}
+
+// Close flushes and releases the result cache, if one was opened.
+func (r *Runner) Close() error {
+	if r.cache == nil {
+		return nil
+	}
+	c := r.cache
+	r.cache = nil
+	return c.Close()
 }
 
 // sampleFor returns (and caches) the dataset's calibration sample.

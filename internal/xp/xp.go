@@ -52,6 +52,10 @@ type Options struct {
 	// 0 auto-selects the 16-bit narrow-lane kernel for score-only runs whose
 	// scoring model admits it, 16 and 64 force one engine.
 	LaneWidth int
+	// CacheDir attaches the persistent result cache to the batch
+	// experiments that run over the serving path, so repeated suites skip
+	// already-certified pairs ("" = no cache). Close the runner to flush it.
+	CacheDir string
 }
 
 // faultConfig translates the fault options into the host configuration

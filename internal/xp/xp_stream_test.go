@@ -43,7 +43,7 @@ func TestAlignBatchMatchesOneShot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotRep, gotResults, err := alignBatch(cfg, pairs)
+	gotRep, gotResults, err := NewRunner(Options{}).alignBatch(cfg, pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
