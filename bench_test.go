@@ -329,6 +329,27 @@ func BenchmarkLPT(b *testing.B) {
 	}
 }
 
+// BenchmarkPlacement prices the cost-model-driven backend placement step
+// on a full micro-batch spread over a heterogeneous fleet: weighted LPT
+// over per-backend seconds-per-unit rates, run once per micro-batch on
+// the serving path. Alloc-gated — the bucket slices are the only
+// allowed allocations.
+func BenchmarkPlacement(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	loads := make([]int64, 4096)
+	for i := range loads {
+		loads[i] = 1 + rng.Int63n(1_000_000)
+	}
+	// A heterogeneous 4-backend fleet: two full-rate PiM servers, one at
+	// a slower clock, one CPU pool an order of magnitude behind.
+	secPerUnit := []float64{1.0, 1.0, 1.5, 12.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host.PlacementAssign(loads, secPerUnit)
+	}
+}
+
 func BenchmarkFluidSimulator(b *testing.B) {
 	run, _ := pim.NewDPURun(24)
 	for _, tr := range run.Traces {

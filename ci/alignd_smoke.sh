@@ -194,4 +194,53 @@ if [ "$STATUS" -ne 0 ]; then
     exit 1
 fi
 
+echo "== multi-backend fleet daemon =="
+# Fleet serving contract: a daemon sharding micro-batches across two
+# heterogeneous simulated PiM servers must render byte-identically to
+# the single-fabric one-shot CLI (placement moves the modelled timeline,
+# never the answers), match a fleet-mode pimalign run, and stamp each
+# raw NDJSON result with the backend that served it.
+FLEET="pim:2,pim:3@450"
+"$WORK/alignd" -addr 127.0.0.1:0 -addr-file "$WORK/addr4" -band 128 \
+    -drain-wait 1s -fleet "$FLEET" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "fleet alignd died during startup" >&2; exit 1; }
+    [ -s "$WORK/addr4" ] && break
+    sleep 0.05
+done
+[ -s "$WORK/addr4" ] || { echo "fleet alignd never wrote its address" >&2; exit 1; }
+ADDR="$(cat "$WORK/addr4")"
+for _ in $(seq 1 100); do
+    if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.05
+done
+
+echo "== fleet vs one-shot vs fleet CLI ($ADDR) =="
+"$WORK/alignd" -post "http://$ADDR/align" -a "$A" -b "$B" > "$WORK/fleet.out"
+diff -u "$WORK/oneshot.out" "$WORK/fleet.out" || {
+    echo "fleet serving diverged from the single-fabric answers" >&2; exit 1; }
+"$WORK/pimalign" -a "$A" -b "$B" -band 128 -fleet "$FLEET" > "$WORK/fleetcli.out" 2>/dev/null
+diff -u "$WORK/fleetcli.out" "$WORK/fleet.out" || {
+    echo "fleet serving diverged from fleet-mode pimalign" >&2; exit 1; }
+
+echo "== backend provenance on the wire =="
+printf '{"id":0,"a":"ACGTACGTACGTACGTACGT","b":"ACGTACGAACGTACGTACGT"}\n' \
+    | curl -fsS -X POST --data-binary @- "http://$ADDR/align" > "$WORK/fleet.ndjson"
+grep -q '"backend":"pim[01]"' "$WORK/fleet.ndjson" || {
+    echo "fleet NDJSON results missing the serving backend" >&2
+    cat "$WORK/fleet.ndjson" >&2; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+DAEMON_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "fleet alignd exited $STATUS on SIGTERM, want 0" >&2
+    exit 1
+fi
+
 echo "ALIGND SMOKE PASS"

@@ -20,8 +20,8 @@ import (
 //	                    exactly what POST accepts back.
 //	POST /admin/config  hot-reload the dynamic sections (limits, queues,
 //	                    shed). Changes to the static sections (server,
-//	                    align, session) are rejected with 400: those
-//	                    require a restart, and silently ignoring an
+//	                    align, session, fleet) are rejected with 400:
+//	                    those require a restart, and silently ignoring an
 //	                    attempted change would be worse than refusing it.
 //	GET  /admin/limits  rate-limiter, gate and shed statistics as JSON.
 //	GET  /admin/shed    current shed level, the automatic level tracking
@@ -99,6 +99,11 @@ func (sv *server) reloadConfig(body []byte) error {
 	}
 	if next.Session != cur.Session {
 		return fmt.Errorf("config reload: the session section is static; restart to change it")
+	}
+	// The fleet is static too: backends hold placement state shared
+	// across every live session.
+	if next.Fleet != cur.Fleet {
+		return fmt.Errorf("config reload: the fleet section is static; restart to change it")
 	}
 	// Entry caps and background intervals are fixed at startup too; the
 	// rates, queue sizing and shed thresholds are the live knobs.

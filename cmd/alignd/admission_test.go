@@ -327,6 +327,25 @@ func TestAdminConfigReload(t *testing.T) {
 		t.Fatalf("static reload leaked: band = %d", got)
 	}
 
+	// The fleet is static too: a backend-spec change must be refused,
+	// not silently stored while the old backends keep serving.
+	badFleet := next
+	badFleet.Fleet.Backends = "pim:2,cpu:4"
+	buf.Reset()
+	badFleet.WriteTo(&buf)
+	resp = post(t, ts.URL+"/admin/config", buf.Bytes(), nil)
+	msg, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fleet reload = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(msg), "fleet") {
+		t.Errorf("400 body %q does not name the fleet section", msg)
+	}
+	if got := sv.cfg.Load().Fleet.Backends; got != parsed.Fleet.Backends {
+		t.Fatalf("fleet reload leaked: backends = %q", got)
+	}
+
 	// Malformed config: 400 with the line number.
 	resp = post(t, ts.URL+"/admin/config", []byte("limits:\n  bogus_key: 1\n"), nil)
 	msg, _ = io.ReadAll(resp.Body)

@@ -3,7 +3,6 @@ package main
 import (
 	"encoding/json"
 	"errors"
-	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -32,19 +31,10 @@ func registerDebug(mux *http.ServeMux) {
 func handleVars(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	snap := obs.Default().Snapshot()
-	// JSON has no Inf literal; clamp the overflow bucket's bound the same
-	// way Registry.WriteJSON does.
-	for name, h := range snap.Histograms {
-		for i := range h.Buckets {
-			if math.IsInf(h.Buckets[i].LE, 1) {
-				h.Buckets[i].LE = math.MaxFloat64
-			}
-		}
-		snap.Histograms[name] = h
-	}
+	// The +Inf overflow bound marshals as the largest finite float64
+	// (HistogramBucket.MarshalJSON); no hand-clamping needed here.
 	out := map[string]any{
-		"metrics": snap,
+		"metrics": obs.Default().Snapshot(),
 		"runtime": map[string]any{
 			"go_version":     runtime.Version(),
 			"goroutines":     runtime.NumGoroutine(),

@@ -68,6 +68,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -109,6 +110,8 @@ func run() error {
 		maxConcurrent = flag.Int("max-concurrent", 0, "micro-batches in flight per request (0 = 2)")
 
 		cacheDir = flag.String("cache-dir", "", "directory for the persistent result cache (empty = caching disabled)")
+
+		fleet = flag.String("fleet", "", "serve from a multi-backend fleet: comma-separated pim[:RANKS[@FREQMHZ]][~FAULTRATE] / cpu[:THREADS] entries (empty = single fabric)")
 
 		escalation = flag.Bool("escalation", false, "re-dispatch clipped/out-of-band pairs at wider bands, degrading to score-only then the exact CPU baseline")
 		maxBand    = flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
@@ -183,6 +186,8 @@ func run() error {
 			cfg.Align.BatchDeadline = *batchDeadline
 		case "cache-dir":
 			cfg.Cache.Dir = *cacheDir
+		case "fleet":
+			cfg.Fleet.Backends = *fleet
 		case "batch-pairs":
 			cfg.Session.BatchPairs = *batchPairs
 		case "linger":
@@ -248,8 +253,24 @@ func run() error {
 	if effBatch == 0 {
 		effBatch = 4 * pim.DPUsPerRank
 	}
+	// In fleet mode the align-section rank count is overridden by the
+	// per-backend spec, so the banner counts the ranks that actually serve.
+	servingRanks := cfg.Align.Ranks
+	if bes := scfg.Host.Backends; len(bes) > 0 {
+		servingRanks = 0
+		for _, be := range bes {
+			servingRanks += be.Ranks()
+		}
+	}
 	obs.Logf("serving on http://%s (%d ranks, band %d, micro-batches of %d pairs, %d request slots)",
-		bound, cfg.Align.Ranks, cfg.Align.Band, effBatch, cfg.Queues.Slots)
+		bound, servingRanks, cfg.Align.Band, effBatch, cfg.Queues.Slots)
+	if bes := scfg.Host.Backends; len(bes) > 0 {
+		parts := make([]string, len(bes))
+		for i, be := range bes {
+			parts[i] = fmt.Sprintf("%s (%d ranks)", be.Name(), be.Ranks())
+		}
+		obs.Logf("fleet placement across %d backends: %s", len(bes), strings.Join(parts, ", "))
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -298,6 +319,10 @@ func sessionConfig(cfg *config.Config) (host.SessionConfig, error) {
 	if err != nil {
 		return host.SessionConfig{}, err
 	}
+	backends, err := host.ParseFleet(cfg.Fleet.Backends)
+	if err != nil {
+		return host.SessionConfig{}, err
+	}
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = cfg.Align.Ranks
 	return host.SessionConfig{
@@ -319,6 +344,7 @@ func sessionConfig(cfg *config.Config) (host.SessionConfig, error) {
 			Escalate:         cfg.Align.Escalation,
 			MaxBand:          cfg.Align.MaxBand,
 			Verify:           cfg.Align.Verify && !cfg.Align.ScoreOnly,
+			Backends:         backends,
 		},
 		MaxBatchPairs:        cfg.Session.BatchPairs,
 		MaxLinger:            cfg.Session.Linger,

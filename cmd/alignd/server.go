@@ -42,6 +42,7 @@ type wireResult struct {
 	Status     string   `json:"status,omitempty"`
 	Trusted    bool     `json:"trusted"`
 	Provenance string   `json:"provenance,omitempty"`
+	Backend    string   `json:"backend,omitempty"`
 	TraceID    string   `json:"trace_id,omitempty"`
 	Cached     bool     `json:"cached,omitempty"`
 	Degraded   []string `json:"degraded,omitempty"`
@@ -57,6 +58,7 @@ func toWireResult(r host.Result, traceID string) wireResult {
 		Status:     r.Status.String(),
 		Trusted:    r.Status.Trusted(),
 		Provenance: r.Provenance,
+		Backend:    r.Backend,
 		TraceID:    traceID,
 		Cached:     r.Cached,
 	}

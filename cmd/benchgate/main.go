@@ -51,6 +51,7 @@ var gated = []string{
 	"HostAlignPairs",
 	"HostEscalation",
 	"LPT",
+	"Placement",
 	"FluidSimulator",
 	"CacheHit10k",
 	"WALAppend",
@@ -69,6 +70,7 @@ var allocGated = []string{
 	"AdaptiveBandScore/w256",
 	"AdaptiveBandAlign/w128",
 	"CacheHit10k",
+	"Placement",
 }
 
 // baselineFile is the committed reference measurement set.

@@ -8,7 +8,7 @@
 //	            [-metrics FILE] [-trace-out FILE] [-report-json FILE]
 //	            [-fault-rate P] [-fault-seed N] [-max-retries N]
 //	            [-batch-deadline SEC] [-escalation] [-max-band W] [-verify]
-//	            [-cache-dir DIR]
+//	            [-cache-dir DIR] [-fleet SPEC]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Accuracy numbers come from running the real aligners on sampled pairs;
@@ -57,6 +57,7 @@ func main() {
 	verify := flag.Bool("verify", false, "re-derive traceback results' scores from their CIGARs in the simulated batch runs")
 	lanesFlag := flag.String("lanes", "auto", "DP lane width for the simulated DPU kernels: auto, 16 or 64")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache used by the batch experiments (empty = caching disabled)")
+	fleet := flag.String("fleet", "", "shard the batch experiments across a multi-backend fleet: comma-separated pim[:RANKS[@FREQMHZ]][~FAULTRATE] / cpu[:THREADS] entries (empty = single fabric)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC snapshot at exit) to FILE")
 	flag.Parse()
@@ -87,7 +88,7 @@ func main() {
 		FaultRate: *faultRate, FaultSeed: *faultSeed,
 		MaxRetries: *maxRetries, BatchDeadlineSec: *batchDeadline,
 		Escalate: *escalation, MaxBand: *maxBand, Verify: *verify,
-		LaneWidth: laneWidth, CacheDir: *cacheDir,
+		LaneWidth: laneWidth, CacheDir: *cacheDir, Fleet: *fleet,
 	})
 	defer runner.Close()
 	ids := []string{*table}

@@ -97,6 +97,8 @@ func run() error {
 
 		cacheDir = flag.String("cache-dir", "", "directory for the persistent result cache (pim engine, pairs mode; empty = caching disabled)")
 
+		fleet = flag.String("fleet", "", "shard across a multi-backend fleet (pim engine, pairs mode): comma-separated pim[:RANKS[@FREQMHZ]][~FAULTRATE] / cpu[:THREADS] entries")
+
 		escalation = flag.Bool("escalation", false, "re-dispatch clipped/out-of-band pairs at wider bands, degrading to score-only then the exact CPU baseline (pim engine, pairs mode)")
 		maxBand    = flag.Int("max-band", 0, "widest band the escalation ladder may try (0 = default cap)")
 		verify     = flag.Bool("verify", false, "re-derive every traceback result's score from its CIGAR on the host; mismatches are treated as corruption (pim engine, pairs mode)")
@@ -150,6 +152,9 @@ func run() error {
 		if integrity.escalate || integrity.verify {
 			obs.Logf("note: -escalation/-verify apply to the batch pipeline (pairs mode) only")
 		}
+		if *fleet != "" {
+			obs.Logf("note: -fleet applies to the batch pipeline (pairs mode) only")
+		}
 		return runAllPairs(queries, *band, *ranks, laneWidth, art)
 	}
 	if *bPath == "" {
@@ -167,13 +172,16 @@ func run() error {
 
 	switch *engine {
 	case "pim":
-		return runPiM(queries, targets, *band, *ranks, laneWidth, !*scoreOnly, *timeline, art, faults, integrity, *cacheDir)
+		return runPiM(queries, targets, *band, *ranks, laneWidth, !*scoreOnly, *timeline, art, faults, integrity, *cacheDir, *fleet)
 	case "cpu":
 		if art.any() {
 			obs.Logf("note: -metrics/-trace-out/-report-json apply to the pim engine only")
 		}
 		if *cacheDir != "" {
 			obs.Logf("note: -cache-dir applies to the pim engine only")
+		}
+		if *fleet != "" {
+			obs.Logf("note: -fleet applies to the pim engine only")
 		}
 		if faults.rate > 0 {
 			obs.Logf("note: -fault-rate applies to the pim engine only")
@@ -292,7 +300,11 @@ type integrityOpts struct {
 	verify   bool
 }
 
-func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback, timeline bool, art artifacts, faults faultOpts, integrity integrityOpts, cacheDir string) error {
+func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback, timeline bool, art artifacts, faults faultOpts, integrity integrityOpts, cacheDir, fleetSpec string) error {
+	backends, err := host.ParseFleet(fleetSpec)
+	if err != nil {
+		return err
+	}
 	pimCfg := pim.DefaultConfig()
 	pimCfg.Ranks = ranks
 	cfg := host.Config{
@@ -313,6 +325,14 @@ func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback
 		Escalate:         integrity.escalate,
 		MaxBand:          integrity.maxBand,
 		Verify:           integrity.verify && traceback,
+		Backends:         backends,
+	}
+	if len(backends) > 0 {
+		parts := make([]string, len(backends))
+		for i, be := range backends {
+			parts[i] = fmt.Sprintf("%s (%d ranks)", be.Name(), be.Ranks())
+		}
+		obs.Logf("fleet placement across %d backends: %s", len(backends), strings.Join(parts, ", "))
 	}
 	if integrity.verify && !traceback {
 		obs.Logf("note: -verify needs CIGARs; ignored with -score-only")
@@ -352,8 +372,25 @@ func runPiM(queries, targets []seq.Record, band, ranks, laneWidth int, traceback
 	for _, r := range results {
 		printResult(queries[r.ID].Name, targets[r.ID].Name, r)
 	}
+	// In fleet mode -ranks is overridden by the per-backend spec, so the
+	// summary counts the ranks that actually served.
+	servedRanks := ranks
+	if len(backends) > 0 {
+		servedRanks = 0
+		for _, be := range backends {
+			servedRanks += be.Ranks()
+		}
+	}
 	obs.Logf("%d alignments on %d simulated ranks: %.3fs modelled (%.1f%% host overhead, %.0f%% min pipeline util)",
-		rep.Alignments, ranks, rep.MakespanSec, 100*rep.HostOverheadFraction(), 100*rep.UtilizationMin)
+		rep.Alignments, servedRanks, rep.MakespanSec, 100*rep.HostOverheadFraction(), 100*rep.UtilizationMin)
+	for _, bs := range rep.Backends {
+		note := ""
+		if bs.Down {
+			note = " [went down; work redispatched]"
+		}
+		obs.Logf("backend %s: %d pairs in %d batches, %.3fs modelled window, %d redispatched%s",
+			bs.Name, bs.Pairs, bs.Batches, bs.MakespanSec, bs.Redispatched, note)
+	}
 	obs.Debugf("%d batches, %d cells, %d instructions, %d B in / %d B out",
 		rep.Batches, rep.TotalCells, rep.TotalInstr, rep.BytesIn, rep.BytesOut)
 	if cfg.Faults.Enabled() {

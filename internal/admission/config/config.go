@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pimnw/internal/admission"
+	"pimnw/internal/host"
 	"pimnw/internal/kernel"
 	"pimnw/internal/obs"
 )
@@ -34,6 +35,7 @@ type Config struct {
 	Align   AlignConfig
 	Session SessionConfig
 	Cache   CacheConfig
+	Fleet   FleetConfig
 	Limits  LimitsConfig
 	Queues  QueuesConfig
 	Shed    ShedConfig
@@ -105,6 +107,17 @@ type CacheConfig struct {
 	HotEntries int
 	// CompactInterval enables background WAL compaction when positive.
 	CompactInterval time.Duration
+}
+
+// FleetConfig configures multi-fabric scale-out (fixed at startup —
+// backends hold placement state shared across every session).
+type FleetConfig struct {
+	// Backends is the fleet specification: a comma-separated backend
+	// list, each entry "pim[:RANKS[@FREQMHZ]][~FAULTRATE]" (a simulated
+	// PiM server) or "cpu[:THREADS]" (a CPU worker pool), e.g.
+	// "pim:40,pim:20@300,cpu:16". Empty serves from the single default
+	// fabric described by the align section.
+	Backends string
 }
 
 // LimitsConfig is the rate-limit tier configuration (dynamic).
@@ -276,6 +289,9 @@ func (c *Config) Validate() error {
 	if ca.HotEntries < 0 {
 		return fmt.Errorf("config: negative cache.hot_entries %d", ca.HotEntries)
 	}
+	if _, err := host.ParseFleet(c.Fleet.Backends); err != nil {
+		return fmt.Errorf("config: fleet.backends: %w", err)
+	}
 	if err := c.AdmissionLimits().Validate(); err != nil {
 		return fmt.Errorf("config: limits: %w", err)
 	}
@@ -335,7 +351,7 @@ func Parse(data []byte) (*Config, error) {
 				return nil, fmt.Errorf("line %d: expected a section header like \"limits:\", got %q", lineNo+1, trimmed)
 			}
 			switch name {
-			case "server", "align", "session", "cache", "limits", "queues", "shed":
+			case "server", "align", "session", "cache", "fleet", "limits", "queues", "shed":
 				section = name
 			default:
 				return nil, fmt.Errorf("line %d: unknown section %q", lineNo+1, name)
@@ -486,6 +502,13 @@ func (c *Config) set(section, key, val string) error {
 		default:
 			return unknown()
 		}
+	case "fleet":
+		switch key {
+		case "backends":
+			c.Fleet.Backends = val
+		default:
+			return unknown()
+		}
 	case "limits":
 		switch key {
 		case "global_qps":
@@ -633,6 +656,8 @@ func (c *Config) WriteTo(w io.Writer) (int64, error) {
 	inte("max_entries", int64(c.Cache.MaxEntries))
 	inte("hot_entries", int64(c.Cache.HotEntries))
 	dur("compact_interval", c.Cache.CompactInterval)
+	sec("fleet")
+	str("backends", c.Fleet.Backends)
 	sec("limits")
 	num("global_qps", c.Limits.GlobalQPS)
 	num("global_burst", c.Limits.GlobalBurst)

@@ -254,13 +254,19 @@ func (c *Cache) Lookup(k Key) (Value, bool) {
 		return v, true
 	}
 	ref, ok := c.idx[k]
-	c.mu.RUnlock()
 	if !ok {
+		c.mu.RUnlock()
 		c.misses.Add(1)
 		c.cMisses.Add(1)
 		return Value{}, false
 	}
+	// The frame read happens under the same read lock that produced ref:
+	// a concurrent compaction swaps the fd and rewrites every offset
+	// under the write lock, so dropping the lock here would let the read
+	// hit the closed old fd (or the new file at a stale offset) and then
+	// delete a perfectly live entry below.
 	v, err := c.readFrame(k, ref)
+	c.mu.RUnlock()
 	if err != nil {
 		// The frame went bad on disk after passing startup repair (bit rot,
 		// or an external truncation). Drop it so we stop paying the read.
@@ -478,10 +484,11 @@ func (c *Cache) compactLocked() error {
 	if err := os.Rename(tmpPath, c.path); err != nil {
 		return cleanup(err)
 	}
-	// tmp's descriptor now refers to the file installed at c.path.
-	if _, err := tmp.Seek(off, 0); err != nil {
-		return cleanup(err)
-	}
+	// tmp's descriptor now refers to the file installed at c.path, and
+	// its write offset already sits at off (every byte went through
+	// sequential Writes). No failure path may run past the rename: the
+	// descriptor is live now, and cleanup() would close it out from
+	// under the cache.
 	old := c.f
 	c.f, c.idx, c.size, c.live = tmp, newIdx, off, off-int64(len(walMagic))
 	old.Close()

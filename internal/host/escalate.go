@@ -91,7 +91,9 @@ func buildLadder(cfg Config) []rung {
 // timeline; the CPU rung is host-side work and is accounted separately in
 // Report.CPUFallbackSec. Results come back in input order, each stamped
 // with its Status and the Provenance of the engine that answered it.
-func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Span) ([]Result, error) {
+// Every DPU rung executes on the backend that ran the first round, so a
+// fleet shard escalates on its own server.
+func escalate(be Backend, cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Span) ([]Result, error) {
 	byID := make(map[int]Pair, len(pairs))
 	for _, p := range pairs {
 		if _, dup := byID[p.ID]; dup {
@@ -179,7 +181,7 @@ func escalate(cfg Config, pairs []Pair, rep *Report, first []Result, sp *obs.Spa
 		esp.SetAttrInt("round", int64(round))
 		esp.SetAttrInt("band", int64(rg.band))
 		esp.SetAttrInt("pairs", int64(len(rp)))
-		sub, subResults, err := alignPairsRound(roundCfg, rp, esp)
+		sub, subResults, err := be.Round(roundCfg, rp, esp)
 		esp.End()
 		if err != nil {
 			return nil, err

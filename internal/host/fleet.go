@@ -1,0 +1,318 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pimnw/internal/obs"
+)
+
+// BackendStats is the per-backend slice of a fleet report: which share of
+// the workload each server took, how long its concurrent window ran, and
+// what the recovery path moved off it.
+type BackendStats struct {
+	Name         string  `json:"name"`
+	Ranks        int     `json:"ranks"`
+	Pairs        int     `json:"pairs"`
+	Batches      int     `json:"batches"`
+	MakespanSec  float64 `json:"makespan_sec"`
+	KernelSecSum float64 `json:"kernel_sec_sum"`
+	// Redispatched counts pairs moved OFF this backend after it was lost;
+	// Down marks a backend that went down during the run.
+	Redispatched int  `json:"redispatched,omitempty"`
+	Down         bool `json:"down,omitempty"`
+}
+
+// PlacementAssign distributes item workloads over heterogeneous machines:
+// the LPT heuristic one level up, on modelled seconds instead of raw
+// load. Items are taken in decreasing-load order and each goes to the
+// machine whose completion time (current assigned load plus the item,
+// through the machine's linear cost model secPerUnit[m]) stays smallest,
+// ties to the lowest machine index. It returns the per-machine item
+// indices; machines may come back empty.
+func PlacementAssign(loads []int64, secPerUnit []float64) [][]int {
+	n := len(secPerUnit)
+	buckets := make([][]int, n)
+	if n == 0 || len(loads) == 0 {
+		return buckets
+	}
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+	assigned := make([]int64, n)
+	for _, idx := range order {
+		best, bestSec := 0, 0.0
+		for m := 0; m < n; m++ {
+			sec := float64(assigned[m]+loads[idx]) * secPerUnit[m]
+			if m == 0 || sec < bestSec {
+				best, bestSec = m, sec
+			}
+		}
+		buckets[best] = append(buckets[best], idx)
+		assigned[best] += loads[idx]
+	}
+	return buckets
+}
+
+// shardOutcome is one backend's finished share of a fleet round.
+type shardOutcome struct {
+	backend int // index into cfg.Backends
+	pairs   []Pair
+	rep     *Report
+	results []Result
+	lost    bool // ErrBackendDown: redispatch the shard
+}
+
+// alignFleet shards one workload across Config.Backends by estimated
+// makespan, runs every shard through the full per-backend pipeline
+// (dispatch, per-DPU recovery, escalation ladder) concurrently, routes
+// whole-backend loss back through placement onto the survivors, and
+// merges the per-backend timelines into one report whose makespan is the
+// union of the concurrent backend windows — never the back-to-back sum.
+// Results come back in input order, bit-identical to the single-fabric
+// run on the same pairs.
+func alignFleet(cfg Config, pairs []Pair, sp *obs.Span) (*Report, []Result, error) {
+	backends := cfg.Backends
+	byID := make(map[int]int, len(pairs)) // pair ID -> input position
+	for i, p := range pairs {
+		if _, dup := byID[p.ID]; dup {
+			return nil, nil, fmt.Errorf("host: fleet placement requires unique pair IDs; ID %d repeats", p.ID)
+		}
+		byID[p.ID] = i
+	}
+
+	// Rank-ID offsets are fixed by fleet position (not by which backends
+	// happen to be alive), so rank numbering is stable across runs that
+	// lose different servers.
+	rankOff := make([]int, len(backends))
+	off := 0
+	for i, be := range backends {
+		rankOff[i] = off
+		off += be.Ranks()
+	}
+
+	fsp := sp.Child("host.fleet")
+	fsp.SetAttrInt("backends", int64(len(backends)))
+	fsp.SetAttrInt("pairs", int64(len(pairs)))
+	defer fsp.End()
+
+	perBackend := make([]*Report, len(backends))
+	stats := make([]BackendStats, len(backends))
+	for i, be := range backends {
+		stats[i] = BackendStats{Name: be.Name(), Ranks: be.Ranks()}
+	}
+	ordered := make([]Result, len(pairs))
+	have := make([]bool, len(pairs))
+	redispatched := 0
+
+	remaining := pairs
+	for round := 0; len(remaining) > 0; round++ {
+		var alive []int
+		for i, be := range backends {
+			if be.Healthy() {
+				alive = append(alive, i)
+			}
+		}
+		if len(alive) == 0 {
+			return nil, nil, fmt.Errorf("host: every fleet backend is down with %d pairs unplaced", len(remaining))
+		}
+
+		// Cost-model-driven placement: balance estimated seconds, not raw
+		// cells, so a 10-rank server takes a proportionally smaller shard
+		// than a 40-rank one.
+		loads := make([]int64, len(remaining))
+		for i, p := range remaining {
+			loads[i] = p.Workload(cfg.Kernel.Band)
+		}
+		secPerUnit := make([]float64, len(alive))
+		for i, bi := range alive {
+			secPerUnit[i] = backends[bi].EstimateSec(&cfg, placementUnitLoad) / placementUnitLoad
+		}
+		buckets := PlacementAssign(loads, secPerUnit)
+
+		outs := make([]shardOutcome, len(alive))
+		if err := parallelFor(cfg.workers(), len(alive), func(si int) error {
+			bi := alive[si]
+			bucket := buckets[si]
+			outs[si] = shardOutcome{backend: bi}
+			if len(bucket) == 0 {
+				return nil
+			}
+			shard := make([]Pair, len(bucket))
+			for i, idx := range bucket {
+				shard[i] = remaining[idx]
+			}
+			outs[si].pairs = shard
+			ssp := fsp.Child("host.fleet_shard")
+			ssp.SetAttr("backend", backends[bi].Name())
+			ssp.SetAttrInt("pairs", int64(len(shard)))
+			rep, results, err := alignOnceOn(backends[bi], cfg, shard, ssp)
+			ssp.End()
+			if errors.Is(err, ErrBackendDown) {
+				outs[si].lost = true
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			outs[si].rep, outs[si].results = rep, results
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+
+		remaining = nil
+		for _, out := range outs {
+			bi := out.backend
+			if out.lost {
+				stats[bi].Down = true
+				stats[bi].Redispatched += len(out.pairs)
+				redispatched += len(out.pairs)
+				remaining = append(remaining, out.pairs...)
+				obs.Info("fleet backend lost", "trace_id", cfg.TraceID,
+					"backend", backends[bi].Name(), "pairs", len(out.pairs))
+				obs.Flight().Recordf("fleet", cfg.TraceID,
+					"backend %s down; redispatching %d pairs onto survivors",
+					backends[bi].Name(), len(out.pairs))
+				continue
+			}
+			if out.rep == nil {
+				continue // empty bucket
+			}
+			stats[bi].Pairs += len(out.pairs)
+			name := backends[bi].Name()
+			for i := range out.results {
+				out.results[i].Backend = name
+				pos, ok := byID[out.results[i].ID]
+				if !ok {
+					return nil, nil, fmt.Errorf("host: fleet shard returned unknown pair ID %d", out.results[i].ID)
+				}
+				ordered[pos] = out.results[i]
+				have[pos] = true
+			}
+			for i := range out.rep.Ranks {
+				out.rep.Ranks[i].Backend = name
+			}
+			if perBackend[bi] == nil {
+				perBackend[bi] = out.rep
+			} else {
+				// The same server's redispatch rounds run back-to-back on
+				// its own timeline — exactly the sequential reuse
+				// mergeStreamReport models.
+				mergeStreamReport(perBackend[bi], out.rep)
+			}
+		}
+	}
+
+	for i := range ordered {
+		if !have[i] {
+			return nil, nil, fmt.Errorf("host: pair %d fell through fleet placement", pairs[i].ID)
+		}
+	}
+
+	// Cross-backend merge: the servers ran concurrently from t=0, so the
+	// fleet makespan is the union (max) of the per-backend windows.
+	rep := &Report{UtilizationMin: 1, TraceID: cfg.TraceID}
+	merged := 0
+	for bi, sub := range perBackend {
+		if sub == nil {
+			continue
+		}
+		stats[bi].Batches = sub.Batches
+		stats[bi].MakespanSec = sub.MakespanSec
+		stats[bi].KernelSecSum = sub.KernelSecSum
+		mergeConcurrent(rep, sub, rankOff[bi])
+		merged++
+	}
+	if merged == 0 {
+		rep.UtilizationMean = 1
+	}
+	rep.Redispatches += redispatched
+	rep.Backends = stats
+	return rep, ordered, nil
+}
+
+// placementUnitLoad is the reference workload EstimateSec is probed with;
+// cost models are linear in load, so any positive value works.
+const placementUnitLoad = 1 << 20
+
+// mergeConcurrent folds one backend's finished report into the fleet
+// report as a concurrent window starting at t=0: rank IDs shift into the
+// backend's fleet slot, batch numbers continue past the merged report's,
+// and the makespan is the union of the windows — the one place the
+// pipeline must NOT reuse the back-to-back mergeRound model, which would
+// double-count wall time across servers running in parallel.
+func mergeConcurrent(dst, src *Report, rankOff int) {
+	batchBase := dst.Batches
+	for _, rs := range src.Ranks {
+		if rs.Rank >= 0 {
+			rs.Rank += rankOff
+		}
+		rs.Batch += batchBase
+		if len(rs.Faults) > 0 {
+			faults := make([]FaultEvent, len(rs.Faults))
+			for i, f := range rs.Faults {
+				f.Batch += batchBase
+				faults[i] = f
+			}
+			rs.Faults = faults
+		}
+		dst.Ranks = append(dst.Ranks, rs)
+	}
+	if src.MakespanSec > dst.MakespanSec {
+		dst.MakespanSec = src.MakespanSec
+	}
+	dst.TransferInSec += src.TransferInSec
+	dst.TransferOutSec += src.TransferOutSec
+	dst.KernelSecSum += src.KernelSecSum
+	dst.WaitSec += src.WaitSec
+	dst.BytesIn += src.BytesIn
+	dst.BytesOut += src.BytesOut
+	dst.TotalCells += src.TotalCells
+	dst.TotalInstr += src.TotalInstr
+	dst.Alignments += src.Alignments
+	dst.Retries += src.Retries
+	dst.Redispatches += src.Redispatches
+	dst.FaultsDetected += src.FaultsDetected
+	dst.AbandonedPairs += src.AbandonedPairs
+	dst.AbandonedIDs = append(dst.AbandonedIDs, src.AbandonedIDs...)
+	dst.RetrySec += src.RetrySec
+	dst.OutOfBandPairs += src.OutOfBandPairs
+	dst.ClippedPairs += src.ClippedPairs
+	dst.OverflowedPairs += src.OverflowedPairs
+	dst.Escalations += src.Escalations
+	dst.EscalationRounds += src.EscalationRounds
+	dst.DegradedScoreOnly += src.DegradedScoreOnly
+	dst.DegradedCPU += src.DegradedCPU
+	dst.VerifyChecked += src.VerifyChecked
+	dst.VerifyFailures += src.VerifyFailures
+	dst.CPUFallbackSec += src.CPUFallbackSec
+	dst.VerifySec += src.VerifySec
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.DedupedPairs += src.DedupedPairs
+	// Escalation windows are already absolute within the backend's own
+	// t=0-based timeline, which is the fleet timeline: append as-is.
+	dst.Escalation = append(dst.Escalation, src.Escalation...)
+	for p, n := range src.Provenance {
+		if dst.Provenance == nil {
+			dst.Provenance = make(map[string]int)
+		}
+		dst.Provenance[p] += n
+	}
+	for _, is := range src.Issues {
+		dst.addIssue(is)
+	}
+	if src.Batches > 0 {
+		total := dst.Batches + src.Batches
+		dst.UtilizationMean = (dst.UtilizationMean*float64(dst.Batches) +
+			src.UtilizationMean*float64(src.Batches)) / float64(total)
+		dst.Batches = total
+	}
+	if src.UtilizationMin < dst.UtilizationMin {
+		dst.UtilizationMin = src.UtilizationMin
+	}
+}

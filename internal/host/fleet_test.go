@@ -1,0 +1,439 @@
+package host
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pimnw/internal/pim"
+)
+
+// twoBackendFleet is the heterogeneous test fleet: a big fast PiM server,
+// a small slow one, and (optionally) a CPU pool.
+func twoBackendFleet() []Backend {
+	big := NewPiMBackend("pim0", 3, 350)
+	small := NewPiMBackend("pim1", 1, 250)
+	small.SetSeedSalt(1000000007)
+	return []Backend{big, small}
+}
+
+// fleetKey flattens the fields of a Result that must be bit-identical
+// across placements. Rank/DPU/Backend are deliberately excluded: they
+// describe where the answer was computed, not the answer.
+func fleetKey(r Result) [7]any {
+	return [7]any{r.ID, r.Score, r.InBand, r.Clipped, r.Overflowed, string(r.Cigar), r.Status.String() + "/" + r.Provenance}
+}
+
+func assertSameResults(t *testing.T, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("result count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if fleetKey(want[i]) != fleetKey(got[i]) {
+			t.Fatalf("result %d differs:\n want %+v\n  got %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestFleetBitIdentical pins the tentpole guarantee: a workload sharded
+// across heterogeneous backends returns exactly the single-fabric
+// answers, in input order, in every pipeline mode.
+func TestFleetBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		traceback bool
+		escalate  bool
+		verify    bool
+		faultRate float64
+	}{
+		{name: "score_only"},
+		{name: "traceback", traceback: true},
+		{name: "escalate", traceback: true, escalate: true},
+		{name: "verify", traceback: true, escalate: true, verify: true},
+		{name: "faults_5pct", traceback: true, escalate: true, faultRate: 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pairs := makePairs(42, 60, 400, 0.12)
+			cfg := testConfig(4, tc.traceback)
+			cfg.Escalate = tc.escalate
+			cfg.Verify = tc.verify
+			if tc.faultRate > 0 {
+				cfg.Faults = pim.FaultConfig{Rate: tc.faultRate, Seed: 7}
+				cfg.MaxRetries = 4
+				cfg.BatchDeadlineSec = 1
+			}
+
+			_, single, err := AlignPairs(cfg, pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Single-fabric results come back batch-ordered; index by ID so
+			// the comparison is order-insensitive on that side (the fleet
+			// side must already be input-ordered).
+			byID := make(map[int]Result, len(single))
+			for _, r := range single {
+				byID[r.ID] = r
+			}
+			want := make([]Result, len(pairs))
+			for i, p := range pairs {
+				want[i] = byID[p.ID]
+			}
+
+			fcfg := cfg
+			fcfg.Backends = twoBackendFleet()
+			rep, got, err := AlignPairs(fcfg, pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, want, got)
+			spread := map[string]int{}
+			for _, r := range got {
+				spread[r.Backend]++
+			}
+			if len(spread) < 2 {
+				t.Fatalf("expected work on >=2 backends, got %v", spread)
+			}
+			if len(rep.Backends) != 2 {
+				t.Fatalf("Report.Backends = %+v", rep.Backends)
+			}
+			for _, bs := range rep.Backends {
+				if bs.Pairs != spread[bs.Name] {
+					t.Fatalf("backend %s reports %d pairs, results carry %d", bs.Name, bs.Pairs, spread[bs.Name])
+				}
+			}
+		})
+	}
+}
+
+// TestFleetCPUBackendBitIdentical covers the CPU pool as a fleet member:
+// the engine dispatch is shared with the DPU kernel, so answers stay
+// bit-identical even when a shard lands on the CPU.
+func TestFleetCPUBackendBitIdentical(t *testing.T) {
+	for _, traceback := range []bool{false, true} {
+		pairs := makePairs(43, 40, 300, 0.1)
+		cfg := testConfig(2, traceback)
+		cfg.Escalate = true
+
+		_, single, err := AlignPairs(cfg, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := make(map[int]Result, len(single))
+		for _, r := range single {
+			byID[r.ID] = r
+		}
+
+		fcfg := cfg
+		fcfg.Backends = []Backend{NewPiMBackend("pim0", 2, 350), NewCPUBackend("cpu1", 8)}
+		_, got, err := AlignPairs(fcfg, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onCPU := 0
+		for i, p := range pairs {
+			if fleetKey(byID[p.ID]) != fleetKey(got[i]) {
+				t.Fatalf("traceback=%v: pair %d differs on fleet:\n want %+v\n  got %+v",
+					traceback, p.ID, byID[p.ID], got[i])
+			}
+			if got[i].Backend == "cpu1" {
+				onCPU++
+			}
+		}
+		if onCPU == 0 {
+			t.Fatalf("traceback=%v: CPU pool took no pairs", traceback)
+		}
+	}
+}
+
+// TestFleetMakespanUnionNotSum pins the merge model: backends run
+// concurrently, so the fleet makespan must be the slowest backend's
+// window — strictly less than the back-to-back sum when at least two
+// backends did work.
+func TestFleetMakespanUnionNotSum(t *testing.T) {
+	pairs := makePairs(44, 80, 400, 0.1)
+	cfg := testConfig(4, false)
+	cfg.Backends = twoBackendFleet()
+	rep, _, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxBE, sumBE float64
+	busy := 0
+	for _, bs := range rep.Backends {
+		if bs.Pairs == 0 {
+			continue
+		}
+		busy++
+		sumBE += bs.MakespanSec
+		if bs.MakespanSec > maxBE {
+			maxBE = bs.MakespanSec
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("need >=2 busy backends, got %d", busy)
+	}
+	if rep.MakespanSec != maxBE {
+		t.Fatalf("fleet makespan %g != max backend window %g (union model broken)", rep.MakespanSec, maxBE)
+	}
+	if rep.MakespanSec >= sumBE {
+		t.Fatalf("fleet makespan %g >= back-to-back sum %g: windows did not overlap", rep.MakespanSec, sumBE)
+	}
+}
+
+// TestFleetBackendLossRedispatch kills a whole backend mid-session and
+// checks the recovery path: the shard moves to the survivors, results
+// stay bit-identical and in order, and the report says what happened.
+func TestFleetBackendLossRedispatch(t *testing.T) {
+	pairs := makePairs(45, 50, 400, 0.1)
+	cfg := testConfig(4, true)
+	cfg.Escalate = true
+
+	_, single, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int]Result, len(single))
+	for _, r := range single {
+		byID[r.ID] = r
+	}
+
+	fleet := twoBackendFleet()
+	dying := fleet[1].(*PiMBackend)
+	dying.FailRounds(1)
+	fcfg := cfg
+	fcfg.Backends = fleet
+	rep, got, err := AlignPairs(fcfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if fleetKey(byID[p.ID]) != fleetKey(got[i]) {
+			t.Fatalf("pair %d differs after backend loss", p.ID)
+		}
+		if got[i].Backend != "pim0" {
+			t.Fatalf("pair %d carries backend %q; only pim0 survived", p.ID, got[i].Backend)
+		}
+	}
+	if rep.Redispatches == 0 {
+		t.Fatal("backend loss reported no redispatches")
+	}
+	if dying.Healthy() {
+		t.Fatal("failed backend still reports healthy")
+	}
+	var lostStats *BackendStats
+	for i := range rep.Backends {
+		if rep.Backends[i].Name == "pim1" {
+			lostStats = &rep.Backends[i]
+		}
+	}
+	if lostStats == nil || !lostStats.Down || lostStats.Redispatched == 0 {
+		t.Fatalf("lost backend stats not recorded: %+v", rep.Backends)
+	}
+}
+
+// TestFleetAllBackendsDown exhausts the fleet: the run must error rather
+// than hang or drop pairs.
+func TestFleetAllBackendsDown(t *testing.T) {
+	pairs := makePairs(46, 10, 300, 0.1)
+	cfg := testConfig(2, false)
+	fleet := twoBackendFleet()
+	fleet[0].(*PiMBackend).FailRounds(1)
+	fleet[1].(*PiMBackend).FailRounds(1)
+	cfg.Backends = fleet
+	_, _, err := AlignPairs(cfg, pairs)
+	if err == nil || !strings.Contains(err.Error(), "down") {
+		t.Fatalf("want all-backends-down error, got %v", err)
+	}
+}
+
+// TestFleetStreamingSubmissionOrder drives the fleet through the
+// streaming session in small micro-batches: results must arrive in
+// submission order and match the single-fabric stream bit for bit.
+func TestFleetStreamingSubmissionOrder(t *testing.T) {
+	pairs := makePairs(47, 60, 300, 0.1)
+	cfg := testConfig(4, true)
+	cfg.Escalate = true
+
+	_, single, err := AlignPairsStream(context.Background(),
+		SessionConfig{Host: cfg, MaxBatchPairs: 8}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fcfg := cfg
+	fcfg.Backends = twoBackendFleet()
+	rep, got, err := AlignPairsStream(context.Background(),
+		SessionConfig{Host: fcfg, MaxBatchPairs: 8}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("streamed %d of %d results", len(got), len(pairs))
+	}
+	for i, p := range pairs {
+		if got[i].ID != p.ID {
+			t.Fatalf("position %d: streamed ID %d, submitted %d (order broken)", i, got[i].ID, p.ID)
+		}
+	}
+	assertSameResults(t, single, got)
+	if len(rep.Backends) != 2 {
+		t.Fatalf("merged session report lost the backend breakdown: %+v", rep.Backends)
+	}
+	total := 0
+	for _, bs := range rep.Backends {
+		total += bs.Pairs
+	}
+	if total != len(pairs) {
+		t.Fatalf("backend pair tallies sum to %d, want %d", total, len(pairs))
+	}
+}
+
+// TestFleetStreamingBackendLoss combines streaming with whole-backend
+// loss: a server dies between micro-batches and the rest of the stream
+// keeps its order and answers.
+func TestFleetStreamingBackendLoss(t *testing.T) {
+	pairs := makePairs(48, 60, 300, 0.1)
+	cfg := testConfig(4, false)
+
+	_, single, err := AlignPairsStream(context.Background(),
+		SessionConfig{Host: cfg, MaxBatchPairs: 10}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleet := twoBackendFleet()
+	fleet[1].(*PiMBackend).FailRounds(1)
+	fcfg := cfg
+	fcfg.Backends = fleet
+	rep, got, err := AlignPairsStream(context.Background(),
+		SessionConfig{Host: fcfg, MaxBatchPairs: 10}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if got[i].ID != p.ID {
+			t.Fatalf("position %d out of order after backend loss", i)
+		}
+	}
+	assertSameResults(t, single, got)
+	if rep.Redispatches == 0 {
+		t.Fatal("no redispatches recorded for the lost backend")
+	}
+}
+
+// TestFleetRankNumbering checks the merged timeline: every backend's
+// rank slots land in its own fixed window of the fleet rank space, so
+// trace exports never collide.
+func TestFleetRankNumbering(t *testing.T) {
+	pairs := makePairs(49, 40, 300, 0.1)
+	cfg := testConfig(4, false)
+	cfg.Backends = twoBackendFleet() // 3 ranks + 1 rank
+	rep, _, err := AlignPairs(cfg, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range rep.Ranks {
+		switch rs.Backend {
+		case "pim0":
+			if rs.Rank < 0 || rs.Rank > 2 {
+				t.Fatalf("pim0 rank %d outside [0,2]", rs.Rank)
+			}
+		case "pim1":
+			if rs.Rank != 3 {
+				t.Fatalf("pim1 rank %d, want 3", rs.Rank)
+			}
+		default:
+			t.Fatalf("rank slot without backend name: %+v", rs)
+		}
+	}
+}
+
+func TestPlacementAssign(t *testing.T) {
+	loads := []int64{100, 90, 80, 20, 10, 5}
+	// Machine 0 is 4x faster than machine 1.
+	buckets := PlacementAssign(loads, []float64{1, 4})
+	if len(buckets) != 2 {
+		t.Fatalf("bucket count %d", len(buckets))
+	}
+	var fast, slow int64
+	seen := map[int]bool{}
+	for m, bucket := range buckets {
+		for _, idx := range bucket {
+			if seen[idx] {
+				t.Fatalf("item %d placed twice", idx)
+			}
+			seen[idx] = true
+			if m == 0 {
+				fast += loads[idx]
+			} else {
+				slow += loads[idx]
+			}
+		}
+	}
+	if len(seen) != len(loads) {
+		t.Fatalf("placed %d of %d items", len(seen), len(loads))
+	}
+	if fast <= slow {
+		t.Fatalf("fast machine got %d, slow got %d — cost model ignored", fast, slow)
+	}
+	// Degenerate shapes must not panic.
+	if got := PlacementAssign(nil, []float64{1}); len(got) != 1 || got[0] != nil {
+		t.Fatalf("empty loads: %v", got)
+	}
+	if got := PlacementAssign(loads, nil); len(got) != 0 {
+		t.Fatalf("no machines: %v", got)
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	fleet, err := ParseFleet("pim:40,pim:20@300~0.05,cpu:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 3 {
+		t.Fatalf("parsed %d backends", len(fleet))
+	}
+	if fleet[0].Name() != "pim0" || fleet[0].Ranks() != 40 {
+		t.Fatalf("backend 0: %s/%d", fleet[0].Name(), fleet[0].Ranks())
+	}
+	p1 := fleet[1].(*PiMBackend)
+	if p1.Name() != "pim1" || p1.ranks != 20 || p1.freqMHz != 300 {
+		t.Fatalf("backend 1: %+v", p1)
+	}
+	if p1.faults == nil || p1.faults.Rate != 0.05 {
+		t.Fatalf("backend 1 fault override missing: %+v", p1.faults)
+	}
+	if p1.seedSalt == 0 {
+		t.Fatal("backend 1 seed not salted")
+	}
+	c2 := fleet[2].(*CPUBackend)
+	if c2.Name() != "cpu2" || c2.threads != 16 {
+		t.Fatalf("backend 2: %+v", c2)
+	}
+	if f, err := ParseFleet(""); err != nil || f != nil {
+		t.Fatalf("empty spec: %v %v", f, err)
+	}
+	for _, bad := range []string{"gpu:2", "pim:0", "pim:2@", "pim:2~1.5", "cpu:2~0.1", ",", "cpu:x"} {
+		if _, err := ParseFleet(bad); err == nil {
+			t.Fatalf("spec %q did not error", bad)
+		}
+	}
+}
+
+// TestFleetValidate covers the Config-level fleet checks.
+func TestFleetValidate(t *testing.T) {
+	cfg := testConfig(2, false)
+	cfg.Backends = []Backend{NewPiMBackend("a", 1, 350), NewPiMBackend("a", 1, 350)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("duplicate backend names passed Validate")
+	}
+	cfg.Backends = []Backend{nil}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("nil backend passed Validate")
+	}
+	cfg.Backends = []Backend{NewPiMBackend("", 1, 350)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("empty backend name passed Validate")
+	}
+}

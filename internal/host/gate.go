@@ -130,6 +130,11 @@ func (g *Gate) applyConfig(cfg GateConfig) {
 	}
 	if cfg.MaxRetryAfter <= 0 {
 		cfg.MaxRetryAfter = 60 * time.Second
+	} else if cfg.MaxRetryAfter < time.Second {
+		// The computed hint is clamped to [1s, MaxRetryAfter]; a
+		// sub-second ceiling would invert that interval and reach the
+		// HTTP layer as Retry-After: 0.
+		cfg.MaxRetryAfter = time.Second
 	}
 	g.slots = cfg.Slots
 	g.caps[ClassInteractive] = cfg.InteractiveQueue
@@ -139,10 +144,19 @@ func (g *Gate) applyConfig(cfg GateConfig) {
 
 // SetConfig hot-swaps the sizing. Growing Slots grants parked waiters
 // immediately; shrinking lets inflight requests finish (the gate only
-// converges down as they release).
+// converges down as they release). A capacity change resets the
+// drain-rate windows: completions counted under the old Slots describe
+// a throughput the resized gate may not sustain, and a stale rate
+// would leak into Retry-After hints until the windows aged out.
 func (g *Gate) SetConfig(cfg GateConfig) {
 	g.mu.Lock()
+	prevSlots := g.slots
 	g.applyConfig(cfg)
+	if g.slots != prevSlots {
+		g.winStart = g.now()
+		g.winCount = 0
+		g.prevCount = 0
+	}
 	var grant []*gateWaiter
 	for g.inflight < g.slots {
 		w := g.popLocked()

@@ -1,0 +1,125 @@
+package host
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// setGateClock pins the gate to a deterministic clock and returns an
+// advance function.
+func setGateClock(g *Gate, start time.Time) func(time.Duration) {
+	now := start
+	g.mu.Lock()
+	g.now = func() time.Time { return now }
+	g.winStart = now
+	g.mu.Unlock()
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+// TestGateRetryAfterSubSecondClampColdStart: a config with a positive
+// but sub-second MaxRetryAfter used to pass through applyConfig
+// untouched, so a cold gate (no drain observed yet) answered the raw
+// sub-second ceiling — which the HTTP layer truncates to a Retry-After
+// of 0 seconds, telling clients to hammer a server that just refused
+// them. The clamp interval is [1s, MaxRetryAfter]; it can only be
+// honoured if MaxRetryAfter itself is floored at 1s.
+func TestGateRetryAfterSubSecondClampColdStart(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 1, BulkQueue: 4, MaxRetryAfter: 250 * time.Millisecond})
+	if got := g.Config().MaxRetryAfter; got < time.Second {
+		t.Errorf("applyConfig kept sub-second MaxRetryAfter %v", got)
+	}
+	if got := g.RetryAfter(); got < time.Second {
+		t.Errorf("cold-start RetryAfter = %v, want >= 1s", got)
+	}
+}
+
+// TestGateRetryAfterSubSecondClampStalled: the stalled-server path
+// (drain windows aged out, rate 0) answers the ceiling — which must
+// also be at least 1s when the ceiling arrived sub-second via a hot
+// reload (/admin/config).
+func TestGateRetryAfterSubSecondClampStalled(t *testing.T) {
+	g := NewGate(GateConfig{Slots: 1, BulkQueue: 4, MaxRetryAfter: 30 * time.Second})
+	advance := setGateClock(g, time.Unix(1000, 0))
+	ctx := context.Background()
+
+	// Establish a drain rate, then hot-reload a bogus sub-second ceiling.
+	for i := 0; i < 4; i++ {
+		if err := g.Acquire(ctx, ClassBulk); err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	}
+	advance(gateDrainWindow)
+	g.SetConfig(GateConfig{Slots: 1, BulkQueue: 4, MaxRetryAfter: 100 * time.Millisecond})
+
+	// Stall: both drain windows age out, the rate is 0, the answer is the
+	// ceiling — floored at 1s, never the raw 100ms.
+	advance(10 * gateDrainWindow)
+	if got := g.RetryAfter(); got < time.Second {
+		t.Errorf("stalled RetryAfter = %v, want >= 1s", got)
+	}
+}
+
+// TestGateRetryAfterFreshAfterSlotShrink: the drain-rate estimate is a
+// property of the gate's capacity. After a hot reload shrinks Slots,
+// the completions counted under the old, larger capacity used to keep
+// feeding the estimate, so a refused request got a Retry-After computed
+// from a throughput the server can no longer sustain. A capacity change
+// must reset the drain windows: with no drain observed under the new
+// sizing, the honest answer is the ceiling.
+func TestGateRetryAfterFreshAfterSlotShrink(t *testing.T) {
+	const maxRA = 60 * time.Second
+	g := NewGate(GateConfig{Slots: 8, BulkQueue: 16, MaxRetryAfter: maxRA})
+	advance := setGateClock(g, time.Unix(2000, 0))
+	ctx := context.Background()
+
+	// 40 completions in the first window → 40/s once it rolls to "previous".
+	for i := 0; i < 40; i++ {
+		if err := g.Acquire(ctx, ClassBulk); err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	}
+	advance(gateDrainWindow)
+
+	// Hot reload: shrink to one slot (the /admin/config path).
+	g.SetConfig(GateConfig{Slots: 1, BulkQueue: 16, MaxRetryAfter: maxRA})
+
+	// Fill the single slot and park three waiters: depth 4. At the stale
+	// 40/s rate the hint would be the 1s floor — wildly optimistic for a
+	// gate that now drains one request at a time.
+	if err := g.Acquire(ctx, ClassBulk); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(ctx, ClassBulk); err == nil {
+				g.Release()
+			}
+		}()
+	}
+	waitForQueued(t, g, 3)
+	if got := g.RetryAfter(); got != maxRA {
+		t.Errorf("post-shrink RetryAfter = %v, want the %v ceiling (stale pre-shrink drain rate leaked)", got, maxRA)
+	}
+
+	// Unchanged sizing must NOT reset the windows: drain observed under
+	// the current capacity keeps informing the hint. One release cascades
+	// through all three parked waiters (each re-acquires and releases).
+	g.Release()
+	wg.Wait()
+	advance(gateDrainWindow)
+	g.SetConfig(GateConfig{Slots: 1, BulkQueue: 16, MaxRetryAfter: maxRA})
+	if err := g.Acquire(ctx, ClassBulk); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	if got := g.RetryAfter(); got == maxRA {
+		t.Errorf("same-sizing SetConfig wiped the drain windows: RetryAfter = %v", got)
+	}
+}

@@ -85,6 +85,13 @@ type Config struct {
 	// context's obs.TraceIDFrom when empty); "" means untraced. It never
 	// affects results or modelled timing.
 	TraceID string
+	// Backends is the fleet: when set, every workload is sharded across
+	// these backends by estimated makespan (fleet.go), with whole-backend
+	// loss redispatched onto the survivors. Empty means the single
+	// simulated fabric described by PIM — the pre-fleet pipeline,
+	// byte-identical reports included. Backends carry state (health) and
+	// are shared across the micro-batches of a session.
+	Backends []Backend
 
 	// faults is the model built from Faults by AlignPairs (nil = perfect
 	// fabric); carried here so every runBatch shares one instance.
@@ -127,6 +134,20 @@ func (c Config) Validate() error {
 	}
 	if c.Escalate && c.MaxBand > 0 && c.MaxBand < c.Kernel.Band {
 		return fmt.Errorf("host: MaxBand %d below the kernel band %d", c.MaxBand, c.Kernel.Band)
+	}
+	seen := make(map[string]bool, len(c.Backends))
+	for i, be := range c.Backends {
+		if be == nil {
+			return fmt.Errorf("host: fleet backend %d is nil", i)
+		}
+		name := be.Name()
+		if name == "" {
+			return fmt.Errorf("host: fleet backend %d has an empty name", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("host: fleet backend name %q repeats", name)
+		}
+		seen[name] = true
 	}
 	return nil
 }
@@ -228,6 +249,10 @@ type Result struct {
 	// rather than computed this run. Status and Provenance still describe
 	// the original computation — a hit never relabels.
 	Cached bool
+	// Backend names the fleet server that computed the answer ("" on the
+	// single fabric). It is placement, not provenance: the same pair lands
+	// on the same Provenance engine whichever backend runs it.
+	Backend string
 }
 
 // PairIssue is one pair that did not resolve cleanly on the first rung:
@@ -285,6 +310,9 @@ type RankStats struct {
 	WaitSec  float64
 	RetrySec float64
 	Faults   []FaultEvent `json:",omitempty"`
+	// Backend names the fleet server this rank slot belongs to ("" on the
+	// single fabric, where the report format predates fleets).
+	Backend string `json:",omitempty"`
 }
 
 // Report is the run-level outcome the experiments consume.
@@ -364,6 +392,9 @@ type Report struct {
 	// stamped onto every Perfetto slice the report exports; "" when the
 	// run was untraced.
 	TraceID string
+	// Backends is the per-server breakdown of a fleet run, in fleet
+	// order; nil on the single fabric.
+	Backends []BackendStats
 }
 
 // maxReportIssues caps Report.Issues so a run where every pair degrades

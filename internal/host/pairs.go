@@ -83,14 +83,28 @@ func AlignPairs(cfg Config, pairs []Pair) (*Report, []Result, error) {
 // through dispatch plus (when configured) the escalation ladder, with
 // results fully annotated. The streaming Session calls it once per
 // micro-batch; metrics publication is left to the caller so a session can
-// publish once over its merged report.
+// publish once over its merged report. With Config.Backends set the
+// workload is sharded across the fleet (fleet.go); otherwise it runs on
+// the single-fabric passthrough backend, byte-identical to the pre-fleet
+// pipeline.
 func alignOnce(cfg Config, pairs []Pair, sp *obs.Span) (*Report, []Result, error) {
-	rep, results, err := alignPairsRound(cfg, pairs, sp)
+	if len(cfg.Backends) > 0 {
+		return alignFleet(cfg, pairs, sp)
+	}
+	return alignOnceOn(fabricBackend{}, cfg, pairs, sp)
+}
+
+// alignOnceOn runs the complete pipeline — dispatch round, then
+// escalation or terminal annotation — on one backend. Every fleet shard
+// goes through here, so each server walks the same ladder the single
+// fabric would.
+func alignOnceOn(be Backend, cfg Config, pairs []Pair, sp *obs.Span) (*Report, []Result, error) {
+	rep, results, err := be.Round(cfg, pairs, sp)
 	if err != nil {
 		return nil, nil, err
 	}
 	if cfg.Escalate {
-		results, err = escalate(cfg, pairs, rep, results, sp)
+		results, err = escalate(be, cfg, pairs, rep, results, sp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -254,6 +268,17 @@ func (r *Report) publishMetrics() {
 	reg.Counter("host_cache_hits_total").Add(int64(r.CacheHits))
 	reg.Counter("host_cache_misses_total").Add(int64(r.CacheMisses))
 	reg.Counter("host_deduped_pairs_total").Add(int64(r.DedupedPairs))
+	for _, bs := range r.Backends {
+		reg.Counter("host_backend_" + bs.Name + "_pairs_total").Add(int64(bs.Pairs))
+		reg.Counter("host_backend_" + bs.Name + "_batches_total").Add(int64(bs.Batches))
+		reg.Counter("host_backend_" + bs.Name + "_redispatched_total").Add(int64(bs.Redispatched))
+		reg.Gauge("host_backend_" + bs.Name + "_makespan_seconds").Set(bs.MakespanSec)
+		down := 0.0
+		if bs.Down {
+			down = 1
+		}
+		reg.Gauge("host_backend_" + bs.Name + "_down").Set(down)
+	}
 }
 
 // scheduleTimeline lays executed batches onto the simulated clock: a FIFO

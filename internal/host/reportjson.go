@@ -45,6 +45,7 @@ type reportJSON struct {
 	Provenance map[string]int    `json:"provenance,omitempty"`
 	Escalation []EscalationRound `json:"escalation,omitempty"`
 	Issues     []PairIssue       `json:"issues,omitempty"`
+	Backends   []BackendStats    `json:"backends,omitempty"`
 	Ranks      []RankStats       `json:"ranks"`
 }
 
@@ -87,6 +88,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Provenance:           r.Provenance,
 		Escalation:           r.Escalation,
 		Issues:               r.Issues,
+		Backends:             r.Backends,
 		Ranks:                r.Ranks,
 	}
 	if out.Ranks == nil {

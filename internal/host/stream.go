@@ -250,6 +250,7 @@ func mergeStreamReport(dst, src *Report) {
 	dst.AbandonedIDs = append(dst.AbandonedIDs, src.AbandonedIDs...)
 	dst.OutOfBandPairs += src.OutOfBandPairs
 	dst.ClippedPairs += src.ClippedPairs
+	dst.OverflowedPairs += src.OverflowedPairs
 	dst.Escalations += src.Escalations
 	dst.EscalationRounds += src.EscalationRounds
 	dst.DegradedScoreOnly += src.DegradedScoreOnly
@@ -271,6 +272,23 @@ func mergeStreamReport(dst, src *Report) {
 	}
 	for _, is := range src.Issues {
 		dst.addIssue(is)
+	}
+	// Fleet runs carry a per-backend breakdown in fleet order; fold the
+	// micro-batch's slice into the session's pairwise. A server's
+	// micro-batches reuse it sequentially, so its makespans add.
+	switch {
+	case dst.Backends == nil:
+		dst.Backends = src.Backends
+	case len(src.Backends) == len(dst.Backends):
+		for i := range dst.Backends {
+			d, s := &dst.Backends[i], &src.Backends[i]
+			d.Pairs += s.Pairs
+			d.Batches += s.Batches
+			d.MakespanSec += s.MakespanSec
+			d.KernelSecSum += s.KernelSecSum
+			d.Redispatched += s.Redispatched
+			d.Down = d.Down || s.Down
+		}
 	}
 }
 

@@ -51,8 +51,12 @@ func (r *Report) ChromeTraceEvents() []obs.TraceEvent {
 		pid := rs.Rank + 1
 		if !seen[pid] {
 			seen[pid] = true
+			proc := "rank " + strconv.Itoa(rs.Rank) + " (modelled)"
+			if rs.Backend != "" {
+				proc = rs.Backend + " " + proc
+			}
 			events = append(events,
-				obs.ProcessName(pid, "rank "+strconv.Itoa(rs.Rank)+" (modelled)"),
+				obs.ProcessName(pid, proc),
 				obs.ThreadName(pid, tidTransferIn, "bus in"),
 				obs.ThreadName(pid, tidKernel, "kernel"),
 				obs.ThreadName(pid, tidTransferOut, "bus out"))

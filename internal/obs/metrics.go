@@ -197,6 +197,22 @@ type HistogramBucket struct {
 	Count int64   `json:"count"`
 }
 
+// MarshalJSON emits the bucket with the +Inf overflow bound clamped to
+// the largest finite float64: JSON has no Inf literal, and the stock
+// encoder errors on the raw value — so any handler that json.Marshals a
+// Snapshot (not just the two exporters that used to hand-clamp) stays
+// safe.
+func (b HistogramBucket) MarshalJSON() ([]byte, error) {
+	le := b.LE
+	if math.IsInf(le, 1) {
+		le = math.MaxFloat64
+	}
+	return json.Marshal(struct {
+		LE    float64 `json:"le"`
+		Count int64   `json:"count"`
+	}{le, b.Count})
+}
+
 // HistogramSnapshot is a consistent-enough point-in-time histogram copy.
 type HistogramSnapshot struct {
 	Count   int64             `json:"count"`
@@ -361,21 +377,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // WriteJSON renders the snapshot as indented JSON. The +Inf histogram
-// bucket is emitted with le set to the largest finite float64 (JSON has no
-// Inf literal).
+// bucket is emitted with le set to the largest finite float64 —
+// HistogramBucket.MarshalJSON owns the clamp.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	s := r.Snapshot()
-	for name, h := range s.Histograms {
-		for i := range h.Buckets {
-			if math.IsInf(h.Buckets[i].LE, 1) {
-				h.Buckets[i].LE = math.MaxFloat64
-			}
-		}
-		s.Histograms[name] = h
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(s)
+	return enc.Encode(r.Snapshot())
 }
 
 func sortedKeys[V any](m map[string]V) []string {

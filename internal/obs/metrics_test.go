@@ -174,3 +174,37 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("concurrent histogram count = %d, want 8000", v)
 	}
 }
+
+// TestSnapshotMarshalsWithInfBucket pins the overflow-bucket encoding:
+// a histogram snapshot keeps the raw +Inf bound in memory (Quantile
+// depends on it), but json.Marshal of the whole Snapshot must succeed —
+// the stock encoder errors on +Inf, and any handler that marshals a
+// snapshot directly (instead of going through WriteJSON's old
+// hand-clamp) used to 500 on it.
+func TestSnapshotMarshalsWithInfBucket(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", []float64{0.1, 1}).Observe(5) // lands in +Inf bucket
+	snap := r.Snapshot()
+	h := snap.Histograms["lat"]
+	if last := h.Buckets[len(h.Buckets)-1]; !math.IsInf(last.LE, 1) || last.Count != 1 {
+		t.Fatalf("in-memory overflow bucket = %+v, want le=+Inf count=1", last)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("json.Marshal(Snapshot) = %v", err)
+	}
+	var back struct {
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	bs := back.Histograms["lat"].Buckets
+	if got := bs[len(bs)-1].LE; got != math.MaxFloat64 {
+		t.Fatalf("marshalled overflow bound = %g, want MaxFloat64", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+}

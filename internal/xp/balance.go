@@ -23,6 +23,9 @@ func (r *Runner) alignBatch(cfg host.Config, pairs []host.Pair) (*host.Report, [
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := r.Opts.applyFleet(&cfg); err != nil {
+		return nil, nil, err
+	}
 	return host.AlignPairsStream(context.Background(), host.SessionConfig{
 		Host:          cfg,
 		MaxBatchPairs: len(pairs),

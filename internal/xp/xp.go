@@ -56,6 +56,11 @@ type Options struct {
 	// experiments that run over the serving path, so repeated suites skip
 	// already-certified pairs ("" = no cache). Close the runner to flush it.
 	CacheDir string
+	// Fleet shards the batch experiments across a multi-backend fleet
+	// instead of the single default fabric; see host.ParseFleet for the
+	// spec syntax ("" = single fabric). Results stay bit-identical — only
+	// the modelled timeline and the per-backend report rows change.
+	Fleet string
 }
 
 // faultConfig translates the fault options into the host configuration
@@ -77,6 +82,17 @@ func (o Options) applyIntegrity(cfg *host.Config) {
 	cfg.MaxBand = o.MaxBand
 	cfg.Verify = o.Verify && cfg.Kernel.Traceback
 	cfg.Kernel.LaneWidth = o.LaneWidth
+}
+
+// applyFleet translates the fleet spec into host backends; an empty
+// spec leaves the single-fabric pipeline untouched.
+func (o Options) applyFleet(cfg *host.Config) error {
+	backends, err := host.ParseFleet(o.Fleet)
+	if err != nil {
+		return err
+	}
+	cfg.Backends = backends
+	return nil
 }
 
 // Table is a rendered experiment outcome.
